@@ -1,0 +1,44 @@
+"""Ablation A2: mean (Thm 3.3) vs median-of-means (Thm 3.4) aggregation.
+
+Both aggregators run on *identical* estimator states, isolating the
+aggregation choice. Expectation: both deliver usable estimates; the
+mean is typically at least as sharp on well-behaved workloads, while
+median-of-means buys tail robustness (it is the device that makes the
+Chebyshev-based Theorem 3.4 argument work).
+"""
+
+import statistics
+
+import pytest
+
+from repro.experiments.runners import run_ablation_aggregation
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_ablation_aggregation(
+        dataset="dblp_like", num_estimators=8_192, groups=16, trials=10, verbose=False
+    )
+
+
+def test_aggregation_ablation_runs(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_ablation_aggregation(
+            dataset="syn_3reg", num_estimators=1_024, trials=3, verbose=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(out["mean_errors"]) == 3
+
+
+def test_both_aggregators_usable(ablation):
+    assert statistics.fmean(ablation["mean_errors"]) < 25.0
+    assert statistics.fmean(ablation["mom_errors"]) < 40.0
+
+
+def test_aggregators_agree_on_well_behaved_workload(ablation):
+    """With thousands of estimators per group the two aggregates should
+    track each other closely run by run."""
+    for mean_err, mom_err in zip(ablation["mean_errors"], ablation["mom_errors"]):
+        assert abs(mean_err - mom_err) < 30.0

@@ -1,0 +1,107 @@
+"""Ablation A3: the three engines (reference / bulk / vectorized).
+
+All three implement the same sampling process; this ablation verifies
+they land on statistically compatible estimates and measures the
+engineering payoff of each implementation level:
+
+- reference (per-edge, per-object): O(m r) -- the paper's "naive
+  O(mr)-time implementation ... can be too slow for large graphs";
+- bulk (Section 3.3 tables): O(m + r) per stream;
+- vectorized (numpy arrays): same O(m + r) with far smaller constants.
+"""
+
+import pytest
+
+from repro.core.bulk import BulkTriangleCounter
+from repro.core.triangle_count import ReferenceTriangleCounter
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.experiments.datasets import load_dataset
+from repro.experiments.runners import run_ablation_engines
+
+R = 2_048
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_ablation_engines(
+        dataset="syn_3reg", num_estimators=R, trials=3, verbose=False
+    )
+
+
+def test_engines_ablation_runs(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_ablation_engines(
+            dataset="syn_3reg", num_estimators=256, trials=1, verbose=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(out["rows"]) == 3
+
+
+def test_engines_statistically_compatible(ablation):
+    """All engines land within Monte-Carlo range of the truth."""
+    for name, stats in ablation["results"].items():
+        assert stats.mean_deviation < 30.0, f"{name}: {stats.mean_deviation}"
+
+
+def test_bulk_beats_reference(ablation):
+    results = ablation["results"]
+    assert results["bulk"].median_time < results["reference"].median_time / 5
+
+
+def test_vectorized_is_fastest_at_scale():
+    """At large r on a long stream, the numpy engine dominates bulk."""
+    import time
+
+    edges = load_dataset("livejournal_like").edges[:65_536]
+    r = 32_768
+
+    t0 = time.perf_counter()
+    vec = VectorizedTriangleCounter(r, seed=0)
+    vec.update_batch(edges)
+    t_vec = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    bulk = BulkTriangleCounter(r, seed=0)
+    bulk.update_batch(edges)
+    t_bulk = time.perf_counter() - t0
+
+    assert t_vec < t_bulk
+
+
+def test_reference_engine_cost_benchmark(benchmark):
+    """Micro-benchmark of the O(m r) reference path (kept tiny)."""
+    edges = load_dataset("syn_3reg").edges[:500]
+
+    def run():
+        engine = ReferenceTriangleCounter(64, seed=0)
+        engine.update_batch(edges)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.edges_seen == 500
+
+
+def test_bulk_engine_cost_benchmark(benchmark):
+    edges = load_dataset("syn_3reg").edges
+
+    def run():
+        engine = BulkTriangleCounter(4_096, seed=0)
+        engine.update_batch(edges)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.edges_seen == len(edges)
+
+
+def test_vectorized_engine_cost_benchmark(benchmark):
+    edges = load_dataset("syn_3reg").edges
+
+    def run():
+        engine = VectorizedTriangleCounter(4_096, seed=0)
+        engine.update_batch(edges)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.edges_seen == len(edges)

@@ -1,0 +1,134 @@
+"""Benchmarks for the Section 5 extensions (cliques, sliding windows).
+
+The paper reports no tables for these ("mostly of theoretical
+interest"); these benchmarks document their practical costs and verify
+the qualitative behaviours: 4-clique estimates center on the truth, and
+sliding-window space really is O(log w) per estimator.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cliques4 import CliqueCounter4
+from repro.core.sliding_window import ChainedWindowSampler, SlidingWindowTriangleCounter
+from repro.exact import count_four_cliques, sliding_window_triangle_counts
+from repro.generators import erdos_renyi
+from repro.graph import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def clique_workload():
+    edges = erdos_renyi(60, 700, seed=8)
+    return edges, count_four_cliques(edges)
+
+
+def test_clique4_counting_benchmark(benchmark, clique_workload):
+    edges, _ = clique_workload
+
+    def run():
+        counter = CliqueCounter4(200, seed=0)
+        counter.update_batch(edges)
+        return counter
+
+    counter = benchmark(run)
+    assert counter.edges_seen == len(edges)
+
+
+def test_clique4_estimates_center_on_truth(clique_workload):
+    edges, true4 = clique_workload
+    estimates = []
+    for seed in range(20):
+        counter = CliqueCounter4(300, seed=seed)
+        counter.update_batch(edges)
+        estimates.append(counter.estimate())
+    mean = sum(estimates) / len(estimates)
+    assert abs(mean - true4) / true4 < 0.5
+
+
+def test_sliding_window_benchmark(benchmark):
+    edges = erdos_renyi(200, 3_000, seed=9)
+
+    def run():
+        counter = SlidingWindowTriangleCounter(100, window=1_000, seed=0)
+        counter.update_batch(edges)
+        return counter
+
+    counter = benchmark(run)
+    assert counter.edges_seen == len(edges)
+
+
+def test_sliding_window_tracks_exact():
+    edges = erdos_renyi(100, 1_500, seed=10)
+    window = 600
+    exact = sliding_window_triangle_counts(
+        EdgeStream(edges, validate=False), window
+    )[-1]
+    counter = SlidingWindowTriangleCounter(3_000, window, seed=1)
+    counter.update_batch(edges)
+    assert exact > 0
+    assert abs(counter.estimate() - exact) / exact < 0.5
+
+
+def test_incidence_model_benchmark(benchmark):
+    """The incidence-model counter over a grouped-by-vertex stream."""
+    from repro.core.incidence import IncidenceStream, IncidenceTriangleCounter
+
+    edges = erdos_renyi(200, 2_000, seed=11)
+    stream = IncidenceStream.from_graph(edges, order="random", seed=1)
+
+    def run():
+        counter = IncidenceTriangleCounter(500, seed=0)
+        counter.consume(stream)
+        return counter
+
+    counter = benchmark(run)
+    assert counter.vertices_seen == len(stream)
+
+
+def test_incidence_needs_fewer_estimators_on_closed_graphs():
+    """On graphs with few open wedges (small T2/tau), the incidence
+    model reaches good accuracy with a pool the adjacency model's
+    Theorem 3.3 sizing would call tiny -- the separation of §3.6."""
+    from repro.core.incidence import (
+        IncidenceStream,
+        IncidenceTriangleCounter,
+        incidence_estimators_needed,
+    )
+    from repro.exact import count_triangles, count_wedges
+    from repro.generators import complete_graph
+
+    edges = complete_graph(30)
+    tau, zeta = count_triangles(edges), count_wedges(edges)
+    r = incidence_estimators_needed(0.15, 0.2, wedges=zeta, triangles=tau)
+    counter = IncidenceTriangleCounter(r, seed=3)
+    counter.consume(IncidenceStream.from_graph(edges, order="random", seed=4))
+    assert abs(counter.estimate() - tau) / tau < 0.15
+
+
+def test_parallel_counter_benchmark(benchmark):
+    """Estimator-sharded parallel counting (2 workers)."""
+    from repro.core.parallel import count_triangles_parallel
+    from repro.experiments.datasets import load_dataset
+
+    edges = load_dataset("amazon_like").edges
+
+    def run():
+        return count_triangles_parallel(edges, 8_192, workers=2, seed=1)
+
+    estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth = load_dataset("amazon_like").truth.triangles
+    assert abs(estimate - truth) / truth < 0.6
+
+
+def test_chain_length_is_logarithmic():
+    """Theorem 5.8's O(r log w) space: measured chain length ~ H_w."""
+    for w in (64, 512):
+        lengths = []
+        for seed in range(200):
+            s = ChainedWindowSampler(window=w, seed=seed)
+            for e in [(i, i + 1) for i in range(w)]:
+                s.update(e)
+            lengths.append(s.chain_length())
+        mean_len = sum(lengths) / len(lengths)
+        assert abs(mean_len - (math.log(w) + 0.5772)) < 1.5

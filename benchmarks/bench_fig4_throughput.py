@@ -1,0 +1,57 @@
+"""Figure 4: average throughput per dataset as r varies.
+
+Reproduced claims:
+
+1. throughput decreases as the number of estimators r increases;
+2. for fixed r, longer streams achieve higher throughput (the
+   O(m + r) amortization: throughput ~ 1 / (1 + r/m)).
+
+Absolute edges/second are Python-scale, not the paper's C++ numbers;
+the trends are the reproduction target.
+"""
+
+import pytest
+
+from repro.experiments.datasets import load_dataset
+from repro.experiments.runners import run_figure4
+
+R_VALUES = (1_024, 16_384, 131_072)
+DATASETS = ("amazon_like", "youtube_like", "livejournal_like", "orkut_like")
+
+
+@pytest.fixture(scope="module")
+def figure4():
+    return run_figure4(
+        r_values=R_VALUES, datasets=DATASETS, trials=3, verbose=False
+    )
+
+
+def test_fig4_runs(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_figure4(
+            r_values=(16_384,), datasets=("amazon_like",), trials=1, verbose=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert out["rows"][0][2] > 0
+
+
+def test_fig4_throughput_decreases_with_r(figure4):
+    for row in figure4["rows"]:
+        name, m, *throughputs = row
+        assert throughputs[0] >= throughputs[-1], (
+            f"{name}: throughput should drop from r={R_VALUES[0]} to "
+            f"r={R_VALUES[-1]}: {throughputs}"
+        )
+
+
+def test_fig4_longer_streams_amortize_better(figure4):
+    """At the largest r, the longest stream (most edges per estimator
+    maintenance) achieves the best throughput."""
+    rows = {row[0]: row for row in figure4["rows"]}
+    large_r_col = 2 + len(R_VALUES) - 1
+    short = rows["amazon_like"]
+    long_ = rows["livejournal_like"]
+    assert long_[1] > 10 * short[1]  # LJ-like is much longer
+    assert long_[large_r_col] > short[large_r_col]

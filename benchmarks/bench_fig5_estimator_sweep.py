@@ -1,0 +1,64 @@
+"""Figure 5: runtime, throughput, and error as r sweeps geometrically.
+
+Reproduced claims (Section 4.4):
+
+1. total running time increases with r, consistent with O(m + r);
+2. relative error generally decreases with r;
+3. the Theorem 3.3 bound (delta = 1/5) is conservative: measured error
+   sits below the bound curve at moderate-to-large r.
+"""
+
+import pytest
+
+from repro.experiments.runners import run_figure5
+
+R_VALUES = (1_024, 4_096, 16_384, 65_536, 131_072)
+DATASETS = ("youtube_like", "livejournal_like")
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    return run_figure5(
+        r_values=R_VALUES, datasets=DATASETS, trials=3, delta=0.2, verbose=False
+    )
+
+
+def test_fig5_runs(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_figure5(
+            r_values=(1_024, 4_096),
+            datasets=("youtube_like",),
+            trials=1,
+            verbose=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(out["series"]["youtube_like"]["devs"]) == 2
+
+
+def test_fig5_time_grows_with_r(figure5):
+    """O(m + r): the largest r should cost more than the smallest."""
+    for name in DATASETS:
+        times = figure5["series"][name]["times"]
+        assert times[-1] > times[0], f"{name}: {times}"
+
+
+def test_fig5_error_trend_downward(figure5):
+    """'In general -- though not a strict pattern -- the error decreases
+    with the number of estimators' (Section 4.4)."""
+    for name in DATASETS:
+        devs = figure5["series"][name]["devs"]
+        assert devs[-1] < devs[0], f"{name}: {devs}"
+
+
+def test_fig5_bound_is_conservative(figure5):
+    """Measured error stays below the Theorem 3.3 bound at large r."""
+    for name in DATASETS:
+        devs = figure5["series"][name]["devs"]
+        bounds = figure5["series"][name]["bounds"]
+        assert devs[-1] < bounds[-1], f"{name}: {devs[-1]} !< {bounds[-1]}"
+        # And the bound itself decays like 1/sqrt(r).
+        assert bounds[0] / bounds[-1] == pytest.approx(
+            (R_VALUES[-1] / R_VALUES[0]) ** 0.5, rel=0.01
+        )

@@ -1,0 +1,50 @@
+"""Figure 6: throughput of the bulk algorithm vs batch size.
+
+Reproduced claim (Section 4.5): throughput increases with the batch
+size w -- per-edge cost is proportional to 1 + r/m + w/m + 1/w, so
+small batches pay the per-batch O(r) maintenance too often.
+"""
+
+import pytest
+
+from repro.experiments.runners import run_figure6
+
+BATCH_FACTORS = (0.25, 1, 4, 16)
+NUM_ESTIMATORS = 16_384
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    return run_figure6(
+        batch_factors=BATCH_FACTORS,
+        dataset="livejournal_like",
+        num_estimators=NUM_ESTIMATORS,
+        trials=3,
+        verbose=False,
+    )
+
+
+def test_fig6_runs(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_figure6(
+            batch_factors=(1, 8),
+            dataset="amazon_like",
+            num_estimators=2_048,
+            trials=1,
+            verbose=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(out["throughputs"]) == 2
+
+
+def test_fig6_throughput_increases_with_batch_size(figure6):
+    ys = figure6["throughputs"]
+    assert ys[-1] > ys[0], f"throughput did not rise with batch size: {ys}"
+
+
+def test_fig6_largest_batches_dominate_smallest(figure6):
+    """The Figure 6 spread: large batches beat tiny ones clearly."""
+    ys = figure6["throughputs"]
+    assert ys[-1] > 1.5 * ys[0]

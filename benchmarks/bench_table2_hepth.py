@@ -1,0 +1,92 @@
+"""Table 2: Jowhari-Ghodsi vs neighborhood sampling on Hep-Th.
+
+The workload is a collaboration-network stand-in at the original's
+scale profile (n ~ 9.9k, triangle-dense, small m*Delta/tau). The
+paper's claims:
+
+1. with enough estimators, our error collapses (below 1% at r=100k in
+   the paper) while JG needs even more resources for similar quality;
+2. the bulk algorithm is >= 10x faster at equal r.
+
+The stream is truncated and r scaled down to keep JG's O(m r) cost
+affordable; ratios, not absolutes, are the reproduced quantities.
+"""
+
+import pytest
+
+from repro.experiments.runners import run_table2
+
+R_VALUES = (300, 3_000)
+TRIALS = 2
+LIMIT_EDGES = 20_000
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(
+        r_values=R_VALUES, trials=TRIALS, limit_edges=LIMIT_EDGES, verbose=False
+    )
+
+
+def test_table2_runs(benchmark, table2):
+    out = benchmark.pedantic(
+        lambda: run_table2(
+            r_values=(300,), trials=1, limit_edges=LIMIT_EDGES, verbose=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert out["true_tau"] > 0
+
+
+def test_table2_ours_at_least_10x_faster(table2):
+    for row in table2["rows"]:
+        r, _, _, _, _, speedup = row
+        assert speedup >= 10.0, f"expected >=10x speedup at r={r}, got {speedup}"
+
+
+def test_table2_error_drops_with_r(table2):
+    """The Table 2 pattern: at small r estimates are noisy; at larger r
+    the error shrinks. (The paper sees the same: 92.69% at r=1k down to
+    0.68% at r=100k on Hep-Th.)"""
+    results = table2["results"]
+    ours_small = results[R_VALUES[0]]["ours"].mean_deviation
+    ours_large = results[R_VALUES[-1]]["ours"].mean_deviation
+    assert ours_large < ours_small
+
+
+def test_table2_error_collapses_at_paper_scale_r():
+    """The r=100k row of Table 2: with a large pool our error drops to
+    ~1%. JG at this r is infeasible in pure Python (O(m r)); the paper's
+    point is precisely that JG 'shows no improvement' while ours
+    collapses, so we check the collapse on our side at full stream
+    length with the fast engine."""
+    from repro.core.vectorized import VectorizedTriangleCounter
+    from repro.experiments.datasets import load_dataset
+    from repro.experiments.harness import run_trials
+
+    dataset = load_dataset("hepth_like")
+    stats = run_trials(
+        lambda seed: VectorizedTriangleCounter(100_000, seed=seed),
+        lambda seed: list(dataset.stream(order="random", seed=seed)),
+        true_value=dataset.truth.triangles,
+        trials=3,
+        batch_size=800_000,
+    )
+    assert stats.mean_deviation < 5.0
+
+
+def test_table2_jg_space_exceeds_ours_at_equal_r():
+    """Paper: 'for the same value of r, the JG algorithm uses
+    considerably more space ... up to O(Delta) space per estimator'."""
+    from repro.baselines import JowhariGhodsiCounter
+    from repro.experiments.datasets import load_dataset
+
+    dataset = load_dataset("hepth_like")
+    edges = dataset.edges[:LIMIT_EDGES]
+    jg = JowhariGhodsiCounter(500, seed=0)
+    jg.update_batch(edges)
+    # Ours: O(1) words per estimator. JG: stored neighbor lists.
+    ours_words_per_estimator = 11  # the vectorized engine's 11 fields
+    jg_words_per_estimator = jg.total_state_size() / jg.num_estimators
+    assert jg_words_per_estimator > ours_words_per_estimator

@@ -1,0 +1,131 @@
+"""Table 3: accuracy and runtime of the bulk algorithm on all datasets.
+
+Reproduced claims (Section 4.3):
+
+1. the algorithm is accurate with a modest number of estimators, and
+   accuracy improves markedly from the smallest to the largest r;
+2. datasets with large ``m * Delta / tau`` (Youtube-like, Orkut-like)
+   need more estimators to reach a given accuracy than the others;
+3. far fewer estimators than Theorem 3.3's bound suffice in practice;
+4. estimator-state memory is constant per estimator (the paper's
+   36 bytes/estimator table; ours is 81 bytes in the numpy layout).
+"""
+
+import pytest
+
+from repro.core.accuracy import estimators_needed
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.experiments.datasets import FIGURE3_DATASETS, load_dataset
+from repro.experiments.runners import run_table3
+
+R_VALUES = (1_024, 16_384, 131_072)
+TRIALS = 5
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3(r_values=R_VALUES, trials=TRIALS, verbose=False)
+
+
+def test_table3_runs(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_table3(
+            r_values=(16_384,), datasets=("amazon_like",), trials=2, verbose=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(out["rows"]) == 1
+
+
+def test_table3_accuracy_improves_from_min_to_max_r(table3):
+    results = table3["results"]
+    for name in FIGURE3_DATASETS:
+        small = results[(name, R_VALUES[0])].mean_deviation
+        large = results[(name, R_VALUES[-1])].mean_deviation
+        assert large < small, f"{name}: {large:.2f}% !< {small:.2f}%"
+
+
+# The paper's Table 3 mean deviations at r = 128K, per dataset. Our
+# stand-ins match each dataset's m*Delta/tau, and accuracy is governed
+# by (m*Delta/tau) / r, so at the same r we should land in the same
+# regime -- within a small factor of the paper's own numbers.
+PAPER_MD_AT_128K = {
+    "amazon_like": 0.84,
+    "dblp_like": 0.50,
+    "youtube_like": 21.46,
+    "livejournal_like": 2.35,
+    "orkut_like": 4.69,
+    "syn_d_regular": 0.37,
+}
+
+
+def test_table3_large_r_matches_paper_accuracy_regime(table3):
+    """At r = 128K each stand-in's mean deviation lands within 3x of the
+    paper's Table 3 value for the corresponding dataset (plus absolute
+    slack for the tiny-error rows, where Monte-Carlo noise dominates)."""
+    results = table3["results"]
+    for name in FIGURE3_DATASETS:
+        md = results[(name, R_VALUES[-1])].mean_deviation
+        ceiling = max(3.0 * PAPER_MD_AT_128K[name], 8.0)
+        assert md < ceiling, (
+            f"{name}: mean deviation {md:.2f}% at r=128K exceeds "
+            f"3x the paper's {PAPER_MD_AT_128K[name]}%"
+        )
+
+
+def test_table3_hard_datasets_need_more_estimators(table3):
+    """Youtube-like (the largest m*Delta/tau) shows worse error at small
+    r than the easy datasets -- claim (2) of Section 4.3."""
+    results = table3["results"]
+    hard = results[("youtube_like", R_VALUES[0])].mean_deviation
+    easy_small = results[("syn_d_regular", R_VALUES[0])].mean_deviation
+    easy_dblp = results[("dblp_like", R_VALUES[0])].mean_deviation
+    assert hard > easy_small
+    assert hard > easy_dblp
+
+
+def test_table3_fewer_estimators_than_theory_suffice(table3):
+    """Paper: on Orkut, s(eps, delta) m Delta / tau >= 4.89M estimators
+    for the accuracy reached at r = 1M. We check the same gap: the
+    achieved accuracy at max r would require far more estimators
+    according to Theorem 3.3."""
+    results = table3["results"]
+    for name in ("orkut_like", "livejournal_like"):
+        truth = load_dataset(name).truth
+        achieved_eps = results[(name, R_VALUES[-1])].mean_deviation / 100.0
+        if achieved_eps <= 0:
+            continue
+        r_theory = estimators_needed(
+            max(achieved_eps, 1e-3),
+            0.2,
+            m=truth.num_edges,
+            max_degree=truth.max_degree,
+            triangles=truth.triangles,
+        )
+        assert r_theory > R_VALUES[-1], (
+            f"{name}: theory bound {r_theory} not conservative vs used {R_VALUES[-1]}"
+        )
+
+
+def test_table3_memory_is_linear_in_r(table3):
+    rows = dict((r, b) for r, b in table3["memory_rows"])
+    assert rows[R_VALUES[1]] == pytest.approx(
+        rows[R_VALUES[0]] * R_VALUES[1] / R_VALUES[0], rel=0.01
+    )
+    per_estimator = rows[R_VALUES[0]] / R_VALUES[0]
+    assert per_estimator < 128  # constant bytes per estimator
+
+
+def test_engine_update_cost_benchmark(benchmark):
+    """Micro-benchmark: one 128K-edge batch through 16K estimators."""
+    dataset = load_dataset("livejournal_like")
+    batch = dataset.edges[:131_072]
+
+    def run():
+        engine = VectorizedTriangleCounter(16_384, seed=0)
+        engine.update_batch(batch)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.edges_seen == len(batch)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Pre-loads every dataset once (generation + exact ground truth are
+cached on disk), so benchmark timings measure the algorithms, not the
+workload construction.
+"""
+
+import pytest
+
+from repro.experiments.datasets import FIGURE3_DATASETS, load_dataset
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_dataset_cache():
+    for name in FIGURE3_DATASETS + ["syn_3reg", "hepth_like"]:
+        load_dataset(name)

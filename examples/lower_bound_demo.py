@@ -1,0 +1,57 @@
+"""The Omega(n) lower bound of Theorem 3.13, executed end to end.
+
+Runs the Index-problem reduction: Alice encodes her bit vector as a
+graph stream, "sends" the streaming algorithm's state to Bob, and Bob
+decodes any requested bit from a triangle-count query. The demo shows
+
+1. the protocol decodes perfectly with the exact counter -- whose state
+   provably grows linearly with the number of bits (the Omega(n) cost);
+2. a small-space approximate counter cannot achieve relative error
+   < 1/2 on these adversarial graphs, so it mis-decodes bits -- exactly
+   why no sublinear algorithm can match the incidence-stream bound of
+   O(1 + T_2/tau) in the adjacency model.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro import RandomSource, TriangleCounter
+from repro.baselines import ExactStreamingCounter
+from repro.theory import alice_graph_edges, run_index_protocol
+
+
+def main() -> None:
+    rng = RandomSource(99)
+    bits = [rng.rand_int(0, 1) for _ in range(64)]
+    print(f"Alice's bit vector ({len(bits)} bits): "
+          + "".join(map(str, bits[:32])) + "...")
+
+    # --- exact counter: perfect decoding, Omega(n) state -------------
+    correct = sum(
+        run_index_protocol(bits, k, ExactStreamingCounter).correct
+        for k in range(len(bits))
+    )
+    print(f"\nexact counter decodes {correct}/{len(bits)} bits correctly")
+
+    print("state growth of the exact counter (the Omega(n) message):")
+    for n in (16, 64, 256, 1024):
+        counter = ExactStreamingCounter()
+        for e in alice_graph_edges([1] * n):
+            counter.update(e)
+        print(f"  n={n:>5} bits -> {counter.state_size_edges():>5} stored edges")
+
+    # --- tiny approximate counter: decoding degrades ------------------
+    print("\napproximate counter (4 estimators) on the adversarial graphs:")
+    for pool in (4, 64):
+        correct = sum(
+            run_index_protocol(
+                bits, k, lambda: TriangleCounter(pool, seed=k)
+            ).correct
+            for k in range(len(bits))
+        )
+        print(f"  r={pool:>4} estimators -> {correct}/{len(bits)} bits decoded")
+    print("(sub-linear space cannot guarantee relative error < 1/2 here; "
+          "Theorem 3.13 says this is fundamental, not an implementation gap)")
+
+
+if __name__ == "__main__":
+    main()

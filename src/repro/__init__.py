@@ -1,0 +1,102 @@
+"""repro: counting and sampling triangles (and cliques) from a graph stream.
+
+A from-scratch reproduction of:
+
+    A. Pavan, Kanat Tangwongsan, Srikanta Tirthapura, Kun-Lung Wu.
+    "Counting and Sampling Triangles from a Graph Stream."
+    PVLDB 6(14): 1870-1881, 2013.
+
+Quickstart
+----------
+>>> from repro import TriangleCounter, exact_triangle_count
+>>> from repro.generators import holme_kim
+>>> edges = holme_kim(500, 4, 0.5, seed=1)
+>>> counter = TriangleCounter(num_estimators=4000, seed=7)
+>>> counter.update_batch(edges)
+>>> true = exact_triangle_count(edges)
+>>> abs(counter.estimate() - true) / true < 0.5
+True
+
+The main entry points:
+
+- :class:`TriangleCounter` -- (eps, delta)-approximate triangle counting
+  (Theorems 3.3/3.4) with three interchangeable engines;
+- :class:`TriangleSampler` -- uniform triangle sampling (Theorem 3.8);
+- :class:`TransitivityEstimator` / :class:`WedgeCounter` -- Section 3.5;
+- :class:`CliqueCounter4` / :class:`CliqueCounter` /
+  :class:`CliqueSampler` -- 4-cliques and general ``K_l`` (Section 5.1);
+- :class:`SlidingWindowTriangleCounter` -- Section 5.2;
+- :mod:`repro.exact` -- exact ground-truth counters;
+- :mod:`repro.generators` -- synthetic workloads and named datasets;
+- :mod:`repro.baselines` -- Jowhari-Ghodsi, Buriol et al.,
+  Pagh-Tsourakakis, and an exact streaming counter;
+- :mod:`repro.theory` -- the Theorem 3.13 lower-bound protocol and the
+  related-work space-bound catalogue;
+- :mod:`repro.experiments` -- runners for every table and figure.
+"""
+
+from ._version import __version__
+from .core.accuracy import (
+    error_bound,
+    estimators_needed,
+    estimators_needed_sampling,
+    estimators_needed_tangle,
+    estimators_needed_wedges,
+    s_eps_delta,
+)
+from .core.cliques import CliqueCounter, CliqueSampler
+from .core.cliques4 import CliqueCounter4
+from .core.neighborhood_sampling import NeighborhoodSampler
+from .core.sliding_window import SlidingWindowTriangleCounter
+from .core.transitivity import TransitivityEstimator, WedgeCounter
+from .core.triangle_count import TriangleCounter
+from .core.triangle_sample import TriangleSampler
+from .errors import (
+    DuplicateEdgeError,
+    EmptyStreamError,
+    InsufficientSampleError,
+    InvalidEdgeError,
+    InvalidParameterError,
+    ReproError,
+)
+from .exact.cliques import count_cliques as exact_clique_count
+from .exact.tangle import tangle_coefficient
+from .exact.triangles import count_triangles as exact_triangle_count
+from .exact.wedges import count_wedges as exact_wedge_count
+from .exact.wedges import transitivity_coefficient
+from .graph.static_graph import StaticGraph
+from .graph.stream import EdgeStream
+from .rng import RandomSource
+
+__all__ = [
+    "CliqueCounter",
+    "CliqueCounter4",
+    "CliqueSampler",
+    "DuplicateEdgeError",
+    "EdgeStream",
+    "EmptyStreamError",
+    "InsufficientSampleError",
+    "InvalidEdgeError",
+    "InvalidParameterError",
+    "NeighborhoodSampler",
+    "RandomSource",
+    "ReproError",
+    "SlidingWindowTriangleCounter",
+    "StaticGraph",
+    "TransitivityEstimator",
+    "TriangleCounter",
+    "TriangleSampler",
+    "WedgeCounter",
+    "__version__",
+    "error_bound",
+    "estimators_needed",
+    "estimators_needed_sampling",
+    "estimators_needed_tangle",
+    "estimators_needed_wedges",
+    "exact_clique_count",
+    "exact_triangle_count",
+    "exact_wedge_count",
+    "s_eps_delta",
+    "tangle_coefficient",
+    "transitivity_coefficient",
+]

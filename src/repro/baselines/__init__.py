@@ -1,0 +1,24 @@
+"""Baseline algorithms the paper compares against (Sections 1.2, 4.2).
+
+- :mod:`repro.baselines.jowhari_ghodsi` -- the one-pass algorithm of
+  Jowhari and Ghodsi [9]: O(Delta) space per estimator, O(m r) time;
+- :mod:`repro.baselines.buriol` -- Buriol et al. [5]: edge + random
+  vertex sampling, optimized to ~O(m + r) time, but with a far lower
+  per-estimator success probability than neighborhood sampling;
+- :mod:`repro.baselines.pagh_tsourakakis` -- the colorful counting of
+  Pagh and Tsourakakis [16], adapted to the adjacency stream;
+- :mod:`repro.baselines.exact_stream` -- an exact streaming counter
+  (hash adjacency) used as ground truth and in the lower-bound demo.
+"""
+
+from .buriol import BuriolTriangleCounter
+from .exact_stream import ExactStreamingCounter
+from .jowhari_ghodsi import JowhariGhodsiCounter
+from .pagh_tsourakakis import ColorfulTriangleCounter
+
+__all__ = [
+    "BuriolTriangleCounter",
+    "ColorfulTriangleCounter",
+    "ExactStreamingCounter",
+    "JowhariGhodsiCounter",
+]

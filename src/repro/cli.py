@@ -1,0 +1,153 @@
+"""Command-line interface: streaming graph statistics from edge-list files.
+
+    python -m repro count --input graph.edges --estimators 50000
+    python -m repro transitivity --input graph.edges --estimators 50000
+    python -m repro sample --input graph.edges --estimators 20000 -k 5
+    python -m repro exact --input graph.edges
+    python -m repro stats --input graph.edges
+
+Files are whitespace-separated ``u v`` lines (SNAP format; ``#``
+comments ignored). All subcommands stream the file through the
+requested estimator in batches and print a small report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from .baselines.exact_stream import ExactStreamingCounter
+from .core.transitivity import TransitivityEstimator
+from .core.triangle_count import TriangleCounter
+from .core.triangle_sample import TriangleSampler
+from .errors import ReproError
+from .graph.io import read_edge_list
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", required=True, help="edge-list file")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--batch-size", type=int, default=65_536, help="edges per batch"
+    )
+
+
+def _stream(counter, edges, batch_size: int) -> float:
+    start = time.perf_counter()
+    for i in range(0, len(edges), batch_size):
+        counter.update_batch(edges[i : i + batch_size])
+    return time.perf_counter() - start
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    edges = read_edge_list(args.input)
+    counter = TriangleCounter(args.estimators, engine=args.engine, seed=args.seed)
+    elapsed = _stream(counter, edges, args.batch_size)
+    print(f"edges: {len(edges):,}")
+    print(f"estimated triangles: {counter.estimate():,.1f}")
+    print(f"estimators holding a triangle: {counter.fraction_holding_triangle():.2%}")
+    print(f"processing time: {elapsed:.3f}s "
+          f"({len(edges) / max(elapsed, 1e-9) / 1e6:.2f}M edges/s)")
+    return 0
+
+
+def _cmd_transitivity(args: argparse.Namespace) -> int:
+    edges = read_edge_list(args.input)
+    est = TransitivityEstimator(args.estimators, args.wedge_estimators, seed=args.seed)
+    elapsed = _stream(est, edges, args.batch_size)
+    print(f"edges: {len(edges):,}")
+    print(f"estimated triangles: {est.triangle_estimate():,.1f}")
+    print(f"estimated wedges: {est.wedge_estimate():,.1f}")
+    print(f"estimated transitivity: {est.estimate():.4f}")
+    print(f"processing time: {elapsed:.3f}s")
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    edges = read_edge_list(args.input)
+    sampler = TriangleSampler(args.estimators, seed=args.seed)
+    _stream(sampler, edges, args.batch_size)
+    triangles = sampler.sample(args.k)
+    print(f"{args.k} uniform triangles (with replacement):")
+    for tri in triangles:
+        print(f"  {tri[0]} {tri[1]} {tri[2]}")
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    edges = read_edge_list(args.input)
+    counter = ExactStreamingCounter()
+    elapsed = _stream(counter, edges, args.batch_size)
+    print(f"edges: {len(edges):,}")
+    print(f"triangles: {counter.triangles:,}")
+    print(f"wedges: {counter.wedges:,}")
+    if counter.wedges:
+        print(f"transitivity: {counter.transitivity():.4f}")
+    print(f"processing time: {elapsed:.3f}s")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .graph.static_graph import StaticGraph
+
+    edges = read_edge_list(args.input)
+    graph = StaticGraph(edges, strict=False)
+    print(f"vertices: {graph.num_vertices:,}")
+    print(f"edges: {graph.num_edges:,}")
+    print(f"max degree: {graph.max_degree():,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_count = sub.add_parser("count", help="approximate triangle counting")
+    _add_common(p_count)
+    p_count.add_argument("--estimators", type=int, default=100_000)
+    p_count.add_argument(
+        "--engine", choices=("reference", "bulk", "vectorized"), default="vectorized"
+    )
+    p_count.set_defaults(func=_cmd_count)
+
+    p_trans = sub.add_parser("transitivity", help="transitivity coefficient")
+    _add_common(p_trans)
+    p_trans.add_argument("--estimators", type=int, default=100_000)
+    p_trans.add_argument("--wedge-estimators", type=int, default=None)
+    p_trans.set_defaults(func=_cmd_transitivity)
+
+    p_sample = sub.add_parser("sample", help="uniform triangle sampling")
+    _add_common(p_sample)
+    p_sample.add_argument("--estimators", type=int, default=50_000)
+    p_sample.add_argument("-k", type=int, default=1, help="triangles to draw")
+    p_sample.set_defaults(func=_cmd_sample)
+
+    p_exact = sub.add_parser("exact", help="exact counts (O(m) memory)")
+    _add_common(p_exact)
+    p_exact.set_defaults(func=_cmd_exact)
+
+    p_stats = sub.add_parser("stats", help="basic graph statistics")
+    _add_common(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Estimator-count sizing and error bounds (Theorems 3.3, 3.4, 3.8; Lemma 3.11).
+
+The paper writes ``s(eps, delta) = (1/eps^2) * log(1/delta)`` and sizes
+the number of parallel estimators ``r`` in terms of it. These helpers
+compute each theorem's sufficient ``r``, and the inverse map from a given
+``r`` back to the guaranteed relative error -- the "bound" curves in the
+right panel of Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "s_eps_delta",
+    "estimators_needed",
+    "estimators_needed_tangle",
+    "estimators_needed_sampling",
+    "estimators_needed_wedges",
+    "error_bound",
+]
+
+
+def _check_eps_delta(eps: float, delta: float) -> None:
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    if not 0.0 < delta < 1.0:
+        raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+
+
+def _check_graph_stats(m: int, max_degree: int, triangles: int) -> None:
+    if m <= 0:
+        raise InvalidParameterError(f"m must be positive, got {m}")
+    if max_degree <= 0:
+        raise InvalidParameterError(f"max_degree must be positive, got {max_degree}")
+    if triangles <= 0:
+        raise InvalidParameterError(
+            f"triangles must be positive for a relative-error bound, got {triangles}"
+        )
+
+
+def s_eps_delta(eps: float, delta: float) -> float:
+    """The paper's shorthand ``s(eps, delta) = (1/eps^2) log(1/delta)``."""
+    _check_eps_delta(eps, delta)
+    return math.log(1.0 / delta) / (eps * eps)
+
+
+def estimators_needed(
+    eps: float, delta: float, *, m: int, max_degree: int, triangles: int
+) -> int:
+    """Sufficient ``r`` for an (eps, delta) triangle count (Theorem 3.3).
+
+    ``r >= (6 / eps^2) * (m * Delta / tau) * log(2 / delta)``.
+    """
+    _check_eps_delta(eps, delta)
+    _check_graph_stats(m, max_degree, triangles)
+    return math.ceil(
+        6.0 / (eps * eps) * (m * max_degree / triangles) * math.log(2.0 / delta)
+    )
+
+
+def estimators_needed_tangle(
+    eps: float, delta: float, *, m: int, tangle: float, triangles: int
+) -> int:
+    """Sufficient ``r`` under the tangle-coefficient bound (Theorem 3.4).
+
+    ``r >= (48 / eps^2) * (m * gamma / tau) * log(1 / delta)``. Since
+    ``gamma <= 2 * Delta`` this is never fundamentally worse than
+    Theorem 3.3, and it is much smaller on streams whose triangles are
+    weakly entangled with non-triangle edges.
+    """
+    _check_eps_delta(eps, delta)
+    if m <= 0 or triangles <= 0 or tangle <= 0:
+        raise InvalidParameterError("m, triangles and tangle must all be positive")
+    return math.ceil(
+        48.0 / (eps * eps) * (m * tangle / triangles) * math.log(1.0 / delta)
+    )
+
+
+def estimators_needed_sampling(
+    k: int, delta: float, *, m: int, max_degree: int, triangles: int
+) -> int:
+    """Sufficient ``r`` to draw ``k`` uniform triangles (Theorem 3.8).
+
+    ``r >= 4 * m * k * Delta * ln(e / delta) / tau``.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be at least 1, got {k}")
+    _check_eps_delta(0.5, delta)  # validates delta only
+    _check_graph_stats(m, max_degree, triangles)
+    return math.ceil(4.0 * m * k * max_degree * math.log(math.e / delta) / triangles)
+
+
+def estimators_needed_wedges(
+    eps: float, delta: float, *, m: int, max_degree: int, wedges: int
+) -> int:
+    """Sufficient ``r`` for an (eps, delta) wedge count (Lemma 3.11).
+
+    ``r >= (6 / eps^2) * (m * Delta / zeta) * log(2 / delta)`` -- the
+    same Chernoff argument as Theorem 3.3 with ``zeta`` in place of
+    ``tau`` (each estimate ``m * c(e) <= 2 m Delta``).
+    """
+    _check_eps_delta(eps, delta)
+    _check_graph_stats(m, max_degree, wedges)
+    return math.ceil(
+        6.0 / (eps * eps) * (m * max_degree / wedges) * math.log(2.0 / delta)
+    )
+
+
+def error_bound(
+    r: int, delta: float, *, m: int, max_degree: int, triangles: int
+) -> float:
+    """Invert Theorem 3.3: the ``eps`` guaranteed by ``r`` estimators.
+
+    ``eps = sqrt((6 m Delta log(2/delta)) / (r tau))``. May exceed 1, in
+    which case the theorem gives no useful guarantee at this ``r`` --
+    exactly how the "bound" curves in Figure 5 (right) behave at small
+    ``r``.
+    """
+    if r < 1:
+        raise InvalidParameterError(f"r must be at least 1, got {r}")
+    _check_eps_delta(0.5, delta)  # validates delta only
+    _check_graph_stats(m, max_degree, triangles)
+    return math.sqrt(6.0 * m * max_degree * math.log(2.0 / delta) / (r * triangles))

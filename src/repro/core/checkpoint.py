@@ -1,0 +1,90 @@
+"""Checkpointing and merging of vectorized estimator state.
+
+Two practical capabilities the paper's deployment story needs:
+
+- **checkpoint/restore** -- the estimator state is the *entire* message
+  a streaming node must persist or ship (it is literally the message
+  Alice sends Bob in the Theorem 3.13 protocol). ``to_state_dict`` /
+  ``from_state_dict`` round-trip every array of a
+  :class:`~repro.core.vectorized.VectorizedTriangleCounter`.
+- **merge** -- estimators are independent, so pools built over the
+  *same* stream on different cores/machines combine by concatenation;
+  this is what makes the algorithm embarrassingly parallel in the
+  estimator dimension (cf. the parallel follow-up work the paper's
+  conclusion cites). :func:`merge_counters` checks stream-position
+  agreement and concatenates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .vectorized import VectorizedTriangleCounter
+
+__all__ = ["to_state_dict", "from_state_dict", "merge_counters"]
+
+_ARRAY_FIELDS = (
+    "r1u", "r1v", "r1pos", "r2u", "r2v", "r2pos", "c", "tset", "ta", "tb", "tc",
+)
+
+
+def to_state_dict(counter: VectorizedTriangleCounter) -> dict:
+    """Serialize a counter's estimator state to plain numpy arrays.
+
+    The random generator state is *not* captured: a restored counter
+    continues with a fresh generator (pass ``seed`` to
+    :func:`from_state_dict`), which preserves correctness -- reservoir
+    decisions are memoryless -- but not bit-exact replay.
+    """
+    state = {name: getattr(counter, name).copy() for name in _ARRAY_FIELDS}
+    state["edges_seen"] = counter.edges_seen
+    return state
+
+
+def from_state_dict(state: dict, *, seed: int | None = None) -> VectorizedTriangleCounter:
+    """Rebuild a counter from :func:`to_state_dict` output."""
+    missing = [k for k in (*_ARRAY_FIELDS, "edges_seen") if k not in state]
+    if missing:
+        raise InvalidParameterError(f"state dict missing fields: {missing}")
+    num = int(np.asarray(state["r1u"]).shape[0])
+    counter = VectorizedTriangleCounter(num, seed=seed)
+    for name in _ARRAY_FIELDS:
+        arr = np.asarray(state[name])
+        if arr.shape[0] != num:
+            raise InvalidParameterError(
+                f"field {name} has {arr.shape[0]} entries, expected {num}"
+            )
+        getattr(counter, name)[:] = arr
+    counter.edges_seen = int(state["edges_seen"])
+    return counter
+
+
+def merge_counters(
+    counters: list[VectorizedTriangleCounter], *, seed: int | None = None
+) -> VectorizedTriangleCounter:
+    """Concatenate estimator pools that observed the same stream.
+
+    All inputs must agree on ``edges_seen``; the merged counter holds
+    the union of estimators and can keep streaming (with a fresh
+    generator under ``seed``).
+    """
+    if not counters:
+        raise InvalidParameterError("need at least one counter to merge")
+    m = counters[0].edges_seen
+    for c in counters[1:]:
+        if c.edges_seen != m:
+            raise InvalidParameterError(
+                "cannot merge counters that observed different streams "
+                f"({c.edges_seen} edges vs {m})"
+            )
+    total = sum(c.num_estimators for c in counters)
+    merged = VectorizedTriangleCounter(total, seed=seed)
+    offset = 0
+    for c in counters:
+        n = c.num_estimators
+        for name in _ARRAY_FIELDS:
+            getattr(merged, name)[offset : offset + n] = getattr(c, name)
+        offset += n
+    merged.edges_seen = m
+    return merged

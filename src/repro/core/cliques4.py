@@ -1,0 +1,271 @@
+"""Counting and sampling 4-cliques (Section 5.1, Algorithm 4).
+
+Every 4-clique is classified by its first two stream edges ``f1, f2``:
+
+- **Type I** -- ``f1`` and ``f2`` share a vertex. Three levels of
+  neighborhood sampling: ``r1`` uniform over the stream, ``r2`` uniform
+  over ``N(r1)``, ``r3`` uniform over ``N(r1, r2)`` (edges adjacent to
+  the wedge that extend it to a fourth vertex). The unbiased estimate is
+  ``X = c1 * c2 * m`` when the held edges complete a 4-clique
+  (Lemmas 5.1, 5.3).
+- **Type II** -- ``f1`` and ``f2`` are vertex-disjoint. Two independent
+  uniform edge samples fix all four vertices; the remaining four cross
+  edges are awaited. The unbiased estimate is ``Y = m^2`` on completion
+  (Lemmas 5.2, 5.4).
+
+``tau_4(G) = E[X] + E[Y]``, so :class:`CliqueCounter4` averages a pool
+of each type and adds the means (Theorem 5.5).
+
+Implementation notes (deviations the paper leaves implicit; see
+DESIGN.md section 6):
+
+- Replacing a level's sample resets all downstream captured state, the
+  same discipline Algorithm 1 applies at level 2 (``(r2, t) <- (ei, {})``).
+- The level-3 sample space ``N(r1, r2)`` excludes exactly the edges
+  *spanned by the wedge's vertices* (the wedge-closing edge). The
+  closing edge is captured separately whenever it arrives after ``r2``
+  (the "forms a triangle" branch), so every arrival order of a Type I
+  clique is sampled with probability ``1/(m * c1 * c2)``, as Lemma 5.1
+  requires. Edges through the shared vertex remain in the sample space:
+  they extend the wedge with a fourth vertex just like edges off the
+  outer vertices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import InvalidParameterError
+from ..graph.edge import Edge, canonical_edge, third_vertices
+from ..rng import RandomSource, spawn_sources
+
+__all__ = ["FourCliqueSamplerTypeI", "FourCliqueSamplerTypeII", "CliqueCounter4"]
+
+
+def _edge_within(e: Edge, vertices: frozenset[int] | set[int]) -> bool:
+    return e[0] in vertices and e[1] in vertices
+
+
+def _edge_adjacent_to(e: Edge, vertices: frozenset[int] | set[int]) -> bool:
+    return e[0] in vertices or e[1] in vertices
+
+
+class FourCliqueSamplerTypeI:
+    """One Type I estimator (Algorithm 4): wedge + extension sampling."""
+
+    __slots__ = (
+        "_rng", "edges_seen", "r1", "r2", "r3", "c1", "c2",
+        "_closing", "_closing_seen", "_captured",
+    )
+
+    def __init__(self, seed: int | None = None, *, rng: RandomSource | None = None) -> None:
+        self._rng = rng if rng is not None else RandomSource(seed)
+        self.edges_seen = 0
+        self.r1: Edge | None = None
+        self.r2: Edge | None = None
+        self.r3: Edge | None = None
+        self.c1 = 0
+        self.c2 = 0
+        self._closing: Edge | None = None  # the wedge-closing edge, from r1/r2
+        self._closing_seen = False
+        self._captured: set[Edge] = set()  # post-r3 clique edges seen
+
+    # -- streaming ------------------------------------------------------
+    def update(self, edge: tuple[int, int]) -> None:
+        e = canonical_edge(*edge)
+        self.edges_seen += 1
+        if self._rng.coin(1.0 / self.edges_seen):
+            # New level-1 edge; reset everything downstream.
+            self.r1 = e
+            self.r2 = self.r3 = None
+            self.c1 = self.c2 = 0
+            self._closing = None
+            self._closing_seen = False
+            self._captured.clear()
+            return
+        if self.r1 is None or not _edge_adjacent_to(e, set(self.r1)):
+            self._level3(e, adjacent_to_r1=False)
+            return
+        # e is in N(r1): level-2 reservoir.
+        self.c1 += 1
+        if self._rng.coin(1.0 / self.c1):
+            self.r2 = e
+            self.r3 = None
+            self.c2 = 0
+            self._closing = third_vertices(self.r1, e)
+            self._closing_seen = False
+            self._captured.clear()
+            return
+        if self.r2 is not None and e == self._closing:
+            # e closes the wedge triangle; capture it outside the
+            # level-3 sample space.
+            self._closing_seen = True
+            return
+        self._level3(e, adjacent_to_r1=True)
+
+    def _level3(self, e: Edge, *, adjacent_to_r1: bool) -> None:
+        """Level-3 reservoir over N(r1, r2), plus post-r3 capture."""
+        if self.r1 is None or self.r2 is None:
+            return
+        wedge = set(self.r1) | set(self.r2)
+        if not adjacent_to_r1 and not _edge_adjacent_to(e, set(self.r2)):
+            return  # not adjacent to the wedge at all
+        if _edge_within(e, wedge):
+            return  # only the closing edge lies within; handled above
+        self.c2 += 1
+        if self._rng.coin(1.0 / self.c2):
+            self.r3 = e
+            self._captured.clear()
+            return
+        if self.r3 is not None:
+            four = wedge | set(self.r3)
+            if _edge_within(e, four):
+                self._captured.add(e)
+
+    # -- queries --------------------------------------------------------
+    def clique_vertices(self) -> tuple[int, int, int, int] | None:
+        """The four candidate vertices, once ``r1``, ``r2``, ``r3`` are held."""
+        if self.r1 is None or self.r2 is None or self.r3 is None:
+            return None
+        vertices = set(self.r1) | set(self.r2) | set(self.r3)
+        if len(vertices) != 4:
+            return None
+        return tuple(sorted(vertices))  # type: ignore[return-value]
+
+    def held_clique(self) -> tuple[int, int, int, int] | None:
+        """The sampled 4-clique's vertices, or ``None`` if incomplete."""
+        vertices = self.clique_vertices()
+        if vertices is None or not self._closing_seen:
+            return None
+        # Six edges total: r1, r2, r3, the closing edge, and two captured.
+        if len(self._captured) != 2:
+            return None
+        return vertices
+
+    def estimate(self) -> float:
+        """The unbiased Type I estimate ``X = c1 * c2 * m`` (Lemma 5.3)."""
+        if self.held_clique() is None:
+            return 0.0
+        return float(self.c1) * float(self.c2) * float(self.edges_seen)
+
+
+class FourCliqueSamplerTypeII:
+    """One Type II estimator: two independent uniform edges fix 4 vertices."""
+
+    __slots__ = (
+        "_rng", "edges_seen", "e1", "pos1", "e2", "pos2", "_captured",
+    )
+
+    def __init__(self, seed: int | None = None, *, rng: RandomSource | None = None) -> None:
+        self._rng = rng if rng is not None else RandomSource(seed)
+        self.edges_seen = 0
+        self.e1: Edge | None = None
+        self.pos1 = 0
+        self.e2: Edge | None = None
+        self.pos2 = 0
+        self._captured: set[Edge] = set()
+
+    def _active(self) -> bool:
+        """Both samples held, vertex-disjoint, in arrival order."""
+        return (
+            self.e1 is not None
+            and self.e2 is not None
+            and self.pos1 < self.pos2
+            and not set(self.e1) & set(self.e2)
+        )
+
+    def update(self, edge: tuple[int, int]) -> None:
+        e = canonical_edge(*edge)
+        self.edges_seen += 1
+        i = self.edges_seen
+        changed = False
+        # Two independent reservoirs over the whole stream (Lemma 5.2:
+        # Pr[e1 = f1] and Pr[e2 = f2] are independent, each 1/m).
+        if self._rng.coin(1.0 / i):
+            self.e1, self.pos1 = e, i
+            changed = True
+        if self._rng.coin(1.0 / i):
+            self.e2, self.pos2 = e, i
+            changed = True
+        if changed:
+            self._captured.clear()
+            return
+        if self._active():
+            four = set(self.e1) | set(self.e2)  # type: ignore[arg-type]
+            if _edge_within(e, four):
+                self._captured.add(e)
+
+    def held_clique(self) -> tuple[int, int, int, int] | None:
+        """The sampled 4-clique's vertices, or ``None`` if incomplete."""
+        if not self._active() or len(self._captured) != 4:
+            return None
+        vertices = set(self.e1) | set(self.e2)  # type: ignore[arg-type]
+        return tuple(sorted(vertices))  # type: ignore[return-value]
+
+    def estimate(self) -> float:
+        """The unbiased Type II estimate ``Y = m^2`` (Lemma 5.4)."""
+        if self.held_clique() is None:
+            return 0.0
+        return float(self.edges_seen) ** 2
+
+
+class CliqueCounter4:
+    """(eps, delta)-approximate 4-clique counting (Theorem 5.5).
+
+    Runs ``num_estimators`` Type I and ``num_estimators`` Type II
+    samplers and returns the sum of the two pool means:
+    ``tau_4' = mean(X) + mean(Y)``.
+
+    The sufficient pool size is ``r >= K * s(eps, delta) * eta /
+    tau_4(G)`` with ``eta = max(m * Delta^2, m^2)``.
+    """
+
+    def __init__(self, num_estimators: int, *, seed: int | None = None) -> None:
+        if num_estimators < 1:
+            raise InvalidParameterError(
+                f"num_estimators must be >= 1, got {num_estimators}"
+            )
+        sources = spawn_sources(seed, 2 * num_estimators)
+        self._type1 = [
+            FourCliqueSamplerTypeI(rng=sources[i]) for i in range(num_estimators)
+        ]
+        self._type2 = [
+            FourCliqueSamplerTypeII(rng=sources[num_estimators + i])
+            for i in range(num_estimators)
+        ]
+        self.edges_seen = 0
+
+    @property
+    def num_estimators(self) -> int:
+        return len(self._type1)
+
+    def update(self, edge: tuple[int, int]) -> None:
+        """Observe one stream edge with every sampler of both types."""
+        for sampler in self._type1:
+            sampler.update(edge)
+        for sampler in self._type2:
+            sampler.update(edge)
+        self.edges_seen += 1
+
+    def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
+        for edge in batch:
+            self.update(edge)
+
+    def type1_estimates(self) -> list[float]:
+        return [s.estimate() for s in self._type1]
+
+    def type2_estimates(self) -> list[float]:
+        return [s.estimate() for s in self._type2]
+
+    def estimate(self) -> float:
+        """``tau_4' = mean(X) + mean(Y)`` (Theorem 5.5)."""
+        r = self.num_estimators
+        return (
+            sum(self.type1_estimates()) / r + sum(self.type2_estimates()) / r
+        )
+
+    def held_cliques(self) -> list[tuple[int, int, int, int]]:
+        """All 4-cliques currently held across both pools."""
+        held = [s.held_clique() for s in self._type1]
+        held += [s.held_clique() for s in self._type2]
+        return [h for h in held if h is not None]

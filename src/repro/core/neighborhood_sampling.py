@@ -1,0 +1,111 @@
+"""Neighborhood sampling for triangles -- Algorithm 1 (NSAMP-TRIANGLE).
+
+A single estimator maintains:
+
+- ``r1`` -- a uniform reservoir sample over all edges seen;
+- ``r2`` -- a uniform reservoir sample over ``N(r1)``, the edges
+  adjacent to ``r1`` that arrive after it;
+- ``c``  -- the invariant ``c = |N(r1)|`` so far;
+- ``t``  -- the triangle closed by a later edge over the wedge
+  ``r1 r2``, if any.
+
+Lemma 3.1: after the whole stream, ``Pr[t = t*] = 1 / (m * C(t*))`` for
+every triangle ``t*``, where ``C(t*) = c(f)`` for the triangle's first
+edge ``f``. Lemma 3.2 turns this into the unbiased count estimate
+``tau~ = c * m * 1[t != empty]``.
+
+This module is the *reference* implementation: one Python object per
+estimator, updated per edge, and deliberately a line-by-line transcription
+of the paper's pseudocode. The production engines live in
+:mod:`repro.core.bulk` (faithful batch algorithm) and
+:mod:`repro.core.vectorized` (numpy array state).
+"""
+
+from __future__ import annotations
+
+from ..graph.edge import Edge, canonical_edge, edges_adjacent, third_vertices
+from ..rng import RandomSource
+
+__all__ = ["NeighborhoodSampler"]
+
+
+class NeighborhoodSampler:
+    """One neighborhood-sampling estimator (Algorithm 1).
+
+    Parameters
+    ----------
+    seed:
+        Seed for this estimator's private random source, or an existing
+        :class:`~repro.rng.RandomSource` via the ``rng`` keyword.
+
+    Attributes
+    ----------
+    r1, r2:
+        The level-1 and level-2 edges (``None`` while unset).
+    c:
+        ``|N(r1)|`` among edges seen so far.
+    t:
+        The sampled triangle as a sorted vertex triple, or ``None``.
+    edges_seen:
+        Number of stream edges observed (the paper's ``i`` / final ``m``).
+    """
+
+    __slots__ = ("_rng", "r1", "r2", "c", "t", "edges_seen", "_closing")
+
+    def __init__(self, seed: int | None = None, *, rng: RandomSource | None = None) -> None:
+        self._rng = rng if rng is not None else RandomSource(seed)
+        self.r1: Edge | None = None
+        self.r2: Edge | None = None
+        self.c: int = 0
+        self.t: tuple[int, int, int] | None = None
+        self.edges_seen: int = 0
+        self._closing: Edge | None = None  # the edge that would close wedge r1 r2
+
+    def update(self, edge: tuple[int, int]) -> None:
+        """Process the next stream edge (the body of Algorithm 1)."""
+        e = canonical_edge(*edge)
+        self.edges_seen += 1
+        i = self.edges_seen
+        if self._rng.coin(1.0 / i):
+            # e becomes the new level-1 edge.
+            self.r1 = e
+            self.r2 = None
+            self.t = None
+            self.c = 0
+            self._closing = None
+            return
+        if self.r1 is None or not edges_adjacent(e, self.r1):
+            return
+        self.c += 1
+        if self._rng.coin(1.0 / self.c):
+            # e becomes the new level-2 edge; remember the closing edge.
+            self.r2 = e
+            self.t = None
+            self._closing = third_vertices(self.r1, e)
+        elif self.t is None and self._closing is not None and e == self._closing:
+            a, b = self._closing
+            shared = self.r1[0] if self.r1[0] not in (a, b) else self.r1[1]
+            self.t = tuple(sorted((a, b, shared)))  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # estimates (Lemmas 3.2 and 3.10)
+    # ------------------------------------------------------------------
+    def triangle_estimate(self) -> float:
+        """The unbiased triangle-count estimate ``tau~`` (Lemma 3.2)."""
+        if self.t is None:
+            return 0.0
+        return float(self.c) * self.edges_seen
+
+    def wedge_estimate(self) -> float:
+        """The unbiased wedge-count estimate ``zeta~ = m * c`` (Lemma 3.10)."""
+        return float(self.c) * self.edges_seen
+
+    def has_triangle(self) -> bool:
+        """Whether the estimator currently holds a closed triangle."""
+        return self.t is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NeighborhoodSampler(r1={self.r1}, r2={self.r2}, c={self.c}, "
+            f"t={self.t}, edges_seen={self.edges_seen})"
+        )

@@ -1,0 +1,127 @@
+"""Time-based sliding windows: triangles among edges newer than a horizon.
+
+Section 5.2 treats *sequence-based* windows (the last ``w`` edges). The
+natural practical variant keys expiry on timestamps instead: at query
+time ``t`` the graph of interest is every edge with
+``timestamp > t - horizon``. The chain-sampling construction carries
+over unchanged -- the chain is still the suffix minima of the
+priorities, expiry just pops by timestamp rather than position -- and
+the estimate scales by the *current* window size, which the counter
+tracks exactly with a timestamp deque.
+
+Timestamps must be non-decreasing (a stream, not a log replay).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import InvalidParameterError
+from ..graph.edge import Edge, canonical_edge
+from ..rng import RandomSource, spawn_sources
+from .sliding_window import _ChainLink
+
+__all__ = ["TimedWindowSampler", "TimedWindowTriangleCounter"]
+
+
+class TimedWindowSampler:
+    """One estimator over a timestamped stream with a time horizon."""
+
+    def __init__(
+        self,
+        horizon: float,
+        seed: int | None = None,
+        *,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if horizon <= 0:
+            raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+        self.horizon = horizon
+        self._rng = rng if rng is not None else RandomSource(seed)
+        self._chain: deque[_ChainLink] = deque()
+        self._timestamps: deque[float] = deque()  # all in-window arrival times
+        self.edges_seen = 0
+        self.now = float("-inf")
+
+    def update(self, edge: tuple[int, int], timestamp: float) -> None:
+        """Observe one edge at ``timestamp`` (non-decreasing)."""
+        if timestamp < self.now:
+            raise InvalidParameterError(
+                f"timestamps must be non-decreasing, got {timestamp} after {self.now}"
+            )
+        e = canonical_edge(*edge)
+        self.now = timestamp
+        self.edges_seen += 1
+        self._expire(timestamp)
+        for link in self._chain:
+            link.observe(e, self._rng)
+        rho = self._rng.random()
+        while self._chain and self._chain[-1].rho >= rho:
+            self._chain.pop()
+        self._chain.append(_ChainLink(e, self.edges_seen, rho))
+        self._timestamps.append(timestamp)
+
+    def _expire(self, timestamp: float) -> None:
+        cutoff = timestamp - self.horizon
+        while self._timestamps and self._timestamps[0] <= cutoff:
+            self._timestamps.popleft()
+        # Chain links store arrival positions; the surviving old edges
+        # are the last len(self._timestamps) arrivals before the current
+        # one (edges_seen already counts the incoming edge), i.e.
+        # positions >= edges_seen - len(self._timestamps).
+        alive_from = self.edges_seen - len(self._timestamps)
+        while self._chain and self._chain[0].pos < alive_from:
+            self._chain.popleft()
+
+    def window_size(self) -> int:
+        """Number of edges currently inside the horizon."""
+        return len(self._timestamps)
+
+    def triangle_estimate(self) -> float:
+        """Unbiased estimate of the window's triangle count."""
+        if not self._chain:
+            return 0.0
+        head = self._chain[0]
+        if head.t is None:
+            return 0.0
+        return float(head.c) * self.window_size()
+
+    def chain_length(self) -> int:
+        return len(self._chain)
+
+
+class TimedWindowTriangleCounter:
+    """``r`` independent :class:`TimedWindowSampler` s, averaged."""
+
+    def __init__(
+        self, num_estimators: int, horizon: float, *, seed: int | None = None
+    ) -> None:
+        if num_estimators < 1:
+            raise InvalidParameterError(
+                f"num_estimators must be >= 1, got {num_estimators}"
+            )
+        sources = spawn_sources(seed, num_estimators)
+        self._samplers = [TimedWindowSampler(horizon, rng=src) for src in sources]
+        self.horizon = horizon
+        self.edges_seen = 0
+
+    @property
+    def num_estimators(self) -> int:
+        return len(self._samplers)
+
+    def update(self, edge: tuple[int, int], timestamp: float) -> None:
+        for sampler in self._samplers:
+            sampler.update(edge, timestamp)
+        self.edges_seen += 1
+
+    def update_batch(self, timed_edges) -> None:
+        """Observe ``(edge, timestamp)`` pairs in order."""
+        for edge, timestamp in timed_edges:
+            self.update(edge, timestamp)
+
+    def window_size(self) -> int:
+        return self._samplers[0].window_size()
+
+    def estimate(self) -> float:
+        values = [s.triangle_estimate() for s in self._samplers]
+        return sum(values) / len(values)

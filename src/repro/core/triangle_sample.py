@@ -1,0 +1,151 @@
+"""Uniform triangle sampling from a graph stream (Section 3.4).
+
+Neighborhood sampling alone returns triangle ``t*`` with probability
+``1/(m * C(t*))`` -- biased toward triangles whose first edge has a
+small neighborhood. Lemma 3.7 removes the bias with one rejection step:
+release the held triangle with probability ``c / (2 * Delta)``
+(``c = C(t*) <= 2 Delta``), making every triangle equally likely
+(``1 / (2 m Delta)`` each), so *some* triangle is released with
+probability at least ``tau / (2 m Delta)``.
+
+:class:`TriangleSampler` runs ``r`` such samplers (Theorem 3.8 sizes
+``r`` so that ``k`` uniform-with-replacement triangles are produced with
+probability ``1 - delta``) on top of the vectorized engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import EmptyStreamError, InsufficientSampleError, InvalidParameterError
+from .vectorized import VectorizedTriangleCounter
+
+__all__ = ["TriangleSampler"]
+
+Triangle = tuple[int, int, int]
+
+
+class TriangleSampler:
+    """Maintain ``k``-sampleable uniform triangles over an edge stream.
+
+    Parameters
+    ----------
+    num_estimators:
+        Number of parallel ``unifTri`` samplers ``r``. Size with
+        :func:`repro.core.accuracy.estimators_needed_sampling`.
+    max_degree:
+        A known upper bound on the maximum degree ``Delta``. If
+        ``None`` (default), the sampler tracks vertex degrees of the
+        stream itself and uses the observed ``Delta`` at query time;
+        this costs ``O(n)`` extra memory, exactly like any consumer that
+        must supply the paper's assumed ``Delta`` bound.
+    seed:
+        Seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        num_estimators: int,
+        *,
+        max_degree: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self._engine = VectorizedTriangleCounter(num_estimators, seed=seed)
+        self._rng = np.random.default_rng(None if seed is None else seed + 1)
+        self._fixed_delta = max_degree
+        self._degrees: dict[int, int] | None = None if max_degree is not None else {}
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    @property
+    def num_estimators(self) -> int:
+        return self._engine.num_estimators
+
+    @property
+    def edges_seen(self) -> int:
+        return self._engine.edges_seen
+
+    def update(self, edge: tuple[int, int]) -> None:
+        """Observe one stream edge."""
+        self.update_batch([edge])
+
+    def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
+        """Observe a batch of stream edges."""
+        self._engine.update_batch(batch)
+        if self._degrees is not None:
+            for u, v in batch:
+                self._degrees[u] = self._degrees.get(u, 0) + 1
+                self._degrees[v] = self._degrees.get(v, 0) + 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def current_max_degree(self) -> int:
+        """The ``Delta`` used for normalization at this point."""
+        if self._fixed_delta is not None:
+            return self._fixed_delta
+        assert self._degrees is not None
+        return max(self._degrees.values(), default=0)
+
+    def _released_triangles(self) -> list[Triangle]:
+        """Run Lemma 3.7's rejection step over every held triangle."""
+        if self._engine.edges_seen == 0:
+            raise EmptyStreamError("no edges observed yet")
+        delta = self.current_max_degree()
+        if delta == 0:
+            return []
+        held = self._engine.tset
+        if not held.any():
+            return []
+        accept_prob = self._engine.c[held].astype(np.float64) / (2.0 * delta)
+        accepted = self._rng.random(accept_prob.shape[0]) < accept_prob
+        idx = np.nonzero(held)[0][accepted]
+        return [
+            (
+                int(self._engine.ta[i]),
+                int(self._engine.tb[i]),
+                int(self._engine.tc[i]),
+            )
+            for i in idx
+        ]
+
+    def sample_one(self) -> Triangle | None:
+        """One uniform triangle, or ``None`` if no sampler released one.
+
+        Success probability per sampler is at least ``tau / (2 m Delta)``
+        (Lemma 3.7); conditioned on success the triangle is uniform over
+        ``T(G)``.
+        """
+        released = self._released_triangles()
+        if not released:
+            return None
+        return released[int(self._rng.integers(0, len(released)))]
+
+    def sample(self, k: int) -> list[Triangle]:
+        """``k`` uniform triangles with replacement (Theorem 3.8).
+
+        Raises
+        ------
+        InsufficientSampleError
+            If fewer than ``k`` samplers released a triangle. Theorem
+            3.8 guarantees this happens with probability at most
+            ``delta`` when ``r >= 4 m k Delta ln(e/delta) / tau``.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        released = self._released_triangles()
+        if len(released) < k:
+            raise InsufficientSampleError(
+                f"only {len(released)} of {self.num_estimators} samplers "
+                f"released a triangle; need at least {k}. "
+                "Increase the number of estimators (Theorem 3.8)."
+            )
+        chosen = self._rng.choice(len(released), size=k, replace=False)
+        return [released[int(i)] for i in chosen]
+
+    def success_fraction(self) -> float:
+        """Fraction of samplers currently holding any triangle (pre-rejection)."""
+        return float(self._engine.tset.mean())

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidEdgeError(ReproError):
+    """An edge is malformed: a self-loop, or endpoints of the wrong type."""
+
+
+class DuplicateEdgeError(ReproError):
+    """A stream that must be simple saw the same edge twice."""
+
+
+class EmptyStreamError(ReproError):
+    """An operation that needs at least one observed edge saw none."""
+
+
+class InvalidParameterError(ReproError):
+    """A numeric parameter is outside its documented domain."""
+
+
+class InsufficientSampleError(ReproError):
+    """A sampling routine could not produce the requested sample.
+
+    Raised, e.g., when ``unif_triangles(k)`` finds fewer than ``k``
+    successful samplers (Theorem 3.8 guarantees success only when the
+    number of samplers ``r`` is large enough relative to ``m * delta / tau``).
+    """

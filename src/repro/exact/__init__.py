@@ -1,0 +1,58 @@
+"""Exact (non-streaming) counters used as ground truth.
+
+Every experiment in the paper compares streaming estimates against the
+true triangle count; this subpackage computes those truths:
+
+- :mod:`repro.exact.triangles` -- triangle counting/listing and
+  per-edge / per-vertex triangle counts;
+- :mod:`repro.exact.wedges` -- wedge count ``zeta(G)``, transitivity and
+  clustering coefficients;
+- :mod:`repro.exact.cliques` -- ``K_l`` counting and listing;
+- :mod:`repro.exact.tangle` -- the stream-order-dependent quantities of
+  Section 3.2.1: ``c(e)``, ``C(t)``, ``s(e)`` and the tangle
+  coefficient ``gamma(G)``;
+- :mod:`repro.exact.sliding` -- exact triangle counts over sequence-
+  based sliding windows.
+"""
+
+from .cliques import count_cliques, count_four_cliques, list_cliques
+from .sliding import sliding_window_triangle_counts
+from .tangle import (
+    first_edge_of_triangle,
+    neighborhood_sizes,
+    tangle_coefficient,
+    triangle_first_edge_counts,
+)
+from .triangles import (
+    count_triangles,
+    list_triangles,
+    triangles_per_edge,
+    triangles_per_vertex,
+)
+from .wedges import (
+    clustering_coefficient,
+    count_open_wedges,
+    count_wedges,
+    global_clustering_coefficient,
+    transitivity_coefficient,
+)
+
+__all__ = [
+    "clustering_coefficient",
+    "count_cliques",
+    "count_open_wedges",
+    "count_four_cliques",
+    "count_triangles",
+    "count_wedges",
+    "first_edge_of_triangle",
+    "global_clustering_coefficient",
+    "list_cliques",
+    "list_triangles",
+    "neighborhood_sizes",
+    "sliding_window_triangle_counts",
+    "tangle_coefficient",
+    "transitivity_coefficient",
+    "triangle_first_edge_counts",
+    "triangles_per_edge",
+    "triangles_per_vertex",
+]

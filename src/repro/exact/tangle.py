@@ -1,0 +1,123 @@
+"""Stream-order-dependent exact quantities from Section 3.2.1.
+
+For a fixed stream order ``<e1, ..., em>`` the paper defines:
+
+- ``N(e)`` -- the edges adjacent to ``e`` that arrive *after* ``e``, and
+  ``c(e) = |N(e)|``;
+- ``C(t)`` for a triangle ``t`` -- ``c(f)`` where ``f`` is ``t``'s first
+  edge in the stream;
+- ``s(e)`` -- the number of triangles whose first edge is ``e``;
+- the **tangle coefficient**
+  ``gamma(G) = (1/tau) * sum_{t in T(G)} C(t)
+             = (1/tau) * sum_{e in E} c(e) * s(e)``.
+
+These drive the sharper space bound of Theorem 3.4 and the analysis of
+Lemma 3.1 (``Pr[t = t*] = 1 / (m * C(t*))``). They also give
+``zeta(G) = sum_e c(e)`` (Claim 3.9), which we verify in tests against
+the degree-based wedge count.
+"""
+
+from __future__ import annotations
+
+from ..errors import EmptyStreamError
+from ..graph.edge import Edge, canonical_edge
+from ..graph.stream import EdgeStream
+from .triangles import Triangle, list_triangles
+
+__all__ = [
+    "neighborhood_sizes",
+    "first_edge_of_triangle",
+    "triangle_first_edge_counts",
+    "tangle_coefficient",
+    "triangle_sampling_probabilities",
+]
+
+
+def neighborhood_sizes(stream: EdgeStream) -> dict[Edge, int]:
+    """Return ``c(e)`` for every edge of the stream.
+
+    ``c(e)`` counts the edges adjacent to ``e`` arriving strictly after
+    ``e``. Computed in one backward pass using running degrees: when
+    ``e = {u, v}`` arrives at position ``i``, the edges adjacent to it
+    that arrive later are exactly the later edges incident on ``u`` or
+    ``v``, i.e. ``(final_deg(u) - deg_i(u)) + (final_deg(v) - deg_i(v))``.
+    """
+    final_deg: dict[int, int] = {}
+    for u, v in stream:
+        final_deg[u] = final_deg.get(u, 0) + 1
+        final_deg[v] = final_deg.get(v, 0) + 1
+    running: dict[int, int] = {}
+    sizes: dict[Edge, int] = {}
+    for u, v in stream:
+        running[u] = running.get(u, 0) + 1
+        running[v] = running.get(v, 0) + 1
+        sizes[(u, v)] = (final_deg[u] - running[u]) + (final_deg[v] - running[v])
+    return sizes
+
+
+def first_edge_of_triangle(stream: EdgeStream, triangle: Triangle) -> Edge:
+    """Return the triangle's first edge in the stream order."""
+    a, b, c = triangle
+    positions: dict[Edge, int] = {}
+    wanted = {canonical_edge(a, b), canonical_edge(a, c), canonical_edge(b, c)}
+    for i, e in enumerate(stream):
+        if e in wanted and e not in positions:
+            positions[e] = i
+            if len(positions) == 3:
+                break
+    if len(positions) < 3:
+        raise EmptyStreamError(f"triangle {triangle} is not fully present in the stream")
+    return min(positions, key=positions.get)  # type: ignore[arg-type]
+
+
+def triangle_first_edge_counts(stream: EdgeStream) -> dict[Edge, int]:
+    """Return ``s(e)``: how many triangles have ``e`` as their first edge.
+
+    One forward pass: keep the stream position of every edge; for each
+    triangle the minimum-position edge is its first edge.
+    """
+    position: dict[Edge, int] = {}
+    for i, e in enumerate(stream):
+        position.setdefault(e, i)
+    counts: dict[Edge, int] = {}
+    for a, b, c in list_triangles(stream.edges):
+        edges = (canonical_edge(a, b), canonical_edge(a, c), canonical_edge(b, c))
+        first = min(edges, key=lambda e: position[e])
+        counts[first] = counts.get(first, 0) + 1
+    return counts
+
+
+def tangle_coefficient(stream: EdgeStream) -> float:
+    """Return ``gamma(G)`` for the given stream order.
+
+    Raises
+    ------
+    EmptyStreamError
+        If the streamed graph has no triangles (``gamma`` is undefined).
+    """
+    sizes = neighborhood_sizes(stream)
+    s_counts = triangle_first_edge_counts(stream)
+    tau = sum(s_counts.values())
+    if tau == 0:
+        raise EmptyStreamError("tangle coefficient undefined: stream has no triangles")
+    total = sum(sizes[e] * s for e, s in s_counts.items())
+    return total / tau
+
+
+def triangle_sampling_probabilities(stream: EdgeStream) -> dict[Triangle, float]:
+    """Exact ``Pr[t = t*] = 1/(m * C(t*))`` for every triangle (Lemma 3.1).
+
+    Used by tests to validate the neighborhood-sampling implementation
+    against the paper's worked example of Figure 1 (``Pr[t1] = 1/20``,
+    ``Pr[t2] = 1/70``).
+    """
+    m = len(stream)
+    if m == 0:
+        raise EmptyStreamError("empty stream")
+    sizes = neighborhood_sizes(stream)
+    probs: dict[Triangle, float] = {}
+    for tri in list_triangles(stream.edges):
+        first = first_edge_of_triangle(stream, tri)
+        c_first = sizes[first]
+        probs[tri] = 1.0 / (m * c_first) if c_first > 0 else 0.0
+    return probs

@@ -1,0 +1,106 @@
+"""Exact triangle counting and listing.
+
+Uses the standard degree-ordered adjacency-intersection algorithm: orient
+every edge from its lower-rank endpoint to its higher-rank endpoint in a
+degeneracy-friendly order (degree, then id), then intersect out-
+neighborhoods. Each triangle is found exactly once, giving
+``O(m^{3/2})``-style behaviour in practice. This serves as ground truth
+for every streaming experiment in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..graph.edge import Edge, canonical_edge
+from ..graph.static_graph import StaticGraph
+
+Triangle = tuple[int, int, int]
+
+__all__ = [
+    "count_triangles",
+    "list_triangles",
+    "triangles_per_edge",
+    "triangles_per_vertex",
+]
+
+
+def _as_graph(graph_or_edges: StaticGraph | Iterable[tuple[int, int]]) -> StaticGraph:
+    if isinstance(graph_or_edges, StaticGraph):
+        return graph_or_edges
+    return StaticGraph(graph_or_edges, strict=False)
+
+
+def _oriented_adjacency(graph: StaticGraph) -> dict[int, list[int]]:
+    """Out-neighbor lists under the (degree, id) total order.
+
+    Each edge {u, v} appears once, directed from the endpoint with
+    smaller (degree, id) to the larger. Out-lists are sorted for fast
+    set-free intersection.
+    """
+    rank = {u: (graph.degree(u), u) for u in graph.vertices()}
+    out: dict[int, list[int]] = {u: [] for u in graph.vertices()}
+    for u, v in graph.edges():
+        if rank[u] < rank[v]:
+            out[u].append(v)
+        else:
+            out[v].append(u)
+    for lst in out.values():
+        lst.sort()
+    return out
+
+
+def _iter_triangles(graph: StaticGraph) -> Iterator[Triangle]:
+    out = _oriented_adjacency(graph)
+    out_sets = {u: set(lst) for u, lst in out.items()}
+    for u, u_out in out.items():
+        for v in u_out:
+            v_out = out_sets[v]
+            # w must be an out-neighbor of both u and v: triangle found once.
+            for w in u_out:
+                if w in v_out:
+                    yield tuple(sorted((u, v, w)))  # type: ignore[misc]
+
+
+def count_triangles(graph_or_edges: StaticGraph | Iterable[tuple[int, int]]) -> int:
+    """Return ``tau(G)``, the exact number of triangles."""
+    graph = _as_graph(graph_or_edges)
+    return sum(1 for _ in _iter_triangles(graph))
+
+
+def list_triangles(graph_or_edges: StaticGraph | Iterable[tuple[int, int]]) -> list[Triangle]:
+    """Return all triangles as sorted vertex triples, each exactly once."""
+    graph = _as_graph(graph_or_edges)
+    return sorted(_iter_triangles(graph))
+
+
+def triangles_per_edge(graph_or_edges: StaticGraph | Iterable[tuple[int, int]]) -> dict[Edge, int]:
+    """Map each edge to the number of triangles containing it.
+
+    The maximum value over edges is the parameter ``sigma`` used in the
+    paper's comparison with Pagh-Tsourakakis (Section 1.2).
+    """
+    graph = _as_graph(graph_or_edges)
+    counts: dict[Edge, int] = {e: 0 for e in graph.edges()}
+    for a, b, c in _iter_triangles(graph):
+        counts[canonical_edge(a, b)] += 1
+        counts[canonical_edge(a, c)] += 1
+        counts[canonical_edge(b, c)] += 1
+    return counts
+
+
+def triangles_per_vertex(
+    graph_or_edges: StaticGraph | Iterable[tuple[int, int]],
+) -> dict[int, int]:
+    """Map each vertex to the number of triangles containing it.
+
+    This is the per-vertex ("local") triangle count that Becchetti et
+    al.'s multi-pass algorithm reports; we provide it exactly.
+    """
+    graph = _as_graph(graph_or_edges)
+    counts: dict[int, int] = {u: 0 for u in graph.vertices()}
+    for a, b, c in _iter_triangles(graph):
+        counts[a] += 1
+        counts[b] += 1
+        counts[c] += 1
+    return counts

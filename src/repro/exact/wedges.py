@@ -1,0 +1,97 @@
+"""Wedges (connected triples), transitivity, and clustering coefficients.
+
+The paper's Section 3.5 defines the transitivity coefficient as
+
+    kappa(G) = 3 * tau(G) / zeta(G),
+
+where ``zeta(G) = sum_u C(deg(u), 2)`` counts paths of length two
+(wedges). The closely related (unweighted) global and local clustering
+coefficients of Watts-Strogatz are provided for completeness, matching
+the distinction drawn in the paper's footnote 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import EmptyStreamError
+from ..graph.static_graph import StaticGraph
+from .triangles import _as_graph, count_triangles, triangles_per_vertex
+
+__all__ = [
+    "count_open_wedges",
+    "count_wedges",
+    "transitivity_coefficient",
+    "clustering_coefficient",
+    "global_clustering_coefficient",
+]
+
+
+def count_wedges(graph_or_edges: StaticGraph | Iterable[tuple[int, int]]) -> int:
+    """Return ``zeta(G) = sum_u deg(u) * (deg(u) - 1) / 2``."""
+    graph = _as_graph(graph_or_edges)
+    return sum(d * (d - 1) // 2 for d in graph.degrees().values())
+
+
+def count_open_wedges(graph_or_edges: StaticGraph | Iterable[tuple[int, int]]) -> int:
+    """Return ``T2(G)``: vertex triples with *exactly two* edges.
+
+    Every wedge is either open (its triple has exactly the two wedge
+    edges) or closed (part of a triangle, which accounts for three
+    wedges), so ``T2 = zeta - 3 tau``. This is the parameter in the
+    incidence-stream space bound ``O(1 + T2/tau)`` that Theorem 3.13
+    proves unattainable in the adjacency model.
+    """
+    graph = _as_graph(graph_or_edges)
+    return count_wedges(graph) - 3 * count_triangles(graph)
+
+
+def transitivity_coefficient(graph_or_edges: StaticGraph | Iterable[tuple[int, int]]) -> float:
+    """Return ``kappa(G) = 3 tau(G) / zeta(G)``.
+
+    Raises
+    ------
+    EmptyStreamError
+        If the graph has no wedges (the coefficient is undefined).
+    """
+    graph = _as_graph(graph_or_edges)
+    zeta = count_wedges(graph)
+    if zeta == 0:
+        raise EmptyStreamError("transitivity coefficient undefined: graph has no wedges")
+    return 3.0 * count_triangles(graph) / zeta
+
+
+def clustering_coefficient(
+    graph_or_edges: StaticGraph | Iterable[tuple[int, int]],
+) -> dict[int, float]:
+    """Local clustering coefficient of every vertex.
+
+    ``cc(u) = tau(u) / C(deg(u), 2)``; vertices of degree < 2 get 0.0,
+    following the usual convention.
+    """
+    graph = _as_graph(graph_or_edges)
+    per_vertex = triangles_per_vertex(graph)
+    result: dict[int, float] = {}
+    for u in graph.vertices():
+        d = graph.degree(u)
+        if d < 2:
+            result[u] = 0.0
+        else:
+            result[u] = per_vertex[u] / (d * (d - 1) / 2)
+    return result
+
+
+def global_clustering_coefficient(
+    graph_or_edges: StaticGraph | Iterable[tuple[int, int]],
+) -> float:
+    """Average of the local clustering coefficients (Watts-Strogatz).
+
+    Distinct from the transitivity coefficient, which weights vertices
+    by their wedge count -- see footnote 2 of the paper and
+    Schank & Wagner [17].
+    """
+    graph = _as_graph(graph_or_edges)
+    if graph.num_vertices == 0:
+        raise EmptyStreamError("clustering coefficient undefined for the empty graph")
+    coeffs = clustering_coefficient(graph)
+    return sum(coeffs.values()) / len(coeffs)

@@ -1,0 +1,24 @@
+"""Experiment harness reproducing the paper's Section 4 evaluation.
+
+- :mod:`repro.experiments.harness` -- multi-trial runner with the
+  paper's reporting conventions (mean deviation over five trials,
+  median wall-clock time, separately-measured I/O time, throughput);
+- :mod:`repro.experiments.tables` -- ASCII table rendering;
+- :mod:`repro.experiments.figures` -- ASCII plots and CSV series;
+- :mod:`repro.experiments.runners` -- one entry point per table/figure
+  (``python -m repro.experiments.runners --list``).
+"""
+
+from .harness import TrialStats, run_trials, stream_through, time_file_read
+from .tables import render_table
+from .figures import ascii_plot, write_csv
+
+__all__ = [
+    "TrialStats",
+    "ascii_plot",
+    "render_table",
+    "run_trials",
+    "stream_through",
+    "time_file_read",
+    "write_csv",
+]

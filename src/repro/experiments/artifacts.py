@@ -1,0 +1,91 @@
+"""Persist every experiment's tables and series to an artifacts directory.
+
+``python -m repro.experiments.artifacts [--out DIR]`` runs all the
+runners at their default (scaled) configurations and writes:
+
+- ``<name>.txt`` -- the rendered table / ASCII figure,
+- ``<name>.csv`` -- the raw series where the experiment produces one,
+
+so the full evaluation can be archived or re-plotted elsewhere in one
+command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .figures import write_csv
+from .runners import _RUNNERS
+
+__all__ = ["write_all_artifacts", "main"]
+
+
+def _series_rows(name: str, result: dict) -> tuple[list[str], list[list]] | None:
+    """Extract a CSV-able series from a runner result, if any."""
+    if name == "figure5":
+        rows = []
+        for dataset, data in result["series"].items():
+            for r, t, dev, bound in zip(
+                result["r_values"], data["times"], data["devs"], data["bounds"]
+            ):
+                rows.append([dataset, r, t, dev, bound])
+        return ["dataset", "r", "seconds", "mean_dev_pct", "bound_pct"], rows
+    if name == "figure6":
+        rows = [
+            [w, y] for w, y in zip(result["batch_sizes"], result["throughputs"])
+        ]
+        return ["batch_size", "medges_per_s"], rows
+    if "rows" in result:
+        header = [f"col{i}" for i in range(len(result["rows"][0]))]
+        return header, [list(r) for r in result["rows"]]
+    return None
+
+
+def write_all_artifacts(
+    out_dir: str | Path, *, only: Sequence[str] | None = None
+) -> list[Path]:
+    """Run every experiment and persist its outputs; return the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    names = list(only) if only else list(_RUNNERS)
+    for name in names:
+        runner = _RUNNERS[name]
+        stream = io.StringIO()
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(stream):
+            result = runner()
+        elapsed = time.perf_counter() - start
+        text_path = out / f"{name}.txt"
+        text_path.write_text(
+            stream.getvalue() + f"\n[{name} finished in {elapsed:.1f}s]\n"
+        )
+        written.append(text_path)
+        series = _series_rows(name, result if isinstance(result, dict) else {})
+        if series is not None:
+            csv_path = out / f"{name}.csv"
+            write_csv(csv_path, series[0], series[1])
+            written.append(csv_path)
+    return written
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="artifacts", help="output directory")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment names"
+    )
+    args = parser.parse_args(argv)
+    paths = write_all_artifacts(args.out, only=args.only)
+    for path in paths:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Convenience re-exports of the dataset registry for experiment code.
+
+The full registry lives in :mod:`repro.generators.datasets`; experiments
+import it through this module so the harness layer has a single import
+point. ``FIGURE3_DATASETS`` is the six-graph suite of Figure 3 /
+Table 3, in the paper's row order.
+"""
+
+from __future__ import annotations
+
+from ..generators.datasets import (
+    Dataset,
+    DatasetSpec,
+    GroundTruth,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+
+FIGURE3_DATASETS = [
+    "amazon_like",
+    "dblp_like",
+    "youtube_like",
+    "livejournal_like",
+    "orkut_like",
+    "syn_d_regular",
+]
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "FIGURE3_DATASETS",
+    "GroundTruth",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+]

@@ -1,0 +1,126 @@
+"""Plain-text "figures": ASCII plots and CSV series.
+
+The paper's figures are line/bar charts; offline we emit (a) an ASCII
+rendering good enough to read the trend and (b) a CSV file holding the
+exact series so real plots can be regenerated elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot", "ascii_histogram", "write_csv"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def write_csv(
+    path: str | os.PathLike, headers: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Write one experiment's series to a CSV file."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return list(values)
+    return [math.log10(v) if v > 0 else float("-inf") for v in values]
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 70,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Scatter-plot named (xs, ys) series onto a character grid."""
+    all_x: list[float] = []
+    all_y: list[float] = []
+    for xs, ys in series.values():
+        all_x.extend(_transform(xs, log_x))
+        all_y.extend(_transform(ys, log_y))
+    finite_x = [v for v in all_x if math.isfinite(v)]
+    finite_y = [v for v in all_y if math.isfinite(v)]
+    if not finite_x or not finite_y:
+        return "(empty plot)"
+    x_lo, x_hi = min(finite_x), max(finite_x)
+    y_lo, y_hi = min(finite_y), max(finite_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        for x, y in zip(_transform(xs, log_x), _transform(ys, log_y)):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{y_hi:.3g}" + (" (log10)" if log_y else "")
+    y_lo_label = f"{y_lo:.3g}"
+    lines.append(f"{y_label} ^  max={y_hi_label}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + f"> {x_label}")
+    x_note = " (log10)" if log_x else ""
+    lines.append(f"   x in [{x_lo:.3g}, {x_hi:.3g}]{x_note}, y min={y_lo_label}")
+    legend = "   legend: " + "  ".join(
+        f"{_MARKERS[k % len(_MARKERS)]}={name}" for k, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    counts: Mapping[int, int],
+    *,
+    width: int = 50,
+    max_rows: int = 20,
+    log_bins: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render a degree histogram like Figure 3's right panel.
+
+    With ``log_bins`` the keys are grouped into powers-of-two buckets,
+    which is how heavy-tailed distributions stay readable.
+    """
+    if not counts:
+        return "(empty histogram)"
+    if log_bins:
+        bucketed: dict[str, int] = {}
+        order: list[str] = []
+        for degree in sorted(counts):
+            if degree <= 0:
+                continue
+            lo = 1 << (degree.bit_length() - 1)
+            label = f"[{lo},{2 * lo})"
+            if label not in bucketed:
+                bucketed[label] = 0
+                order.append(label)
+            bucketed[label] += counts[degree]
+        items = [(label, bucketed[label]) for label in order][:max_rows]
+    else:
+        items = [(str(k), v) for k, v in sorted(counts.items())][:max_rows]
+    peak = max(v for _, v in items)
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1, int(value / peak * width))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value}")
+    return "\n".join(lines)

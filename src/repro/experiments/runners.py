@@ -1,0 +1,634 @@
+"""One runner per paper table/figure (and per ablation).
+
+Each ``run_*`` function reproduces one experiment at laptop-Python scale
+and returns a structured result dict; it also renders the corresponding
+table/figure as text. The ``benchmarks/`` suite calls these runners with
+small configurations and asserts the qualitative shapes; running this
+module directly executes any experiment standalone:
+
+    python -m repro.experiments.runners --list
+    python -m repro.experiments.runners table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+from typing import Sequence
+
+from ..baselines.buriol import BuriolTriangleCounter
+from ..baselines.jowhari_ghodsi import JowhariGhodsiCounter
+from ..core.accuracy import error_bound, estimators_needed, estimators_needed_tangle
+from ..core.bulk import BulkTriangleCounter
+from ..core.triangle_count import (
+    TriangleCounter,
+    aggregate_mean,
+    aggregate_median_of_means,
+)
+from ..core.vectorized import VectorizedTriangleCounter
+from ..exact.tangle import tangle_coefficient
+from ..graph.stream import EdgeStream
+from .datasets import FIGURE3_DATASETS, load_dataset
+from .figures import ascii_histogram, ascii_plot
+from .harness import TrialStats, run_trials, stream_through
+from .tables import render_table
+
+__all__ = [
+    "run_figure3",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_buriol_study",
+    "run_ablation_tangle",
+    "run_ablation_aggregation",
+    "run_ablation_engines",
+]
+
+
+def _dataset_edges(name: str, seed: int, limit_edges: int | None = None):
+    """A trial's stream: the dataset re-shuffled under the trial seed."""
+    dataset = load_dataset(name)
+    edges = list(dataset.stream(order="random", seed=seed))
+    if limit_edges is not None:
+        edges = edges[:limit_edges]
+    return edges
+
+
+def _limited_truth(name: str, limit_edges: int | None):
+    """Ground truth for a (possibly truncated) dataset."""
+    from ..exact.triangles import count_triangles
+
+    dataset = load_dataset(name)
+    if limit_edges is None or limit_edges >= len(dataset.edges):
+        return dataset, dataset.truth.triangles
+    prefix = list(dataset.stream(order="random", seed=10_000))[:limit_edges]
+    return dataset, count_triangles(prefix)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: dataset summary table + degree distributions
+# ---------------------------------------------------------------------------
+
+def run_figure3(*, verbose: bool = True) -> dict:
+    """Regenerate Figure 3: per-dataset n, m, Delta, tau, m*Delta/tau."""
+    rows = []
+    histograms = {}
+    for name in FIGURE3_DATASETS:
+        dataset = load_dataset(name)
+        truth = dataset.truth
+        paper = dataset.spec.paper_stats
+        rows.append(
+            [
+                name,
+                truth.num_vertices,
+                truth.num_edges,
+                truth.max_degree,
+                truth.triangles,
+                round(truth.m_delta_over_tau, 1),
+                paper.get("m_delta_over_tau", "-"),
+            ]
+        )
+        graph = dataset.stream().to_graph()
+        histograms[name] = graph.degree_histogram()
+    table = render_table(
+        ["dataset", "n", "m", "Delta", "tau", "m*Delta/tau", "paper m*D/t"],
+        rows,
+        title="Figure 3: dataset summary (synthetic stand-ins; paper column for reference)",
+    )
+    if verbose:
+        print(table)
+        for name, hist in histograms.items():
+            print()
+            print(ascii_histogram(hist, title=f"degree distribution: {name}"))
+    return {"rows": rows, "table": table, "histograms": histograms}
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2: Jowhari-Ghodsi vs ours
+# ---------------------------------------------------------------------------
+
+def _jg_vs_ours(
+    dataset_name: str,
+    r_values: Sequence[int],
+    *,
+    trials: int,
+    limit_edges: int | None,
+    verbose: bool,
+    title: str,
+) -> dict:
+    dataset, true_tau = _limited_truth(dataset_name, limit_edges)
+    rows = []
+    results: dict[int, dict[str, TrialStats]] = {}
+    for r in r_values:
+        jg = run_trials(
+            lambda seed, r=r: JowhariGhodsiCounter(r, seed=seed),
+            lambda seed: _dataset_edges(dataset_name, seed, limit_edges),
+            true_value=true_tau,
+            trials=trials,
+            batch_size=65536,
+        )
+        ours = run_trials(
+            lambda seed, r=r: BulkTriangleCounter(r, seed=seed),
+            lambda seed: _dataset_edges(dataset_name, seed, limit_edges),
+            true_value=true_tau,
+            trials=trials,
+            batch_size=max(1024, 8 * r),
+        )
+        results[r] = {"jg": jg, "ours": ours}
+        rows.append(
+            [
+                r,
+                round(jg.mean_deviation, 2),
+                round(jg.median_time, 3),
+                round(ours.mean_deviation, 2),
+                round(ours.median_time, 3),
+                round(jg.median_time / max(ours.median_time, 1e-9), 1),
+            ]
+        )
+    table = render_table(
+        ["r", "JG MD%", "JG time(s)", "Ours MD%", "Ours time(s)", "speedup"],
+        rows,
+        title=title,
+    )
+    if verbose:
+        print(table)
+    return {"rows": rows, "table": table, "results": results, "true_tau": true_tau}
+
+
+def run_table1(
+    r_values: Sequence[int] = (1_000, 10_000, 100_000),
+    *,
+    trials: int = 5,
+    verbose: bool = True,
+) -> dict:
+    """Table 1: JG vs ours on the exactly-reproduced Syn-3-reg graph."""
+    return _jg_vs_ours(
+        "syn_3reg",
+        r_values,
+        trials=trials,
+        limit_edges=None,
+        verbose=verbose,
+        title="Table 1: Syn 3-regular (n=2000, m=3000, tau=1000)",
+    )
+
+
+def run_table2(
+    r_values: Sequence[int] = (1_000, 10_000, 100_000),
+    *,
+    trials: int = 5,
+    limit_edges: int | None = None,
+    verbose: bool = True,
+) -> dict:
+    """Table 2: JG vs ours on the Hep-Th-like collaboration graph."""
+    return _jg_vs_ours(
+        "hepth_like",
+        r_values,
+        trials=trials,
+        limit_edges=limit_edges,
+        verbose=verbose,
+        title="Table 2: Hep-Th-like collaboration network",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3 (+ memory table) and Figure 4
+# ---------------------------------------------------------------------------
+
+def run_table3(
+    r_values: Sequence[int] = (1_024, 16_384, 131_072),
+    *,
+    datasets: Sequence[str] = tuple(FIGURE3_DATASETS),
+    trials: int = 5,
+    verbose: bool = True,
+) -> dict:
+    """Table 3: accuracy and runtime of the bulk algorithm per dataset."""
+    rows = []
+    results: dict[tuple[str, int], TrialStats] = {}
+    for name in datasets:
+        dataset = load_dataset(name)
+        true_tau = dataset.truth.triangles
+        m = dataset.truth.num_edges
+        row: list = [name]
+        for r in r_values:
+            stats = run_trials(
+                lambda seed, r=r: VectorizedTriangleCounter(r, seed=seed),
+                lambda seed: _dataset_edges(name, seed),
+                true_value=true_tau,
+                trials=trials,
+                batch_size=max(4096, 8 * r),
+            )
+            results[(name, r)] = stats
+            row.append(
+                f"{stats.min_deviation:.2f}/{stats.mean_deviation:.2f}/"
+                f"{stats.max_deviation:.2f}"
+            )
+            row.append(round(stats.median_time, 3))
+        rows.append(row)
+        del m
+    headers = ["dataset"]
+    for r in r_values:
+        headers += [f"dev@r={r} (min/mean/max %)", f"time@r={r} (s)"]
+    table = render_table(headers, rows, title="Table 3: accuracy and median runtime (5 trials)")
+
+    # Memory table of Section 4.3: bytes of estimator state per r.
+    memory_rows = []
+    for r in r_values:
+        engine = VectorizedTriangleCounter(r, seed=0)
+        memory_rows.append([r, engine.state_nbytes()])
+    memory_table = render_table(
+        ["r", "state bytes"], memory_rows, title="Estimator-state memory (Section 4.3)"
+    )
+    if verbose:
+        print(table)
+        print()
+        print(memory_table)
+    return {
+        "rows": rows,
+        "table": table,
+        "results": results,
+        "memory_rows": memory_rows,
+        "memory_table": memory_table,
+    }
+
+
+def run_figure4(
+    r_values: Sequence[int] = (1_024, 16_384, 131_072),
+    *,
+    datasets: Sequence[str] = tuple(FIGURE3_DATASETS[:5]),
+    trials: int = 3,
+    verbose: bool = True,
+) -> dict:
+    """Figure 4: average throughput (edges/second) per dataset and r."""
+    rows = []
+    for name in datasets:
+        dataset = load_dataset(name)
+        m = dataset.truth.num_edges
+        row: list = [name, m]
+        for r in r_values:
+            stats = run_trials(
+                lambda seed, r=r: VectorizedTriangleCounter(r, seed=seed),
+                lambda seed: _dataset_edges(name, seed),
+                true_value=max(dataset.truth.triangles, 1),
+                trials=trials,
+                batch_size=max(4096, 8 * r),
+            )
+            row.append(round(stats.throughput(m) / 1e6, 3))
+        rows.append(row)
+    headers = ["dataset", "m"] + [f"Medges/s @r={r}" for r in r_values]
+    table = render_table(headers, rows, title="Figure 4: average throughput")
+    if verbose:
+        print(table)
+    return {"rows": rows, "table": table}
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: runtime / throughput / error vs the number of estimators
+# ---------------------------------------------------------------------------
+
+def run_figure5(
+    r_values: Sequence[int] = (1_024, 4_096, 16_384, 65_536, 131_072),
+    *,
+    datasets: Sequence[str] = ("youtube_like", "livejournal_like"),
+    trials: int = 3,
+    delta: float = 0.2,
+    verbose: bool = True,
+) -> dict:
+    """Figure 5: time, throughput and relative error as r grows."""
+    series: dict[str, dict[str, list[float]]] = {}
+    for name in datasets:
+        dataset = load_dataset(name)
+        truth = dataset.truth
+        times, devs, bounds = [], [], []
+        for r in r_values:
+            stats = run_trials(
+                lambda seed, r=r: VectorizedTriangleCounter(r, seed=seed),
+                lambda seed: _dataset_edges(name, seed),
+                true_value=truth.triangles,
+                trials=trials,
+                batch_size=max(4096, 8 * r),
+            )
+            times.append(stats.median_time)
+            devs.append(stats.mean_deviation)
+            bounds.append(
+                100.0
+                * error_bound(
+                    r,
+                    delta,
+                    m=truth.num_edges,
+                    max_degree=truth.max_degree,
+                    triangles=truth.triangles,
+                )
+            )
+        series[name] = {"times": times, "devs": devs, "bounds": bounds}
+    if verbose:
+        rs = list(r_values)
+        print(
+            ascii_plot(
+                {name: (rs, data["times"]) for name, data in series.items()},
+                log_x=True,
+                x_label="r",
+                y_label="seconds",
+                title="Figure 5 (left): total running time vs r",
+            )
+        )
+        print()
+        error_series = {}
+        for name, data in series.items():
+            error_series[name] = (rs, data["devs"])
+            error_series[f"{name} (bound)"] = (rs, data["bounds"])
+        print(
+            ascii_plot(
+                error_series,
+                log_x=True,
+                log_y=True,
+                x_label="r",
+                y_label="% error",
+                title="Figure 5 (right): relative error vs r, with Thm 3.3 bound",
+            )
+        )
+    return {"r_values": list(r_values), "series": series}
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: throughput vs batch size
+# ---------------------------------------------------------------------------
+
+def run_figure6(
+    batch_factors: Sequence[float] = (0.25, 0.5, 1, 2, 4, 8, 16),
+    *,
+    dataset: str = "livejournal_like",
+    num_estimators: int = 16_384,
+    trials: int = 3,
+    verbose: bool = True,
+) -> dict:
+    """Figure 6: throughput of the bulk algorithm vs batch size."""
+    data = load_dataset(dataset)
+    m = data.truth.num_edges
+    xs, ys = [], []
+    for factor in batch_factors:
+        batch_size = max(256, int(num_estimators * factor))
+        stats = run_trials(
+            lambda seed: VectorizedTriangleCounter(num_estimators, seed=seed),
+            lambda seed: _dataset_edges(dataset, seed),
+            true_value=max(data.truth.triangles, 1),
+            trials=trials,
+            batch_size=batch_size,
+        )
+        xs.append(batch_size)
+        ys.append(stats.throughput(m) / 1e6)
+    table = render_table(
+        ["batch size w", "Medges/s"],
+        [[x, round(y, 3)] for x, y in zip(xs, ys)],
+        title=f"Figure 6: throughput vs batch size ({dataset}, r={num_estimators})",
+    )
+    if verbose:
+        print(table)
+        print()
+        print(
+            ascii_plot(
+                {dataset: (xs, ys)},
+                log_x=True,
+                x_label="batch size",
+                y_label="Medges/s",
+            )
+        )
+    return {"batch_sizes": xs, "throughputs": ys, "table": table}
+
+
+# ---------------------------------------------------------------------------
+# Section 4.2: why the Buriol et al. baseline fails to find triangles
+# ---------------------------------------------------------------------------
+
+def run_buriol_study(
+    *,
+    dataset: str = "amazon_like",
+    num_estimators: int = 20_000,
+    seed: int = 0,
+    verbose: bool = True,
+) -> dict:
+    """Reproduce the observation that Buriol et al.'s estimators almost
+    never complete a triangle, while neighborhood sampling's often do."""
+    data = load_dataset(dataset)
+    edges = _dataset_edges(dataset, seed)
+    vertices = sorted({u for e in edges for u in e})
+
+    buriol = BuriolTriangleCounter(num_estimators, vertices, seed=seed)
+    stream_through(buriol, edges, 65536)
+
+    ours = TriangleCounter(num_estimators, engine="vectorized", seed=seed)
+    stream_through(ours, edges, max(4096, 8 * num_estimators))
+
+    true_tau = data.truth.triangles
+    rows = [
+        [
+            "buriol",
+            buriol.fraction_holding_triangle(),
+            round(buriol.estimate(), 1),
+            round(abs(buriol.estimate() - true_tau) / true_tau * 100, 2),
+        ],
+        [
+            "neighborhood sampling",
+            ours.fraction_holding_triangle(),
+            round(ours.estimate(), 1),
+            round(abs(ours.estimate() - true_tau) / true_tau * 100, 2),
+        ],
+    ]
+    table = render_table(
+        ["algorithm", "fraction holding triangle", "estimate", "error %"],
+        rows,
+        title=f"Section 4.2 baseline study on {dataset} (true tau = {true_tau})",
+    )
+    if verbose:
+        print(table)
+    return {
+        "rows": rows,
+        "table": table,
+        "buriol_fraction": buriol.fraction_holding_triangle(),
+        "ours_fraction": ours.fraction_holding_triangle(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+def run_ablation_tangle(
+    *,
+    datasets: Sequence[str] = tuple(FIGURE3_DATASETS),
+    eps: float = 0.1,
+    delta: float = 0.1,
+    seed: int = 0,
+    verbose: bool = True,
+) -> dict:
+    """Ablation A1: tangle coefficient gamma vs 2*Delta, and the
+    estimator budgets of Theorem 3.4 vs Theorem 3.3."""
+    rows = []
+    for name in datasets:
+        dataset = load_dataset(name)
+        truth = dataset.truth
+        stream = dataset.stream(order="random", seed=seed)
+        gamma = tangle_coefficient(stream)
+        r_degree = estimators_needed(
+            eps,
+            delta,
+            m=truth.num_edges,
+            max_degree=truth.max_degree,
+            triangles=truth.triangles,
+        )
+        r_gamma = estimators_needed_tangle(
+            eps, delta, m=truth.num_edges, tangle=gamma, triangles=truth.triangles
+        )
+        rows.append(
+            [
+                name,
+                round(gamma, 1),
+                2 * truth.max_degree,
+                round(gamma / (2 * truth.max_degree), 4),
+                r_degree,
+                r_gamma,
+            ]
+        )
+    table = render_table(
+        ["dataset", "gamma", "2*Delta", "gamma/(2*Delta)", "r (Thm 3.3)", "r (Thm 3.4)"],
+        rows,
+        title="Ablation A1: tangle coefficient vs worst-case degree bound",
+    )
+    if verbose:
+        print(table)
+    return {"rows": rows, "table": table}
+
+
+def run_ablation_aggregation(
+    *,
+    dataset: str = "dblp_like",
+    num_estimators: int = 8_192,
+    groups: int = 16,
+    trials: int = 10,
+    verbose: bool = True,
+) -> dict:
+    """Ablation A2: mean vs median-of-means over identical states."""
+    data = load_dataset(dataset)
+    true_tau = data.truth.triangles
+    mean_errors, mom_errors = [], []
+    for trial in range(trials):
+        engine = VectorizedTriangleCounter(num_estimators, seed=trial)
+        stream_through(
+            engine, _dataset_edges(dataset, trial), max(4096, 8 * num_estimators)
+        )
+        estimates = engine.estimates()
+        mean_err = abs(aggregate_mean(estimates) - true_tau) / true_tau * 100
+        mom_err = (
+            abs(aggregate_median_of_means(estimates, groups) - true_tau)
+            / true_tau
+            * 100
+        )
+        mean_errors.append(mean_err)
+        mom_errors.append(mom_err)
+    rows = [
+        ["mean (Thm 3.3)", round(statistics.fmean(mean_errors), 3),
+         round(max(mean_errors), 3)],
+        [f"median-of-means, {groups} groups (Thm 3.4)",
+         round(statistics.fmean(mom_errors), 3), round(max(mom_errors), 3)],
+    ]
+    table = render_table(
+        ["aggregator", "mean error %", "max error %"],
+        rows,
+        title=f"Ablation A2: aggregation on {dataset} (r={num_estimators}, {trials} trials)",
+    )
+    if verbose:
+        print(table)
+    return {
+        "rows": rows,
+        "table": table,
+        "mean_errors": mean_errors,
+        "mom_errors": mom_errors,
+    }
+
+
+def run_ablation_engines(
+    *,
+    dataset: str = "syn_3reg",
+    num_estimators: int = 2_048,
+    trials: int = 3,
+    verbose: bool = True,
+) -> dict:
+    """Ablation A3: the three engines agree in distribution; compare speed."""
+    data = load_dataset(dataset)
+    true_tau = data.truth.triangles
+    engines = {
+        "reference": lambda seed: TriangleCounter(
+            num_estimators, engine="reference", seed=seed
+        ),
+        "bulk": lambda seed: TriangleCounter(num_estimators, engine="bulk", seed=seed),
+        "vectorized": lambda seed: TriangleCounter(
+            num_estimators, engine="vectorized", seed=seed
+        ),
+    }
+    rows = []
+    results = {}
+    for name, factory in engines.items():
+        stats = run_trials(
+            factory,
+            lambda seed: _dataset_edges(dataset, seed),
+            true_value=true_tau,
+            trials=trials,
+            batch_size=max(1024, 4 * num_estimators),
+        )
+        results[name] = stats
+        rows.append(
+            [name, round(stats.mean_deviation, 2), round(stats.median_time, 4)]
+        )
+    table = render_table(
+        ["engine", "mean deviation %", "median time (s)"],
+        rows,
+        title=f"Ablation A3: engine comparison on {dataset} (r={num_estimators})",
+    )
+    if verbose:
+        print(table)
+    return {"rows": rows, "table": table, "results": results}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+_RUNNERS = {
+    "figure3": run_figure3,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "buriol": run_buriol_study,
+    "ablation-tangle": run_ablation_tangle,
+    "ablation-aggregation": run_ablation_aggregation,
+    "ablation-engines": run_ablation_engines,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", nargs="?", help="experiment name")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+    if args.list or not args.experiment:
+        for name in _RUNNERS:
+            print(name)
+        return 0
+    runner = _RUNNERS.get(args.experiment)
+    if runner is None:
+        print(f"unknown experiment {args.experiment!r}; use --list")
+        return 1
+    start = time.perf_counter()
+    runner()
+    print(f"\n[{args.experiment} finished in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(value) -> str:
+    """Human-friendly numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6:
+            return f"{value:,.3e}"
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    cells = [[format_number(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

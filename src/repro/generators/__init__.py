@@ -1,0 +1,60 @@
+"""Synthetic graph generators.
+
+The paper evaluates on SNAP social-network graphs plus synthetic regular
+graphs. Offline, we regenerate comparable workloads:
+
+- :mod:`repro.generators.random_graphs` -- Erdos-Renyi, power-law
+  configuration model, Barabasi-Albert, Holme-Kim (power-law with
+  clustering), near-regular graphs, and clique-union graphs;
+- :mod:`repro.generators.structured` -- exact small structures and the
+  paper's Syn-3-reg recipe (3-regular, tau = n/2);
+- :mod:`repro.generators.datasets` -- the named stand-ins for every
+  dataset of Figure 3 and Section 4.2, with disk caching of edges and
+  ground-truth statistics.
+"""
+
+from .random_graphs import (
+    barabasi_albert,
+    clique_union_regular,
+    collaboration_graph,
+    configuration_power_law,
+    erdos_renyi,
+    holme_kim,
+    hub_power_law,
+    near_regular,
+)
+from .structured import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    k33_component,
+    k4_component,
+    path_graph,
+    planted_clique,
+    relabel_shuffled,
+    star_graph,
+    three_regular_triangle_graph,
+    triangular_prism,
+)
+
+__all__ = [
+    "barabasi_albert",
+    "clique_union_regular",
+    "collaboration_graph",
+    "complete_graph",
+    "configuration_power_law",
+    "cycle_graph",
+    "disjoint_union",
+    "erdos_renyi",
+    "holme_kim",
+    "hub_power_law",
+    "k33_component",
+    "k4_component",
+    "near_regular",
+    "path_graph",
+    "planted_clique",
+    "relabel_shuffled",
+    "star_graph",
+    "three_regular_triangle_graph",
+    "triangular_prism",
+]

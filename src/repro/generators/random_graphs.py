@@ -1,0 +1,368 @@
+"""Random graph models.
+
+These regenerate the qualitative families of the paper's evaluation:
+
+- :func:`configuration_power_law` -- heavy-tailed degrees with low
+  clustering (Youtube/Orkut-like profiles: large ``m * Delta / tau``);
+- :func:`holme_kim` -- power-law degrees *with* triangles
+  (collaboration-network profiles such as DBLP and Hep-Th: small
+  ``m * Delta / tau``);
+- :func:`barabasi_albert` -- plain preferential attachment;
+- :func:`near_regular` -- degrees confined to a narrow band, like the
+  paper's "Synthetic ~d-regular" graph;
+- :func:`clique_union_regular` -- near-regular *and* triangle-dense, the
+  profile the paper's Syn-d-regular dataset occupies in Figure 3;
+- :func:`erdos_renyi` -- the classic G(n, m) baseline.
+
+All generators return a plain edge list (canonical tuples) in a
+deterministic order under a fixed ``seed``; callers shuffle stream
+orders separately via :meth:`repro.graph.EdgeStream.shuffled`.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..graph.edge import Edge, canonical_edge
+from ..rng import RandomSource
+
+__all__ = [
+    "barabasi_albert",
+    "clique_union_regular",
+    "collaboration_graph",
+    "configuration_power_law",
+    "erdos_renyi",
+    "holme_kim",
+    "hub_power_law",
+    "near_regular",
+]
+
+
+def erdos_renyi(n: int, num_edges: int, *, seed: int | None = None) -> list[Edge]:
+    """``G(n, m)``: ``num_edges`` distinct edges uniform over all pairs.
+
+    Rejection sampling; requires ``num_edges`` at most the number of
+    possible pairs.
+    """
+    possible = n * (n - 1) // 2
+    if num_edges > possible:
+        raise InvalidParameterError(f"cannot place {num_edges} edges on {n} vertices")
+    rng = RandomSource(seed)
+    edges: set[Edge] = set()
+    while len(edges) < num_edges:
+        u = rng.rand_int(0, n - 1)
+        v = rng.rand_int(0, n - 1)
+        if u != v:
+            edges.add(canonical_edge(u, v))
+    result = sorted(edges)
+    rng.shuffle(result)
+    return result
+
+
+def _power_law_degrees(
+    n: int, alpha: float, d_min: int, d_max: int, rng: RandomSource
+) -> list[int]:
+    """Draw ``n`` degrees from a discrete power law via inverse transform.
+
+    ``P(d) ~ d^-alpha`` on ``[d_min, d_max]``; the continuous inverse CDF
+    is floored, giving the familiar heavy tail with a hard cap that
+    controls ``Delta``.
+    """
+    if alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must exceed 1, got {alpha}")
+    if not 1 <= d_min <= d_max:
+        raise InvalidParameterError(f"need 1 <= d_min <= d_max, got ({d_min}, {d_max})")
+    degrees = []
+    a = 1.0 - alpha
+    lo = d_min**a
+    hi = (d_max + 1) ** a
+    for _ in range(n):
+        u = rng.random()
+        x = (lo + u * (hi - lo)) ** (1.0 / a)
+        degrees.append(min(d_max, max(d_min, int(x))))
+    return degrees
+
+
+def configuration_power_law(
+    n: int,
+    *,
+    alpha: float = 2.2,
+    d_min: int = 1,
+    d_max: int = 1000,
+    seed: int | None = None,
+) -> list[Edge]:
+    """Simple graph from the configuration model with power-law degrees.
+
+    Stubs are paired uniformly at random; self-loops and duplicate edges
+    are discarded (the standard "erased" configuration model), so actual
+    degrees can fall slightly below their targets at heavy-tail nodes.
+    """
+    rng = RandomSource(seed)
+    degrees = _power_law_degrees(n, alpha, d_min, min(d_max, n - 1), rng)
+    stubs: list[int] = []
+    for v, d in enumerate(degrees):
+        stubs.extend([v] * d)
+    if len(stubs) % 2 == 1:
+        stubs.pop()
+    rng.shuffle(stubs)
+    edges: set[Edge] = set()
+    for i in range(0, len(stubs), 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            edges.add(canonical_edge(u, v))
+    result = sorted(edges)
+    rng.shuffle(result)
+    return result
+
+
+def barabasi_albert(n: int, m_attach: int, *, seed: int | None = None) -> list[Edge]:
+    """Preferential attachment: each new vertex links to ``m_attach``
+    existing vertices chosen proportional to degree.
+
+    Implemented with the repeated-nodes list, giving O(m) time.
+    """
+    if m_attach < 1 or m_attach >= n:
+        raise InvalidParameterError(f"need 1 <= m_attach < n, got ({m_attach}, {n})")
+    rng = RandomSource(seed)
+    edges: list[Edge] = []
+    # Target pool: vertex v appears once per incident edge (degree-proportional).
+    repeated: list[int] = list(range(m_attach))
+    for v in range(m_attach, n):
+        targets: set[int] = set()
+        while len(targets) < m_attach:
+            if repeated:
+                candidate = repeated[rng.rand_int(0, len(repeated) - 1)]
+            else:
+                candidate = rng.rand_int(0, v - 1)
+            if candidate != v:
+                targets.add(candidate)
+        for t in targets:
+            edges.append(canonical_edge(v, t))
+            repeated.append(v)
+            repeated.append(t)
+    return edges
+
+
+def holme_kim(
+    n: int,
+    m_attach: int,
+    triad_prob: float,
+    *,
+    seed: int | None = None,
+) -> list[Edge]:
+    """Holme-Kim power-law cluster model: BA plus triad formation.
+
+    After each preferential-attachment link ``v -> w``, with probability
+    ``triad_prob`` the next link goes to a random neighbor of ``w``
+    (closing a triangle) instead of a fresh preferential target. Yields
+    power-law degrees with tunable, high clustering -- the profile of
+    collaboration networks such as DBLP and Hep-Th.
+    """
+    if not 0.0 <= triad_prob <= 1.0:
+        raise InvalidParameterError(f"triad_prob must be in [0, 1], got {triad_prob}")
+    if m_attach < 1 or m_attach >= n:
+        raise InvalidParameterError(f"need 1 <= m_attach < n, got ({m_attach}, {n})")
+    rng = RandomSource(seed)
+    adj: dict[int, list[int]] = {v: [] for v in range(n)}
+    edges: list[Edge] = []
+    repeated: list[int] = list(range(m_attach))
+
+    def link(v: int, w: int) -> bool:
+        if v == w or w in adj[v]:
+            return False
+        adj[v].append(w)
+        adj[w].append(v)
+        edges.append(canonical_edge(v, w))
+        repeated.append(v)
+        repeated.append(w)
+        return True
+
+    for v in range(m_attach, n):
+        links_made = 0
+        last_target: int | None = None
+        guard = 0
+        while links_made < m_attach and guard < 100 * m_attach:
+            guard += 1
+            use_triad = (
+                last_target is not None
+                and adj[last_target]
+                and rng.coin(triad_prob)
+            )
+            if use_triad:
+                nbrs = adj[last_target]  # type: ignore[index]
+                candidate = nbrs[rng.rand_int(0, len(nbrs) - 1)]
+            elif repeated:
+                candidate = repeated[rng.rand_int(0, len(repeated) - 1)]
+            else:
+                candidate = rng.rand_int(0, max(v - 1, 0))
+            if link(v, candidate):
+                links_made += 1
+                last_target = candidate
+    return edges
+
+
+def hub_power_law(
+    n: int,
+    *,
+    alpha: float = 2.6,
+    d_min: int = 1,
+    d_max: int = 60,
+    num_hubs: int = 3,
+    hub_degree: int = 2000,
+    seed: int | None = None,
+) -> list[Edge]:
+    """Power-law graph plus a few mega-hubs (the Youtube profile).
+
+    Video-sharing-style graphs pair a modest power-law body with a
+    handful of vertices of enormous degree whose stars are almost
+    triangle-free. The result is the paper's hardest regime: huge
+    ``Delta``, few triangles, so ``m * Delta / tau`` dwarfs every other
+    dataset (Youtube's is 28,107 in Figure 3).
+    """
+    if num_hubs < 0 or hub_degree >= n:
+        raise InvalidParameterError(
+            f"need 0 <= num_hubs and hub_degree < n, got ({num_hubs}, {hub_degree})"
+        )
+    rng = RandomSource(seed)
+    edges = set(
+        configuration_power_law(
+            n, alpha=alpha, d_min=d_min, d_max=d_max, seed=rng.rand_int(0, 2**31)
+        )
+    )
+    for h in range(num_hubs):
+        hub = n + h  # hubs get fresh ids so their stars are pristine
+        attached = 0
+        while attached < hub_degree:
+            v = rng.rand_int(0, n - 1)
+            e = canonical_edge(hub, v)
+            if e not in edges:
+                edges.add(e)
+                attached += 1
+    result = sorted(edges)
+    rng.shuffle(result)
+    return result
+
+
+def collaboration_graph(
+    n_authors: int,
+    n_papers: int,
+    *,
+    min_authors: int = 2,
+    max_authors: int = 5,
+    alpha: float = 2.4,
+    seed: int | None = None,
+) -> list[Edge]:
+    """Co-authorship network: each paper adds a clique of its authors.
+
+    Author participation follows a power law (a few prolific authors,
+    many occasional ones), the standard model behind DBLP/Hep-Th-style
+    collaboration graphs: triangle-dense (every >= 3-author paper
+    contributes cliques) with a moderate maximum degree -- the paper's
+    *small* ``m * Delta / tau`` regime.
+    """
+    if not 2 <= min_authors <= max_authors:
+        raise InvalidParameterError(
+            f"need 2 <= min_authors <= max_authors, got ({min_authors}, {max_authors})"
+        )
+    if n_authors < max_authors:
+        raise InvalidParameterError("need at least max_authors authors")
+    rng = RandomSource(seed)
+    # Power-law author popularity via cumulative-weight inversion.
+    weights = [(i + 1.0) ** (-1.0 / (alpha - 1.0)) for i in range(n_authors)]
+    cumulative: list[float] = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+
+    import bisect
+
+    def draw_author() -> int:
+        return bisect.bisect_left(cumulative, rng.random() * total)
+
+    # Popularity should not correlate with vertex id: relabel at the end.
+    edges: set[Edge] = set()
+    for _ in range(n_papers):
+        k = rng.rand_int(min_authors, max_authors)
+        authors: set[int] = set()
+        guard = 0
+        while len(authors) < k and guard < 50 * k:
+            authors.add(draw_author())
+            guard += 1
+        members = sorted(authors)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                edges.add(canonical_edge(u, v))
+    from .structured import relabel_shuffled
+
+    return relabel_shuffled(sorted(edges), seed=rng.rand_int(0, 2**31))
+
+
+def near_regular(
+    n: int,
+    d_low: int,
+    d_high: int,
+    *,
+    seed: int | None = None,
+) -> list[Edge]:
+    """Configuration-model graph with degrees uniform on [d_low, d_high].
+
+    Mirrors the paper's synthetic graph whose "nodes have degrees
+    between 42 and 114": narrow degree band, small ``Delta``.
+    """
+    if not 1 <= d_low <= d_high < n:
+        raise InvalidParameterError(f"need 1 <= d_low <= d_high < n, got ({d_low}, {d_high}, {n})")
+    rng = RandomSource(seed)
+    stubs: list[int] = []
+    for v in range(n):
+        stubs.extend([v] * rng.rand_int(d_low, d_high))
+    if len(stubs) % 2 == 1:
+        stubs.pop()
+    rng.shuffle(stubs)
+    edges: set[Edge] = set()
+    for i in range(0, len(stubs), 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            edges.add(canonical_edge(u, v))
+    result = sorted(edges)
+    rng.shuffle(result)
+    return result
+
+
+def clique_union_regular(
+    n: int,
+    clique_size: int,
+    overlay_edges: int,
+    *,
+    seed: int | None = None,
+) -> list[Edge]:
+    """Near-regular, triangle-dense graph: clique union + random overlay.
+
+    Partitions ``n`` vertices into ``n // clique_size`` cliques (each
+    vertex gets degree ``clique_size - 1`` and ``C(clique_size-1, 2)``
+    triangles), then adds ``overlay_edges`` random cross edges. The
+    result has a narrow degree band and a very small ``m*Delta/tau`` --
+    the regime of the paper's Syn-d-regular dataset, where the algorithm
+    needs very few estimators.
+    """
+    if clique_size < 3 or clique_size > n:
+        raise InvalidParameterError(f"need 3 <= clique_size <= n, got ({clique_size}, {n})")
+    rng = RandomSource(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges: set[Edge] = set()
+    for start in range(0, n - clique_size + 1, clique_size):
+        group = order[start : start + clique_size]
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                edges.add(canonical_edge(u, v))
+    target = len(edges) + overlay_edges
+    attempts = 0
+    while len(edges) < target and attempts < 50 * max(overlay_edges, 1):
+        attempts += 1
+        u = rng.rand_int(0, n - 1)
+        v = rng.rand_int(0, n - 1)
+        if u != v:
+            edges.add(canonical_edge(u, v))
+    result = sorted(edges)
+    rng.shuffle(result)
+    return result

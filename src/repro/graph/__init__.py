@@ -1,0 +1,30 @@
+"""Graph substrate: edges, static graphs, and edge streams.
+
+This subpackage provides the data model shared by every algorithm in the
+library:
+
+- :mod:`repro.graph.edge` -- canonical undirected edges;
+- :mod:`repro.graph.static_graph` -- an in-memory adjacency structure
+  used by the exact counters and the generators;
+- :mod:`repro.graph.stream` -- the adjacency-stream abstraction
+  (arbitrary edge order, batching, position tracking);
+- :mod:`repro.graph.io` -- plain-text edge-list reading and writing.
+"""
+
+from .edge import canonical_edge, edge_vertices, edges_adjacent, shared_vertex, third_vertices
+from .io import read_edge_list, write_edge_list
+from .static_graph import StaticGraph
+from .stream import EdgeStream, batched
+
+__all__ = [
+    "EdgeStream",
+    "StaticGraph",
+    "batched",
+    "canonical_edge",
+    "edge_vertices",
+    "edges_adjacent",
+    "read_edge_list",
+    "shared_vertex",
+    "third_vertices",
+    "write_edge_list",
+]

@@ -1,0 +1,79 @@
+"""Canonical undirected edges.
+
+Throughout the library an edge is a tuple ``(u, v)`` of integer vertex
+ids with ``u < v`` (the *canonical* form). Using plain tuples keeps the
+hot per-edge loops allocation-light and lets edges be dict/set keys.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidEdgeError
+
+Edge = tuple[int, int]
+
+__all__ = [
+    "Edge",
+    "canonical_edge",
+    "edge_vertices",
+    "edges_adjacent",
+    "shared_vertex",
+    "third_vertices",
+]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` form of the edge ``{u, v}``.
+
+    Raises
+    ------
+    InvalidEdgeError
+        If ``u == v`` (self-loop) -- the paper assumes simple graphs.
+    """
+    if u == v:
+        raise InvalidEdgeError(f"self-loop at vertex {u} is not allowed in a simple graph")
+    return (u, v) if u < v else (v, u)
+
+
+def edge_vertices(e: Edge) -> tuple[int, int]:
+    """Return the two endpoints of ``e`` (the paper's ``V(e)``)."""
+    return e
+
+
+def edges_adjacent(e: Edge, f: Edge) -> bool:
+    """Return whether distinct edges ``e`` and ``f`` share an endpoint."""
+    if e == f:
+        return False
+    return e[0] in f or e[1] in f
+
+
+def shared_vertex(e: Edge, f: Edge) -> int | None:
+    """Return the vertex shared by ``e`` and ``f``, or ``None``.
+
+    For edges of a simple graph two distinct edges share at most one
+    vertex, so the return value is unique when it exists.
+    """
+    if e == f:
+        return None
+    if e[0] in f:
+        return e[0]
+    if e[1] in f:
+        return e[1]
+    return None
+
+
+def third_vertices(e: Edge, f: Edge) -> tuple[int, int] | None:
+    """Return the non-shared endpoints of adjacent edges ``e`` and ``f``.
+
+    If ``e`` and ``f`` form a wedge (share exactly one vertex), the
+    returned pair are the wedge's outer endpoints -- i.e., the edge that
+    would close the triangle. Returns ``None`` if the edges are not
+    adjacent or are identical.
+    """
+    s = shared_vertex(e, f)
+    if s is None:
+        return None
+    a = e[0] if e[1] == s else e[1]
+    b = f[0] if f[1] == s else f[1]
+    if a == b:  # parallel edges cannot occur in a simple stream, but be safe
+        return None
+    return (a, b) if a < b else (b, a)

@@ -1,0 +1,160 @@
+"""The adjacency-stream abstraction.
+
+The paper's model presents a graph as an arbitrarily-ordered sequence of
+edges ``<e1, ..., em>``. :class:`EdgeStream` is a concrete, replayable
+realization of that model: it owns an edge order, can shuffle it under a
+seed (the paper's experiments use five random stream orders), can slice
+itself into batches for the bulk algorithm of Section 3.3, and exposes
+the graph statistics that the space bounds reference (``m``, ``Delta``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import DuplicateEdgeError, EmptyStreamError
+from ..rng import RandomSource
+from .edge import Edge, canonical_edge
+from .static_graph import StaticGraph
+
+__all__ = ["EdgeStream", "batched"]
+
+
+def batched(edges: Sequence[Edge], batch_size: int) -> Iterator[Sequence[Edge]]:
+    """Yield consecutive slices of ``edges`` of length ``batch_size``.
+
+    The final slice may be shorter. ``batch_size`` must be positive.
+    This is the batching discipline assumed by ``bulkTC``
+    (Theorem 3.5): a stream of ``m`` edges is processed in
+    ``ceil(m / w)`` batches.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    for start in range(0, len(edges), batch_size):
+        yield edges[start : start + batch_size]
+
+
+class EdgeStream:
+    """A replayable adjacency stream over a simple graph.
+
+    Parameters
+    ----------
+    edges:
+        The stream, in order. Orientation of each pair is irrelevant;
+        edges are canonicalized.
+    validate:
+        When ``True`` (default), reject duplicate edges -- the paper
+        assumes the input graph is simple.
+
+    Notes
+    -----
+    The stream stores its edges in a list so it can be replayed for
+    multi-trial experiments and sliced into batches. 1-based stream
+    positions (as in the paper, where ``e_i`` is the ``i``-th edge)
+    are used by :meth:`position_of` and throughout
+    :mod:`repro.core.bulk`.
+    """
+
+    def __init__(self, edges: Iterable[tuple[int, int]], *, validate: bool = True) -> None:
+        canon = [canonical_edge(u, v) for u, v in edges]
+        if validate:
+            seen: set[Edge] = set()
+            for e in canon:
+                if e in seen:
+                    raise DuplicateEdgeError(f"edge {e} appears twice in the stream")
+                seen.add(e)
+        self._edges: list[Edge] = canon
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: StaticGraph,
+        *,
+        order: str = "sorted",
+        seed: int | None = None,
+    ) -> "EdgeStream":
+        """Build a stream from a :class:`StaticGraph`.
+
+        ``order`` selects the stream order:
+
+        - ``"sorted"`` -- canonical lexicographic order (deterministic);
+        - ``"random"`` -- a uniformly random permutation under ``seed``.
+        """
+        edges = sorted(graph.edges())
+        if order == "random":
+            RandomSource(seed).shuffle(edges)
+        elif order != "sorted":
+            raise ValueError(f"unknown order {order!r}; expected 'sorted' or 'random'")
+        return cls(edges, validate=False)
+
+    # ------------------------------------------------------------------
+    # sequence behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def __getitem__(self, i: int) -> Edge:
+        return self._edges[i]
+
+    @property
+    def edges(self) -> Sequence[Edge]:
+        """The full edge sequence (read-only view by convention)."""
+        return self._edges
+
+    def position_of(self, edge: tuple[int, int]) -> int:
+        """1-based position of ``edge`` in the stream.
+
+        Linear scan; intended for tests and worked examples, not hot
+        paths.
+        """
+        target = canonical_edge(*edge)
+        for i, e in enumerate(self._edges):
+            if e == target:
+                return i + 1
+        raise EmptyStreamError(f"edge {target} is not in the stream")
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def shuffled(self, seed: int | None = None) -> "EdgeStream":
+        """Return a new stream with the same edges in random order."""
+        edges = list(self._edges)
+        RandomSource(seed).shuffle(edges)
+        return EdgeStream(edges, validate=False)
+
+    def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
+        """Yield the stream as consecutive batches of ``batch_size``."""
+        return batched(self._edges, batch_size)
+
+    def prefix(self, k: int) -> "EdgeStream":
+        """Return the stream of the first ``k`` edges."""
+        return EdgeStream(self._edges[:k], validate=False)
+
+    # ------------------------------------------------------------------
+    # graph statistics
+    # ------------------------------------------------------------------
+    def to_graph(self) -> StaticGraph:
+        """Materialize the stream as a :class:`StaticGraph`."""
+        return StaticGraph(self._edges, strict=False)
+
+    def num_vertices(self) -> int:
+        """Number of distinct vertices appearing in the stream."""
+        verts: set[int] = set()
+        for u, v in self._edges:
+            verts.add(u)
+            verts.add(v)
+        return len(verts)
+
+    def max_degree(self) -> int:
+        """Maximum degree ``Delta`` of the streamed graph."""
+        deg: dict[int, int] = {}
+        for u, v in self._edges:
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+        return max(deg.values(), default=0)

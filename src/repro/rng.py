@@ -1,0 +1,108 @@
+"""Random primitives used throughout the streaming algorithms.
+
+The paper (Section 2) assumes two constant-time procedures:
+
+- ``coin(p)`` -- returns heads with probability ``p``;
+- ``randInt(a, b)`` -- returns an integer uniform on ``{a, ..., b}``.
+
+:class:`RandomSource` wraps :class:`random.Random` with exactly those two
+operations plus the geometric-skip helper used by the paper's optimized
+level-1 maintenance (Section 4: "generating a few geometric random
+variables representing the gaps between the 1's in the vector").
+
+Every algorithm in this package takes an optional ``seed`` (or an already
+constructed :class:`RandomSource`) so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .errors import InvalidParameterError
+
+__all__ = ["RandomSource", "spawn_sources"]
+
+
+class RandomSource:
+    """Seedable source of the paper's ``coin`` and ``randInt`` primitives.
+
+    Parameters
+    ----------
+    seed:
+        Any value acceptable to :class:`random.Random`. ``None`` draws
+        entropy from the OS.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+
+    def coin(self, p: float) -> bool:
+        """Return ``True`` ("heads") with probability ``p``.
+
+        ``p`` outside ``[0, 1]`` is clamped at the ends: ``coin(0)`` is
+        always tails and ``coin(1)`` always heads, matching the paper's
+        usage where ``coin(1/i)`` is called with ``i = 1``.
+        """
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self._rng.random() < p
+
+    def rand_int(self, a: int, b: int) -> int:
+        """Return an integer uniform on ``{a, a+1, ..., b}`` (inclusive)."""
+        if a > b:
+            raise InvalidParameterError(f"rand_int requires a <= b, got ({a}, {b})")
+        return self._rng.randint(a, b)
+
+    def random(self) -> float:
+        """Return a float uniform on ``[0, 1)``."""
+        return self._rng.random()
+
+    def geometric_skip(self, p: float) -> int:
+        """Return the number of failures before the first success.
+
+        Samples ``X ~ Geometric(p)`` with support ``{0, 1, 2, ...}``.
+        Used to jump directly between the (rare) estimators whose level-1
+        edge gets replaced, instead of flipping one coin per estimator.
+        """
+        if not 0.0 < p <= 1.0:
+            raise InvalidParameterError(f"geometric_skip requires 0 < p <= 1, got {p}")
+        if p == 1.0:
+            return 0
+        u = self._rng.random()
+        # Inverse-CDF sampling: smallest k with 1 - (1-p)^(k+1) >= u.
+        return int(math.log1p(-u) / math.log1p(-p))
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._rng.shuffle(items)
+
+    def sample_indices(self, n: int, k: int) -> list[int]:
+        """Return ``k`` distinct indices drawn uniformly from ``range(n)``."""
+        if k > n:
+            raise InvalidParameterError(f"cannot sample {k} distinct values from {n}")
+        return self._rng.sample(range(n), k)
+
+    def spawn(self) -> "RandomSource":
+        """Return a new source seeded from this one's stream.
+
+        Useful for handing independent substreams to parallel estimators
+        while keeping the whole experiment reproducible from one seed.
+        """
+        return RandomSource(self._rng.getrandbits(64))
+
+
+def spawn_sources(seed: int | None, count: int) -> list[RandomSource]:
+    """Return ``count`` independent :class:`RandomSource` objects.
+
+    All are derived deterministically from ``seed``, so the list is
+    reproducible but the sources are pairwise independent streams.
+    """
+    if count < 0:
+        raise InvalidParameterError(f"count must be non-negative, got {count}")
+    root = RandomSource(seed)
+    return [root.spawn() for _ in range(count)]

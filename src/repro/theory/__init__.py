@@ -1,0 +1,19 @@
+"""Theory artifacts: the lower bound of Theorem 3.13 and the space-bound
+catalogue used for the prior-work comparison of Section 1.2."""
+
+from .bounds import space_bound, space_bound_table
+from .lower_bound import (
+    IndexProtocol,
+    alice_graph_edges,
+    bob_query_edges,
+    run_index_protocol,
+)
+
+__all__ = [
+    "IndexProtocol",
+    "alice_graph_edges",
+    "bob_query_edges",
+    "run_index_protocol",
+    "space_bound",
+    "space_bound_table",
+]

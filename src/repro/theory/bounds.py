@@ -1,0 +1,108 @@
+"""Space-bound catalogue for triangle counting algorithms (Section 1.2).
+
+Each entry evaluates the number of estimators (space units) an
+algorithm's analysis requires for an (eps, delta)-approximate triangle
+count on a graph with the given parameters. These are the asymptotic
+expressions of the paper's related-work discussion with their leading
+constants dropped (set to 1), so the table is meant for *relative*
+comparison -- which algorithm's requirement explodes on which graph --
+not absolute sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.accuracy import s_eps_delta
+from ..errors import InvalidParameterError
+
+__all__ = ["GraphParameters", "space_bound", "space_bound_table", "ALGORITHMS"]
+
+
+@dataclass(frozen=True)
+class GraphParameters:
+    """The graph/stream parameters the bounds depend on."""
+
+    n: int
+    m: int
+    max_degree: int
+    triangles: int
+    tangle: float | None = None  # gamma(G), stream-order dependent
+    sigma: int | None = None  # max triangles sharing one edge (for PT)
+
+    def validate(self) -> None:
+        if min(self.n, self.m, self.max_degree, self.triangles) <= 0:
+            raise InvalidParameterError(
+                "n, m, max_degree, triangles must all be positive"
+            )
+
+
+def _ours(p: GraphParameters, s: float) -> float:
+    return s * p.m * p.max_degree / p.triangles
+
+
+def _ours_tangle(p: GraphParameters, s: float) -> float:
+    gamma = p.tangle if p.tangle is not None else 2.0 * p.max_degree
+    return s * p.m * gamma / p.triangles
+
+
+def _jowhari_ghodsi(p: GraphParameters, s: float) -> float:
+    return s * p.m * p.max_degree**2 / p.triangles
+
+
+def _buriol(p: GraphParameters, s: float) -> float:
+    return s * p.m * p.n / p.triangles
+
+
+def _pagh_tsourakakis(p: GraphParameters, s: float) -> float:
+    sigma = p.sigma if p.sigma is not None else p.max_degree
+    return s * p.m * sigma / p.triangles
+
+
+def _manjunath(p: GraphParameters, s: float) -> float:
+    return s * p.m**3 / p.triangles**2
+
+
+def _bar_yossef(p: GraphParameters, s: float) -> float:
+    return s * (p.m * p.n / p.triangles) ** 3
+
+
+def _kane_l3(p: GraphParameters, s: float) -> float:
+    # Kane et al. for H = K_3: m^(3 choose 2) / tau^2 = m^3 / tau^2.
+    return s * p.m**3 / p.triangles**2
+
+
+ALGORITHMS = {
+    "neighborhood-sampling (Thm 3.3)": _ours,
+    "neighborhood-sampling, tangle (Thm 3.4)": _ours_tangle,
+    "jowhari-ghodsi": _jowhari_ghodsi,
+    "buriol-et-al": _buriol,
+    "pagh-tsourakakis": _pagh_tsourakakis,
+    "manjunath-et-al": _manjunath,
+    "kane-et-al (K3)": _kane_l3,
+    "bar-yossef-et-al": _bar_yossef,
+}
+
+
+def space_bound(
+    algorithm: str, params: GraphParameters, *, eps: float = 0.1, delta: float = 0.1
+) -> float:
+    """Evaluate one algorithm's estimator requirement on ``params``."""
+    params.validate()
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise InvalidParameterError(
+            f"unknown algorithm {algorithm!r}; available: {known}"
+        ) from None
+    return fn(params, s_eps_delta(eps, delta))
+
+
+def space_bound_table(
+    params: GraphParameters, *, eps: float = 0.1, delta: float = 0.1
+) -> dict[str, float]:
+    """All algorithms' requirements on one graph, for side-by-side display."""
+    params.validate()
+    s = s_eps_delta(eps, delta)
+    return {name: fn(params, s) for name, fn in ALGORITHMS.items()}

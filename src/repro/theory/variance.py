@@ -1,0 +1,67 @@
+"""Exact variance of the neighborhood-sampling estimator.
+
+Theorem 3.4's proof bounds the estimator's variance by
+``m * sum_t C(t) = m * tau * gamma``. The exact second moment is
+
+    E[tau~^2] = sum_t (m C(t))^2 * Pr[t held]
+              = sum_t (m C(t))^2 / (m C(t))
+              = m * sum_t C(t)  =  m * tau * gamma,
+
+so ``Var[tau~] = m * tau * gamma - tau^2`` *exactly* (not just an upper
+bound) -- the tangle coefficient is the whole story of the estimator's
+spread. These helpers compute the exact values from a stream, predict
+the mean-of-r estimator's standard deviation, and turn that into an
+expected mean-deviation figure comparable to the experiment tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+from ..exact.tangle import neighborhood_sizes, triangle_first_edge_counts
+from ..graph.stream import EdgeStream
+
+__all__ = [
+    "estimator_moments",
+    "estimator_variance",
+    "predicted_std_of_mean",
+    "predicted_mean_deviation_pct",
+]
+
+
+def estimator_moments(stream: EdgeStream) -> tuple[float, float]:
+    """Exact (E[tau~], E[tau~^2]) of one estimator on this stream order."""
+    sizes = neighborhood_sizes(stream)
+    s_counts = triangle_first_edge_counts(stream)
+    m = len(stream)
+    mean = float(sum(s_counts.values()))  # = tau
+    second = float(m) * sum(sizes[e] * s for e, s in s_counts.items())
+    return mean, second
+
+
+def estimator_variance(stream: EdgeStream) -> float:
+    """Exact ``Var[tau~] = m * tau * gamma - tau^2`` for this stream order."""
+    mean, second = estimator_moments(stream)
+    return second - mean * mean
+
+
+def predicted_std_of_mean(stream: EdgeStream, r: int) -> float:
+    """Standard deviation of the average of ``r`` independent estimators."""
+    if r < 1:
+        raise InvalidParameterError(f"r must be >= 1, got {r}")
+    return math.sqrt(estimator_variance(stream) / r)
+
+
+def predicted_mean_deviation_pct(stream: EdgeStream, r: int) -> float:
+    """Expected mean deviation (percent) of the r-estimator average.
+
+    For a (near-)normal average, E|X - mu| = sigma * sqrt(2/pi); divided
+    by tau and scaled to percent this is directly comparable to the MD
+    columns of Tables 1-3.
+    """
+    mean, _ = estimator_moments(stream)
+    if mean == 0:
+        raise InvalidParameterError("stream has no triangles; deviation undefined")
+    sigma = predicted_std_of_mean(stream, r)
+    return sigma * math.sqrt(2.0 / math.pi) / mean * 100.0

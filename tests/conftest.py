@@ -1,0 +1,87 @@
+"""Shared fixtures and statistical assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.exact import count_triangles
+from repro.generators import erdos_renyi, holme_kim
+from repro.graph import EdgeStream
+
+
+# ---------------------------------------------------------------------------
+# Statistical helper: Monte-Carlo estimates need confidence-interval
+# assertions, not equality. All randomized tests are seeded, so failures
+# are reproducible, and tolerances use generous z-scores to keep the
+# false-failure rate negligible.
+# ---------------------------------------------------------------------------
+
+def assert_mean_close(samples, expected, *, z: float = 5.0, min_spread: float = 1e-9):
+    """Assert the sample mean is within ``z`` standard errors of ``expected``."""
+    n = len(samples)
+    assert n >= 2, "need at least two samples"
+    mean = statistics.fmean(samples)
+    spread = statistics.pstdev(samples)
+    stderr = max(spread, min_spread) / math.sqrt(n)
+    assert abs(mean - expected) <= z * stderr + 1e-12, (
+        f"sample mean {mean:.4f} deviates from expected {expected:.4f} "
+        f"by more than {z} standard errors ({stderr:.4f})"
+    )
+
+
+def assert_fraction_close(successes, trials, expected, *, z: float = 5.0):
+    """Assert a Bernoulli success fraction matches ``expected``."""
+    assert trials > 0
+    frac = successes / trials
+    stderr = math.sqrt(max(expected * (1 - expected), 1e-12) / trials)
+    assert abs(frac - expected) <= z * stderr + 1e-12, (
+        f"fraction {frac:.5f} deviates from expected {expected:.5f} "
+        f"by more than {z} stderr ({stderr:.5f})"
+    )
+
+
+@pytest.fixture(scope="session")
+def small_er_graph():
+    """A small Erdos-Renyi graph with a known triangle count."""
+    edges = erdos_renyi(60, 300, seed=3)
+    return edges, count_triangles(edges)
+
+
+@pytest.fixture(scope="session")
+def small_social_graph():
+    """A clustered power-law graph (triangle-rich)."""
+    edges = holme_kim(300, 4, 0.6, seed=11)
+    return edges, count_triangles(edges)
+
+
+@pytest.fixture()
+def triangle_stream():
+    """One triangle followed by a pendant edge."""
+    return EdgeStream([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+@pytest.fixture(scope="session")
+def worked_example_stream():
+    """A 10-edge stream in the spirit of the paper's Figure 1.
+
+    Triangles: t1 = {1,2,3} (first edge e1, c(e1) = 2), t2 = {4,5,6} and
+    t3 = {4,5,7} (both first edge e4, c(e4) = 6). Exact neighborhood-
+    sampling probabilities: Pr[t1] = 1/20, Pr[t2] = Pr[t3] = 1/60.
+    """
+    return EdgeStream(
+        [
+            (1, 2),  # e1
+            (1, 3),  # e2
+            (2, 3),  # e3  -> t1 closed
+            (4, 5),  # e4
+            (4, 6),  # e5
+            (5, 6),  # e6  -> t2 closed
+            (4, 7),  # e7
+            (5, 7),  # e8  -> t3 closed
+            (4, 8),  # e9
+            (5, 9),  # e10
+        ]
+    )

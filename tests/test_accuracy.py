@@ -1,0 +1,128 @@
+"""Tests for the estimator-sizing formulas (Theorems 3.3/3.4/3.8, Lemma 3.11)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import (
+    error_bound,
+    estimators_needed,
+    estimators_needed_sampling,
+    estimators_needed_tangle,
+    estimators_needed_wedges,
+    s_eps_delta,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestSEpsDelta:
+    def test_reference_value(self):
+        assert s_eps_delta(0.1, 0.1) == pytest.approx(100 * math.log(10))
+
+    def test_monotonicity(self):
+        assert s_eps_delta(0.05, 0.1) > s_eps_delta(0.1, 0.1)
+        assert s_eps_delta(0.1, 0.01) > s_eps_delta(0.1, 0.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            s_eps_delta(0.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            s_eps_delta(0.1, 1.0)
+        with pytest.raises(InvalidParameterError):
+            s_eps_delta(1.5, 0.1)
+
+
+class TestTheorem33:
+    def test_formula(self):
+        # r >= 6/eps^2 * m Delta / tau * log(2/delta)
+        r = estimators_needed(0.1, 0.2, m=1000, max_degree=50, triangles=500)
+        expected = math.ceil(6 / 0.01 * (1000 * 50 / 500) * math.log(10))
+        assert r == expected
+
+    def test_easier_graphs_need_fewer(self):
+        hard = estimators_needed(0.1, 0.1, m=1000, max_degree=100, triangles=10)
+        easy = estimators_needed(0.1, 0.1, m=1000, max_degree=10, triangles=1000)
+        assert easy < hard
+
+    def test_invalid_graph_stats(self):
+        with pytest.raises(InvalidParameterError):
+            estimators_needed(0.1, 0.1, m=0, max_degree=1, triangles=1)
+        with pytest.raises(InvalidParameterError):
+            estimators_needed(0.1, 0.1, m=1, max_degree=1, triangles=0)
+
+    @given(
+        st.floats(0.01, 1.0),
+        st.floats(0.01, 0.5),
+        st.integers(1, 10**6),
+        st.integers(1, 10**4),
+        st.integers(1, 10**6),
+    )
+    @settings(max_examples=50)
+    def test_always_positive_integer(self, eps, delta, m, deg, tau):
+        r = estimators_needed(eps, delta, m=m, max_degree=deg, triangles=tau)
+        assert isinstance(r, int) and r >= 1
+
+
+class TestTheorem34:
+    def test_tangle_bound_beats_degree_bound_when_gamma_small(self):
+        # gamma << 2 Delta: the tangle sizing should eventually win.
+        kwargs = dict(m=10_000, triangles=1_000)
+        r_deg = estimators_needed(0.1, 0.1, max_degree=5_000, **kwargs)
+        r_gamma = estimators_needed_tangle(0.1, 0.1, tangle=3.0, **kwargs)
+        assert r_gamma < r_deg
+
+    def test_gamma_equals_2delta_recovers_same_order(self):
+        kwargs = dict(m=1000, triangles=100)
+        r_deg = estimators_needed(0.1, 0.1, max_degree=50, **kwargs)
+        r_gamma = estimators_needed_tangle(0.1, 0.1, tangle=100.0, **kwargs)
+        # Same graph dependence; constants differ by the fixed 48/6 * 2 factor.
+        assert r_gamma / r_deg < 16 * math.log(10) / math.log(20) + 1
+
+    def test_invalid_tangle(self):
+        with pytest.raises(InvalidParameterError):
+            estimators_needed_tangle(0.1, 0.1, m=10, tangle=0.0, triangles=1)
+
+
+class TestTheorem38:
+    def test_formula(self):
+        r = estimators_needed_sampling(2, 0.1, m=100, max_degree=10, triangles=50)
+        expected = math.ceil(4 * 100 * 2 * 10 * math.log(math.e / 0.1) / 50)
+        assert r == expected
+
+    def test_more_samples_need_more_estimators(self):
+        kwargs = dict(m=100, max_degree=10, triangles=50)
+        assert estimators_needed_sampling(5, 0.1, **kwargs) > estimators_needed_sampling(
+            1, 0.1, **kwargs
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            estimators_needed_sampling(0, 0.1, m=1, max_degree=1, triangles=1)
+
+
+class TestWedgeSizing:
+    def test_wedges_cheaper_than_triangles_when_plentiful(self):
+        r_tau = estimators_needed(0.1, 0.1, m=1000, max_degree=30, triangles=100)
+        r_zeta = estimators_needed_wedges(0.1, 0.1, m=1000, max_degree=30, wedges=50_000)
+        assert r_zeta < r_tau
+
+
+class TestErrorBound:
+    def test_inverts_estimators_needed(self):
+        kwargs = dict(m=5000, max_degree=40, triangles=900)
+        eps = 0.25
+        r = estimators_needed(eps, 0.2, **kwargs)
+        # log(2/delta) appears in both; inversion should land at ~eps.
+        recovered = error_bound(r, 0.2, **kwargs)
+        assert recovered == pytest.approx(eps, rel=0.05)
+
+    def test_decreases_with_r(self):
+        kwargs = dict(m=5000, max_degree=40, triangles=900)
+        bounds = [error_bound(r, 0.2, **kwargs) for r in (100, 1000, 10_000)]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            error_bound(0, 0.2, m=1, max_degree=1, triangles=1)

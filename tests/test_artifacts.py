@@ -1,0 +1,26 @@
+"""Tests for the artifacts writer."""
+
+from repro.experiments.artifacts import main, write_all_artifacts
+
+
+class TestArtifacts:
+    def test_writes_text_and_csv_for_selected_runner(self, tmp_path):
+        paths = write_all_artifacts(tmp_path, only=["ablation-tangle"])
+        names = {p.name for p in paths}
+        assert "ablation-tangle.txt" in names
+        assert "ablation-tangle.csv" in names
+        text = (tmp_path / "ablation-tangle.txt").read_text()
+        assert "gamma" in text
+        csv = (tmp_path / "ablation-tangle.csv").read_text()
+        assert csv.count("\n") >= 2  # header + data rows
+
+    def test_figure6_series_csv(self, tmp_path):
+        # Use the buriol study (fast) to check the generic-rows branch.
+        paths = write_all_artifacts(tmp_path, only=["buriol"])
+        assert (tmp_path / "buriol.csv").exists()
+        assert len(paths) == 2
+
+    def test_cli_entry(self, tmp_path, capsys):
+        assert main(["--out", str(tmp_path), "--only", "ablation-aggregation"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation-aggregation.txt" in out

@@ -1,0 +1,168 @@
+"""Tests for the baseline algorithms (JG, Buriol, Pagh-Tsourakakis, exact)."""
+
+import pytest
+
+from repro.baselines import (
+    BuriolTriangleCounter,
+    ColorfulTriangleCounter,
+    ExactStreamingCounter,
+    JowhariGhodsiCounter,
+)
+from repro.baselines.jowhari_ghodsi import JowhariGhodsiEstimator
+from repro.errors import EmptyStreamError, InvalidParameterError
+from repro.exact import count_triangles, count_wedges, transitivity_coefficient
+from repro.generators import complete_graph, erdos_renyi
+from tests.conftest import assert_mean_close
+
+
+class TestExactStreaming:
+    def test_matches_offline_counts(self, small_er_graph):
+        edges, tau = small_er_graph
+        counter = ExactStreamingCounter()
+        counter.update_batch(edges)
+        assert counter.triangles == tau
+        assert counter.wedges == count_wedges(edges)
+        assert counter.estimate() == float(tau)
+
+    def test_transitivity_matches(self, small_social_graph):
+        edges, _ = small_social_graph
+        counter = ExactStreamingCounter()
+        counter.update_batch(edges)
+        assert counter.transitivity() == pytest.approx(
+            transitivity_coefficient(edges)
+        )
+
+    def test_transitivity_without_wedges_raises(self):
+        counter = ExactStreamingCounter()
+        counter.update((0, 1))
+        with pytest.raises(EmptyStreamError):
+            counter.transitivity()
+
+    def test_incremental_counts_along_the_way(self):
+        counter = ExactStreamingCounter()
+        counter.update((0, 1))
+        assert counter.triangles == 0
+        counter.update((1, 2))
+        assert counter.triangles == 0 and counter.wedges == 1
+        counter.update((0, 2))
+        assert counter.triangles == 1 and counter.wedges == 3
+
+    def test_state_and_degree_tracking(self):
+        counter = ExactStreamingCounter()
+        counter.update_batch(complete_graph(5))
+        assert counter.max_degree() == 4
+        assert counter.state_size_edges() == 10
+
+
+class TestJowhariGhodsi:
+    def test_requires_positive_pool(self):
+        with pytest.raises(InvalidParameterError):
+            JowhariGhodsiCounter(0)
+
+    def test_single_estimator_unbiased(self, small_er_graph):
+        edges, tau = small_er_graph
+        estimates = []
+        for seed in range(4000):
+            est = JowhariGhodsiEstimator(seed=seed)
+            for e in edges:
+                est.update(e)
+            estimates.append(est.estimate())
+        assert_mean_close(estimates, tau, z=6.0)
+
+    def test_pool_estimate_is_accurate(self, small_social_graph):
+        edges, tau = small_social_graph
+        counter = JowhariGhodsiCounter(2000, seed=1)
+        counter.update_batch(edges)
+        assert abs(counter.estimate() - tau) / tau < 0.30
+
+    def test_state_is_order_delta(self, small_er_graph):
+        """Each JG estimator stores O(Delta) vertices -- the space cost
+        the paper contrasts with neighborhood sampling's O(1)."""
+        from repro.graph import StaticGraph
+
+        edges, _ = small_er_graph
+        delta = StaticGraph(edges, strict=False).max_degree()
+        counter = JowhariGhodsiCounter(100, seed=2)
+        counter.update_batch(edges)
+        assert counter.total_state_size() > 0
+        for est in counter._estimators:
+            assert est.state_size() <= 2 * delta
+
+    def test_zero_on_triangle_free(self):
+        counter = JowhariGhodsiCounter(300, seed=3)
+        counter.update_batch([(i, i + 1) for i in range(40)])
+        assert counter.estimate() == 0.0
+
+
+class TestBuriol:
+    def test_requires_vertices_and_pool(self):
+        with pytest.raises(InvalidParameterError):
+            BuriolTriangleCounter(0, [0, 1, 2])
+        with pytest.raises(InvalidParameterError):
+            BuriolTriangleCounter(5, [0, 1])
+
+    def test_unbiased_with_large_pool(self):
+        edges = complete_graph(8)
+        tau = count_triangles(edges)
+        vertices = list(range(8))
+        estimates = []
+        for seed in range(40):
+            counter = BuriolTriangleCounter(2000, vertices, seed=seed)
+            counter.update_batch(edges)
+            estimates.append(counter.estimate())
+        assert_mean_close(estimates, tau, z=6.0)
+
+    def test_success_fraction_far_below_neighborhood_sampling(self, small_er_graph):
+        """The Section 4.2 observation: blind third-vertex choice makes
+        Buriol et al. rarely complete a triangle."""
+        from repro.core.triangle_count import TriangleCounter
+
+        edges, _ = small_er_graph
+        vertices = sorted({u for e in edges for u in e})
+        r = 3000
+        buriol = BuriolTriangleCounter(r, vertices, seed=4)
+        buriol.update_batch(edges)
+        ours = TriangleCounter(r, seed=4)
+        ours.update_batch(edges)
+        assert buriol.fraction_holding_triangle() < ours.fraction_holding_triangle()
+
+    def test_estimates_scale(self):
+        edges = complete_graph(6)
+        counter = BuriolTriangleCounter(500, list(range(6)), seed=5)
+        counter.update_batch(edges)
+        values = set(counter.estimates())
+        assert values <= {0.0, float(len(edges)) * 4}
+
+
+class TestColorful:
+    def test_requires_positive_colors(self):
+        with pytest.raises(InvalidParameterError):
+            ColorfulTriangleCounter(0)
+
+    def test_one_color_is_exact(self, small_er_graph):
+        edges, tau = small_er_graph
+        counter = ColorfulTriangleCounter(1, seed=0)
+        counter.update_batch(edges)
+        assert counter.estimate() == float(tau)
+        assert counter.kept_edges() == len(edges)
+
+    def test_unbiased_across_colorings(self, small_social_graph):
+        edges, tau = small_social_graph
+        estimates = []
+        for seed in range(300):
+            counter = ColorfulTriangleCounter(3, seed=seed)
+            counter.update_batch(edges)
+            estimates.append(counter.estimate())
+        assert_mean_close(estimates, tau, z=6.0)
+
+    def test_space_shrinks_with_colors(self, small_er_graph):
+        edges, _ = small_er_graph
+        few = ColorfulTriangleCounter(2, seed=1)
+        many = ColorfulTriangleCounter(10, seed=1)
+        few.update_batch(edges)
+        many.update_batch(edges)
+        assert many.kept_edges() < few.kept_edges()
+
+    def test_empty_stream_estimates_zero(self):
+        counter = ColorfulTriangleCounter(4, seed=2)
+        assert counter.estimate() == 0.0

@@ -1,0 +1,128 @@
+"""Tests for the Section 3.3 bulk-processing engine (bulkTC)."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bulk import BulkTriangleCounter
+from repro.exact import list_triangles, neighborhood_sizes
+from repro.graph import EdgeStream
+from repro.graph.edge import edges_adjacent
+from tests.conftest import assert_mean_close
+
+
+def feed(counter, edges, batch_size):
+    for start in range(0, len(edges), batch_size):
+        counter.update_batch(edges[start : start + batch_size])
+
+
+class TestBasics:
+    def test_requires_positive_estimators(self):
+        with pytest.raises(ValueError):
+            BulkTriangleCounter(0)
+
+    def test_empty_batch_is_noop(self):
+        c = BulkTriangleCounter(4, seed=0)
+        c.update_batch([])
+        assert c.edges_seen == 0
+
+    def test_edges_seen_accumulates(self):
+        c = BulkTriangleCounter(4, seed=0)
+        c.update_batch([(0, 1), (1, 2)])
+        c.update((0, 2))
+        assert c.edges_seen == 3
+
+    def test_single_estimator_single_batches_match_reference_semantics(self):
+        # Batch size 1 must behave exactly like Algorithm 1: check the
+        # level-1 reservoir marginal over many runs.
+        edges = [(0, i) for i in range(1, 11)]
+        counts = [0] * 10
+        trials = 20_000
+        for seed in range(trials):
+            c = BulkTriangleCounter(1, seed=seed)
+            for e in edges:
+                c.update(e)
+            counts[c.states()[0].r1[1] - 1] += 1
+        expected = trials / 10
+        for count in counts:
+            assert abs(count - expected) < 6 * (expected**0.5)
+
+
+class TestInvariants:
+    def test_c_matches_neighborhood_size(self, small_er_graph):
+        edges, _ = small_er_graph
+        stream = EdgeStream(edges, validate=False)
+        true_c = neighborhood_sizes(stream)
+        c = BulkTriangleCounter(200, seed=5)
+        feed(c, list(stream), 64)
+        for state in c.states():
+            assert state.c == true_c[state.r1]
+
+    def test_r2_adjacent_and_after_r1(self, small_er_graph):
+        edges, _ = small_er_graph
+        c = BulkTriangleCounter(200, seed=6)
+        feed(c, edges, 50)
+        for state in c.states():
+            if state.r2 is not None:
+                assert edges_adjacent(state.r1, state.r2)
+                assert state.r2_pos > state.r1_pos
+
+    def test_held_triangles_are_real(self, small_er_graph):
+        edges, _ = small_er_graph
+        triangles = set(list_triangles(edges))
+        c = BulkTriangleCounter(400, seed=7)
+        feed(c, edges, 128)
+        held = [s.t for s in c.states() if s.t is not None]
+        assert held, "expected at least one closed triangle at this r"
+        for t in held:
+            assert t in triangles
+
+    def test_r1_position_tracks_edge(self, small_er_graph):
+        edges, _ = small_er_graph
+        c = BulkTriangleCounter(100, seed=8)
+        feed(c, edges, 37)
+        for state in c.states():
+            assert edges[state.r1_pos - 1] == state.r1
+
+
+class TestUnbiasedness:
+    def test_mean_estimate_matches_tau(self, small_er_graph):
+        edges, tau = small_er_graph
+        c = BulkTriangleCounter(30_000, seed=11)
+        feed(c, edges, 97)
+        assert_mean_close(c.estimates(), tau)
+
+    def test_unbiased_across_batch_splits(self, small_social_graph):
+        """The batch decomposition must not change the distribution."""
+        edges, tau = small_social_graph
+        for batch_size in (1, 7, 64, len(edges)):
+            c = BulkTriangleCounter(12_000, seed=batch_size)
+            feed(c, edges, batch_size)
+            assert_mean_close(c.estimates(), tau, z=6.0)
+
+    def test_wedge_estimates_unbiased(self, small_er_graph):
+        from repro.exact import count_wedges
+
+        edges, _ = small_er_graph
+        zeta = count_wedges(edges)
+        c = BulkTriangleCounter(20_000, seed=13)
+        feed(c, edges, 61)
+        assert_mean_close(c.wedge_estimates(), zeta)
+
+
+class TestBatchSplitProperty:
+    @given(st.integers(1, 40), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_any_split_preserves_invariants(self, batch_size, seed):
+        raw = [(i % 17, (i * 7 + 1) % 17) for i in range(60)]
+        pairs = [tuple(sorted(e)) for e in raw if e[0] != e[1]]
+        unique = list(dict.fromkeys(pairs))
+        c = BulkTriangleCounter(50, seed=seed)
+        feed(c, unique, batch_size)
+        true_c = neighborhood_sizes(EdgeStream(unique, validate=False))
+        for state in c.states():
+            assert state.c == true_c[state.r1]
+            if state.t is not None:
+                assert state.r2 is not None

@@ -1,0 +1,123 @@
+"""Tests for state checkpointing, pool merging, and the parallel counter."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import from_state_dict, merge_counters, to_state_dict
+from repro.core.parallel import ParallelTriangleCounter, count_triangles_parallel
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.errors import InvalidParameterError
+from tests.conftest import assert_mean_close
+
+
+def build_counter(edges, r, seed):
+    counter = VectorizedTriangleCounter(r, seed=seed)
+    counter.update_batch(edges)
+    return counter
+
+
+class TestCheckpoint:
+    def test_round_trip_preserves_estimates(self, small_er_graph):
+        edges, _ = small_er_graph
+        counter = build_counter(edges, 500, seed=1)
+        restored = from_state_dict(to_state_dict(counter), seed=2)
+        assert restored.edges_seen == counter.edges_seen
+        assert np.array_equal(restored.estimates(), counter.estimates())
+        assert np.array_equal(restored.tset, counter.tset)
+
+    def test_restored_counter_keeps_streaming(self, small_er_graph):
+        """A restored counter continues correctly: the invariant
+        c = |N(r1)| still holds after more edges arrive."""
+        from repro.exact import neighborhood_sizes
+        from repro.graph import EdgeStream
+
+        edges, _ = small_er_graph
+        half = len(edges) // 2
+        counter = build_counter(edges[:half], 300, seed=3)
+        restored = from_state_dict(to_state_dict(counter), seed=4)
+        restored.update_batch(edges[half:])
+        true_c = neighborhood_sizes(EdgeStream(edges, validate=False))
+        for i in range(restored.num_estimators):
+            r1 = (int(restored.r1u[i]), int(restored.r1v[i]))
+            assert restored.c[i] == true_c[r1]
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            from_state_dict({"edges_seen": 3})
+
+    def test_mismatched_lengths_rejected(self, small_er_graph):
+        edges, _ = small_er_graph
+        state = to_state_dict(build_counter(edges, 10, seed=0))
+        state["c"] = state["c"][:5]
+        with pytest.raises(InvalidParameterError):
+            from_state_dict(state)
+
+
+class TestMerge:
+    def test_merged_pool_concatenates(self, small_er_graph):
+        edges, _ = small_er_graph
+        a = build_counter(edges, 300, seed=1)
+        b = build_counter(edges, 200, seed=2)
+        merged = merge_counters([a, b], seed=9)
+        assert merged.num_estimators == 500
+        assert merged.edges_seen == len(edges)
+        expected = list(a.estimates()) + list(b.estimates())
+        assert list(merged.estimates()) == expected
+
+    def test_merged_estimate_is_pooled_mean(self, small_er_graph):
+        edges, tau = small_er_graph
+        parts = [build_counter(edges, 5_000, seed=s) for s in range(6)]
+        merged = merge_counters(parts)
+        assert_mean_close(list(merged.estimates()), tau, z=6.0)
+
+    def test_merge_requires_same_stream_position(self, small_er_graph):
+        edges, _ = small_er_graph
+        a = build_counter(edges, 10, seed=1)
+        b = build_counter(edges[:-1], 10, seed=2)
+        with pytest.raises(InvalidParameterError):
+            merge_counters([a, b])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            merge_counters([])
+
+    def test_merged_counter_keeps_streaming(self, small_er_graph):
+        edges, _ = small_er_graph
+        half = len(edges) // 2
+        a = build_counter(edges[:half], 100, seed=1)
+        b = build_counter(edges[:half], 100, seed=2)
+        merged = merge_counters([a, b], seed=3)
+        merged.update_batch(edges[half:])
+        assert merged.edges_seen == len(edges)
+
+
+class TestParallel:
+    def test_invalid_configuration(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelTriangleCounter(0)
+        with pytest.raises(InvalidParameterError):
+            ParallelTriangleCounter(10, workers=0)
+
+    def test_merged_requires_count_first(self):
+        counter = ParallelTriangleCounter(10, workers=1)
+        with pytest.raises(InvalidParameterError):
+            _ = counter.merged
+
+    def test_single_worker_matches_vectorized_semantics(self, small_er_graph):
+        edges, tau = small_er_graph
+        estimate = count_triangles_parallel(
+            edges, 8_000, workers=1, seed=5, batch_size=128
+        )
+        assert abs(estimate - tau) / tau < 0.5
+
+    def test_two_workers_accurate(self, small_social_graph):
+        edges, tau = small_social_graph
+        counter = ParallelTriangleCounter(16_000, workers=2, seed=7)
+        estimate = counter.count(edges, batch_size=4_096)
+        assert abs(estimate - tau) / tau < 0.25
+        assert counter.merged.num_estimators == 16_000
+
+    def test_shard_sizes_cover_pool(self):
+        counter = ParallelTriangleCounter(10, workers=3)
+        assert sum(counter._shard_sizes()) == 10
+        assert max(counter._shard_sizes()) - min(counter._shard_sizes()) <= 1

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.generators import holme_kim
+from repro.graph import write_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "graph.edges"
+    write_edge_list(path, holme_kim(300, 3, 0.6, seed=1))
+    return str(path)
+
+
+class TestCount:
+    def test_reports_estimate(self, graph_file, capsys):
+        assert main(["count", "--input", graph_file, "--estimators", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated triangles" in out
+        assert "edges/s" in out
+
+    def test_engine_choice(self, graph_file, capsys):
+        code = main(
+            ["count", "--input", graph_file, "--estimators", "200",
+             "--engine", "bulk"]
+        )
+        assert code == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["count", "--input", "/nonexistent.edges"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTransitivity:
+    def test_reports_kappa(self, graph_file, capsys):
+        code = main(
+            ["transitivity", "--input", graph_file, "--estimators", "3000"]
+        )
+        assert code == 0
+        assert "transitivity" in capsys.readouterr().out
+
+
+class TestSample:
+    def test_prints_k_triangles(self, graph_file, capsys):
+        code = main(
+            ["sample", "--input", graph_file, "--estimators", "5000", "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("  ")]
+        assert len(lines) == 2
+
+    def test_failure_when_pool_too_small(self, tmp_path, capsys):
+        # A triangle-free path: no sampler can ever release a triangle.
+        path = tmp_path / "path.edges"
+        write_edge_list(path, [(i, i + 1) for i in range(20)])
+        code = main(["sample", "--input", str(path), "--estimators", "10"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExactAndStats:
+    def test_exact_counts(self, graph_file, capsys):
+        assert main(["exact", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out and "wedges" in out
+
+    def test_exact_matches_library(self, graph_file, capsys):
+        from repro.exact import count_triangles
+        from repro.graph import read_edge_list
+
+        main(["exact", "--input", graph_file])
+        out = capsys.readouterr().out
+        reported = int(
+            next(l for l in out.splitlines() if l.startswith("triangles"))
+            .split(":")[1].strip().replace(",", "")
+        )
+        assert reported == count_triangles(read_edge_list(graph_file))
+
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "max degree" in out

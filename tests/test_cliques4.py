@@ -1,0 +1,141 @@
+"""Tests for the 4-clique samplers (Algorithm 4 / Section 5.1)."""
+
+import statistics
+
+import pytest
+
+from repro.core.cliques4 import (
+    CliqueCounter4,
+    FourCliqueSamplerTypeI,
+    FourCliqueSamplerTypeII,
+)
+from repro.errors import InvalidParameterError
+from repro.exact import count_four_cliques
+from repro.generators import complete_graph, erdos_renyi, planted_clique
+from tests.conftest import assert_mean_close
+
+
+def run_type1(edges, seed):
+    s = FourCliqueSamplerTypeI(seed=seed)
+    for e in edges:
+        s.update(e)
+    return s
+
+
+def run_type2(edges, seed):
+    s = FourCliqueSamplerTypeII(seed=seed)
+    for e in edges:
+        s.update(e)
+    return s
+
+
+class TestTypeISampler:
+    def test_no_clique_on_triangle_free_stream(self):
+        edges = [(i, i + 1) for i in range(20)]
+        for seed in range(20):
+            assert run_type1(edges, seed).held_clique() is None
+            assert run_type1(edges, seed).estimate() == 0.0
+
+    def test_held_cliques_are_real(self):
+        # K6 is dense enough that Type I successes are frequent
+        # (per-clique probability ~1/(m c1 c2) ~ 1/1200, 15 cliques).
+        edges = complete_graph(6)
+        from repro.exact import list_cliques
+
+        real = set(list_cliques(edges, 4))
+        found = 0
+        for seed in range(2500):
+            clique = run_type1(edges, seed).held_clique()
+            if clique is not None:
+                assert clique in real
+                found += 1
+        assert found > 0
+
+    def test_counters_track_levels(self):
+        edges = complete_graph(5)
+        s = run_type1(edges, 3)
+        assert s.edges_seen == 10
+        assert s.c1 >= 0 and s.c2 >= 0
+
+    def test_k4_single_type1_order(self):
+        """A K4 streamed so its first two edges share a vertex is Type I;
+        the Type I estimator pool alone must be unbiased for it."""
+        # Order: (0,1), (0,2) share vertex 0 -> Type I.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        samples = [run_type1(edges, seed).estimate() for seed in range(8000)]
+        assert_mean_close(samples, 1.0, z=6.0)
+        # And Type II holds nothing on this order.
+        assert all(run_type2(edges, s).estimate() == 0.0 for s in range(300))
+
+
+class TestTypeIISampler:
+    def test_k4_single_type2_order(self):
+        """First two edges disjoint -> Type II; its pool is unbiased."""
+        edges = [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3)]
+        samples = [run_type2(edges, seed).estimate() for seed in range(8000)]
+        assert_mean_close(samples, 1.0, z=6.0)
+        assert all(run_type1(edges, s).estimate() == 0.0 for s in range(300))
+
+    def test_estimate_value_is_m_squared(self):
+        edges = [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3)]
+        hits = [
+            run_type2(edges, seed).estimate()
+            for seed in range(3000)
+            if run_type2(edges, seed).held_clique() is not None
+        ]
+        assert hits, "expected some Type II successes"
+        assert all(v == float(len(edges)) ** 2 for v in hits if v > 0)
+
+    def test_position_ordering_required(self):
+        s = FourCliqueSamplerTypeII(seed=0)
+        # Force both reservoirs manually into inverted positions.
+        s.e1, s.pos1 = (2, 3), 5
+        s.e2, s.pos2 = (0, 1), 2
+        assert not s._active()
+
+
+class TestCliqueCounter4:
+    def test_requires_positive_pool(self):
+        with pytest.raises(InvalidParameterError):
+            CliqueCounter4(0)
+
+    def test_unbiased_on_k5(self):
+        """K5 has 5 4-cliques across mixed types under random orders."""
+        from repro.graph import EdgeStream
+
+        true = count_four_cliques(complete_graph(5))
+        assert true == 5
+        estimates = []
+        for seed in range(120):
+            stream = EdgeStream(complete_graph(5), validate=False).shuffled(seed)
+            counter = CliqueCounter4(60, seed=seed)
+            counter.update_batch(list(stream))
+            estimates.append(counter.estimate())
+        assert_mean_close(estimates, true, z=6.0)
+
+    def test_unbiased_on_er_graph(self):
+        edges = erdos_renyi(25, 120, seed=5)
+        true = count_four_cliques(edges)
+        assert true > 0
+        estimates = []
+        for seed in range(60):
+            counter = CliqueCounter4(150, seed=seed)
+            counter.update_batch(edges)
+            estimates.append(counter.estimate())
+        assert_mean_close(estimates, true, z=6.0)
+
+    def test_zero_on_clique_free_graph(self):
+        edges = [(i, i + 1) for i in range(30)]
+        counter = CliqueCounter4(200, seed=6)
+        counter.update_batch(edges)
+        assert counter.estimate() == 0.0
+
+    def test_held_cliques_are_valid(self):
+        edges = planted_clique(18, 5, 20, seed=7)
+        counter = CliqueCounter4(400, seed=8)
+        counter.update_batch(edges)
+        from repro.exact import list_cliques
+
+        real = set(list_cliques(edges, 4))
+        for clique in counter.held_cliques():
+            assert clique in real

@@ -1,0 +1,174 @@
+"""Tests for the generalized l-clique pattern samplers (Theorem 5.6/5.7)."""
+
+import pytest
+
+from repro.core.cliques import CliqueCounter, CliqueSampler, PatternSampler, clique_patterns
+from repro.errors import InsufficientSampleError, InvalidParameterError
+from repro.exact import count_cliques, count_triangles, list_cliques
+from repro.generators import complete_graph, erdos_renyi, planted_clique
+from repro.graph import EdgeStream
+from tests.conftest import assert_mean_close
+
+
+class TestPatterns:
+    def test_triangle_pattern(self):
+        assert clique_patterns(3) == [(2, 1)]
+
+    def test_four_clique_patterns(self):
+        assert sorted(clique_patterns(4)) == [(2, 1, 1), (2, 2)]
+
+    def test_five_clique_patterns(self):
+        patterns = clique_patterns(5)
+        assert sorted(patterns) == [(2, 1, 1, 1), (2, 1, 2), (2, 2, 1)]
+        assert all(sum(p) == 5 for p in patterns)
+
+    def test_pattern_count_grows_like_fibonacci(self):
+        # compositions of l-2 into {1,2}: Fibonacci numbers.
+        counts = [len(clique_patterns(size)) for size in range(3, 9)]
+        assert counts == [1, 2, 3, 5, 8, 13]
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            clique_patterns(2)
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PatternSampler((1, 2))
+        with pytest.raises(InvalidParameterError):
+            PatternSampler((2, 3))
+        with pytest.raises(InvalidParameterError):
+            PatternSampler(())
+
+
+class TestTrianglePatternMatchesAlgorithm1:
+    """Pattern (2, 1) must reproduce triangle counting exactly."""
+
+    def test_unbiased_triangle_estimates(self, small_er_graph):
+        edges, tau = small_er_graph
+        estimates = []
+        for seed in range(3000):
+            s = PatternSampler((2, 1), seed=seed)
+            for e in edges:
+                s.update(e)
+            estimates.append(s.estimate())
+        assert_mean_close(estimates, tau, z=6.0)
+
+    def test_held_triangles_are_real(self, small_er_graph):
+        from repro.exact import list_triangles
+
+        edges, _ = small_er_graph
+        real = set(list_triangles(edges))
+        for seed in range(200):
+            s = PatternSampler((2, 1), seed=seed)
+            for e in edges:
+                s.update(e)
+            clique = s.held_clique()
+            if clique is not None:
+                assert clique in real
+
+
+class TestFourCliquePatterns:
+    def test_type1_pattern_on_type1_order(self):
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        estimates = []
+        for seed in range(8000):
+            s = PatternSampler((2, 1, 1), seed=seed)
+            for e in edges:
+                s.update(e)
+            estimates.append(s.estimate())
+        assert_mean_close(estimates, 1.0, z=6.0)
+
+    def test_type2_pattern_on_type2_order(self):
+        edges = [(0, 1), (2, 3), (0, 2), (0, 3), (1, 2), (1, 3)]
+        estimates = []
+        for seed in range(8000):
+            s = PatternSampler((2, 2), seed=seed)
+            for e in edges:
+                s.update(e)
+            estimates.append(s.estimate())
+        assert_mean_close(estimates, 1.0, z=6.0)
+
+    def test_counter_unbiased_on_er_graph(self):
+        edges = erdos_renyi(25, 120, seed=5)
+        true = count_cliques(edges, 4)
+        assert true > 0
+        estimates = []
+        for seed in range(60):
+            counter = CliqueCounter(4, 120, seed=seed)
+            counter.update_batch(edges)
+            estimates.append(counter.estimate())
+        assert_mean_close(estimates, true, z=6.0)
+
+
+class TestFiveCliques:
+    def test_unbiased_on_k6(self):
+        """K6 contains C(6,5) = 6 5-cliques; random stream orders."""
+        true = count_cliques(complete_graph(6), 5)
+        assert true == 6
+        estimates = []
+        for seed in range(100):
+            stream = EdgeStream(complete_graph(6), validate=False).shuffled(seed)
+            counter = CliqueCounter(5, 60, seed=seed)
+            counter.update_batch(list(stream))
+            estimates.append(counter.estimate())
+        assert_mean_close(estimates, true, z=6.0)
+
+    def test_zero_on_sparse_graph(self):
+        edges = [(i, i + 1) for i in range(25)]
+        counter = CliqueCounter(5, 100, seed=1)
+        counter.update_batch(edges)
+        assert counter.estimate() == 0.0
+
+
+class TestCliqueCounterApi:
+    def test_requires_positive_pool(self):
+        with pytest.raises(InvalidParameterError):
+            CliqueCounter(4, 0)
+
+    def test_held_cliques_are_valid(self):
+        edges = planted_clique(18, 5, 20, seed=7)
+        real = set(list_cliques(edges, 4))
+        counter = CliqueCounter(4, 300, seed=8)
+        counter.update_batch(edges)
+        for clique in counter.held_cliques():
+            assert clique in real
+
+    def test_size3_counter_matches_exact_triangles(self, small_social_graph):
+        edges, tau = small_social_graph
+        assert tau == count_triangles(edges)
+        counter = CliqueCounter(3, 4000, seed=9)
+        counter.update_batch(edges)
+        assert abs(counter.estimate() - tau) / tau < 0.30
+
+    def test_pattern_estimate_accessor(self):
+        counter = CliqueCounter(4, 10, seed=0)
+        counter.update_batch(complete_graph(4))
+        total = sum(counter.pattern_estimate(p) for p in counter.patterns)
+        assert total == pytest.approx(counter.estimate())
+
+
+class TestCliqueSampler:
+    def test_requires_valid_max_degree(self):
+        with pytest.raises(InvalidParameterError):
+            CliqueSampler(4, 10, max_degree=0)
+
+    def test_sampled_cliques_are_real(self):
+        edges = planted_clique(15, 5, 12, seed=3)
+        real = set(list_cliques(edges, 4))
+        from repro.graph import StaticGraph
+
+        delta = StaticGraph(edges, strict=False).max_degree()
+        sampler = CliqueSampler(4, 3000, max_degree=delta, seed=4)
+        sampler.update_batch(edges)
+        try:
+            cliques = sampler.sample(2)
+        except InsufficientSampleError:
+            pytest.skip("rejection left too few samples at this pool size")
+        for c in cliques:
+            assert c in real
+
+    def test_insufficient_raises(self):
+        sampler = CliqueSampler(4, 5, max_degree=10, seed=5)
+        sampler.update_batch([(i, i + 1) for i in range(10)])
+        with pytest.raises(InsufficientSampleError):
+            sampler.sample(1)

@@ -1,0 +1,144 @@
+"""Edge-case and failure-injection tests for the estimator engines.
+
+Streaming systems live or die on their handling of degenerate inputs:
+single-edge streams, stars with no triangles, huge sparse ids, batch
+boundaries landing on wedge closings, and adversarial orders that
+maximize the tangle coefficient.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bulk import BulkTriangleCounter
+from repro.core.neighborhood_sampling import NeighborhoodSampler
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.exact import count_triangles
+from tests.conftest import assert_mean_close
+
+
+class TestDegenerateStreams:
+    @pytest.mark.parametrize(
+        "engine_cls", [BulkTriangleCounter, VectorizedTriangleCounter]
+    )
+    def test_single_edge(self, engine_cls):
+        counter = engine_cls(8, seed=0)
+        counter.update((5, 9))
+        assert counter.edges_seen == 1
+        assert counter.estimate() == 0.0
+
+    @pytest.mark.parametrize(
+        "engine_cls", [BulkTriangleCounter, VectorizedTriangleCounter]
+    )
+    def test_two_adjacent_edges_never_form_triangle(self, engine_cls):
+        counter = engine_cls(64, seed=1)
+        counter.update_batch([(0, 1), (1, 2)])
+        assert counter.estimate() == 0.0
+
+    @pytest.mark.parametrize(
+        "engine_cls", [BulkTriangleCounter, VectorizedTriangleCounter]
+    )
+    def test_star_stream_counts_zero(self, engine_cls):
+        counter = engine_cls(128, seed=2)
+        counter.update_batch([(0, i) for i in range(1, 40)])
+        assert counter.estimate() == 0.0
+        # but the c counters are busy: every edge neighbors every other.
+        if isinstance(counter, VectorizedTriangleCounter):
+            assert counter.c.max() > 0
+
+    def test_sparse_large_vertex_ids(self):
+        ids = [10**8, 2 * 10**8, 2**30, 5, 77]
+        edges = [(ids[0], ids[1]), (ids[1], ids[2]), (ids[0], ids[2])]
+        counter = VectorizedTriangleCounter(3000, seed=3)
+        counter.update_batch(edges)
+        assert_mean_close(list(counter.estimates()), 1.0, z=6.0)
+
+    def test_triangle_split_across_three_batches(self):
+        """Each edge of the triangle in its own batch: the wedge closing
+        must work across batch boundaries."""
+        counter = VectorizedTriangleCounter(20_000, seed=4)
+        for e in [(0, 1), (1, 2), (0, 2)]:
+            counter.update_batch([e])
+        assert_mean_close(list(counter.estimates()), 1.0, z=6.0)
+
+    def test_closing_edge_first_in_batch(self):
+        """A batch whose first edge closes a wedge held from earlier."""
+        counter = BulkTriangleCounter(20_000, seed=5)
+        counter.update_batch([(0, 1), (1, 2)])
+        counter.update_batch([(0, 2), (3, 4)])
+        assert_mean_close(counter.estimates(), 1.0, z=6.0)
+
+
+class TestAdversarialOrders:
+    def test_hub_first_order(self):
+        """All hub edges first maximizes c for the hub's triangles: the
+        estimate must stay unbiased (only the variance changes)."""
+        hub_edges = [(0, i) for i in range(1, 30)]
+        closing = [(i, i + 1) for i in range(1, 29)]
+        edges = hub_edges + closing
+        tau = count_triangles(edges)
+        counter = VectorizedTriangleCounter(40_000, seed=6)
+        counter.update_batch(edges)
+        assert_mean_close(list(counter.estimates()), tau, z=6.0)
+
+    def test_hub_last_order(self):
+        hub_edges = [(0, i) for i in range(1, 30)]
+        closing = [(i, i + 1) for i in range(1, 29)]
+        edges = closing + hub_edges
+        tau = count_triangles(edges)
+        counter = VectorizedTriangleCounter(40_000, seed=7)
+        counter.update_batch(edges)
+        assert_mean_close(list(counter.estimates()), tau, z=6.0)
+
+    def test_variance_differs_between_orders_but_mean_does_not(self):
+        """The tangle coefficient (hence variance) is order-dependent;
+        unbiasedness is not."""
+        from repro.exact import tangle_coefficient
+        from repro.graph import EdgeStream
+
+        hub_edges = [(0, i) for i in range(1, 30)]
+        closing = [(i, i + 1) for i in range(1, 29)]
+        g1 = tangle_coefficient(EdgeStream(hub_edges + closing))
+        g2 = tangle_coefficient(EdgeStream(closing + hub_edges))
+        assert g1 != g2
+
+
+class TestReferenceSamplerEdgeCases:
+    def test_self_loop_rejected(self):
+        sampler = NeighborhoodSampler(seed=0)
+        from repro.errors import InvalidEdgeError
+
+        with pytest.raises(InvalidEdgeError):
+            sampler.update((3, 3))
+
+    def test_estimates_before_any_edges(self):
+        sampler = NeighborhoodSampler(seed=0)
+        assert sampler.triangle_estimate() == 0.0
+        assert sampler.wedge_estimate() == 0.0
+        assert not sampler.has_triangle()
+
+    def test_r2_reset_on_r1_change(self):
+        """Once r1 changes, the old wedge must be forgotten."""
+        sampler = NeighborhoodSampler(seed=0)
+        for e in [(0, 1), (1, 2), (0, 2)] * 1:
+            sampler.update(e)
+        # Whatever the state, internal consistency must hold:
+        if sampler.r2 is not None:
+            from repro.graph.edge import edges_adjacent
+
+            assert edges_adjacent(sampler.r1, sampler.r2)
+        if sampler.t is not None:
+            assert sampler.r2 is not None
+
+
+class TestVectorizedDtypes:
+    def test_numpy_array_input(self):
+        edges = np.array([[0, 1], [1, 2], [0, 2]], dtype=np.int64)
+        counter = VectorizedTriangleCounter(100, seed=8)
+        counter.update_batch(edges)
+        assert counter.edges_seen == 3
+
+    def test_estimates_are_float64(self):
+        counter = VectorizedTriangleCounter(10, seed=9)
+        counter.update_batch([(0, 1)])
+        assert counter.estimates().dtype == np.float64
+        assert counter.wedge_estimates().dtype == np.float64

@@ -1,0 +1,128 @@
+"""Cross-engine equivalence: reference vs bulk vs vectorized.
+
+The three engines implement the same sampling process, so on the same
+stream (a) deterministic invariants agree exactly and (b) the empirical
+distributions of (r1, estimate) match up to sampling noise.
+"""
+
+import statistics
+from collections import Counter
+
+from repro.core.bulk import BulkTriangleCounter
+from repro.core.neighborhood_sampling import NeighborhoodSampler
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.exact import count_triangles
+from repro.generators import erdos_renyi
+from tests.conftest import assert_mean_close
+
+
+def feed(counter, edges, batch_size):
+    for start in range(0, len(edges), batch_size):
+        counter.update_batch(edges[start : start + batch_size])
+
+
+class TestDistributionalEquivalence:
+    def test_r1_marginal_uniform_in_all_engines(self):
+        """Every engine's final r1 must be uniform over the stream."""
+        edges = [(0, i) for i in range(1, 9)]
+        m = len(edges)
+        trials = 16_000
+
+        ref_counts = Counter()
+        for seed in range(trials):
+            s = NeighborhoodSampler(seed=seed)
+            for e in edges:
+                s.update(e)
+            ref_counts[s.r1] += 1
+
+        bulk = BulkTriangleCounter(trials, seed=1)
+        feed(bulk, edges, 3)
+        bulk_counts = Counter(s.r1 for s in bulk.states())
+
+        vec = VectorizedTriangleCounter(trials, seed=2)
+        feed(vec, edges, 3)
+        vec_counts = Counter(
+            (int(vec.r1u[i]), int(vec.r1v[i])) for i in range(trials)
+        )
+
+        expected = trials / m
+        tolerance = 6 * (expected**0.5)
+        for counts in (ref_counts, bulk_counts, vec_counts):
+            assert len(counts) == m
+            for e in edges:
+                assert abs(counts[e] - expected) < tolerance
+
+    def test_triangle_holding_rates_agree(self, small_er_graph):
+        edges, tau = small_er_graph
+        m = len(edges)
+        trials = 12_000
+
+        ref_held = 0
+        for seed in range(trials):
+            s = NeighborhoodSampler(seed=seed)
+            for e in edges:
+                s.update(e)
+            ref_held += s.t is not None
+
+        bulk = BulkTriangleCounter(trials, seed=5)
+        feed(bulk, edges, 71)
+        bulk_held = sum(1 for s in bulk.states() if s.t is not None)
+
+        vec = VectorizedTriangleCounter(trials, seed=6)
+        feed(vec, edges, 71)
+        vec_held = int(vec.tset.sum())
+
+        rates = [ref_held / trials, bulk_held / trials, vec_held / trials]
+        # All engines sample triangles at the same rate (Lemma 3.1 sums
+        # to sum_t 1/(m C(t))); allow generous Monte-Carlo slack.
+        spread = max(rates) - min(rates)
+        base = statistics.fmean(rates)
+        assert spread < 0.25 * base + 5 * (base / trials) ** 0.5
+
+    def test_all_engines_unbiased_on_same_graph(self):
+        edges = erdos_renyi(50, 220, seed=17)
+        tau = count_triangles(edges)
+        assert tau > 0
+
+        bulk = BulkTriangleCounter(25_000, seed=3)
+        feed(bulk, edges, 100)
+        assert_mean_close(bulk.estimates(), tau, z=6.0)
+
+        vec = VectorizedTriangleCounter(25_000, seed=4)
+        feed(vec, edges, 100)
+        assert_mean_close(list(vec.estimates()), tau, z=6.0)
+
+        ref_estimates = []
+        for seed in range(4_000):
+            s = NeighborhoodSampler(seed=seed)
+            for e in edges:
+                s.update(e)
+            ref_estimates.append(s.triangle_estimate())
+        assert_mean_close(ref_estimates, tau, z=6.0)
+
+
+class TestPerEdgeVsBatch:
+    def test_bulk_per_edge_equals_batch_distribution(self, small_er_graph):
+        """Feeding edge-by-edge or in one batch gives the same means."""
+        edges, tau = small_er_graph
+        one_by_one = BulkTriangleCounter(15_000, seed=9)
+        for e in edges:
+            one_by_one.update(e)
+        single_batch = BulkTriangleCounter(15_000, seed=10)
+        single_batch.update_batch(edges)
+        a = statistics.fmean(one_by_one.estimates())
+        b = statistics.fmean(single_batch.estimates())
+        assert abs(a - b) < 0.35 * tau  # both near tau; noise-dominated
+
+        assert_mean_close(one_by_one.estimates(), tau, z=6.0)
+        assert_mean_close(single_batch.estimates(), tau, z=6.0)
+
+    def test_vectorized_per_edge_equals_batch_distribution(self, small_er_graph):
+        edges, tau = small_er_graph
+        one_by_one = VectorizedTriangleCounter(15_000, seed=11)
+        for e in edges:
+            one_by_one.update(e)
+        single_batch = VectorizedTriangleCounter(15_000, seed=12)
+        single_batch.update_batch(edges)
+        assert_mean_close(list(one_by_one.estimates()), tau, z=6.0)
+        assert_mean_close(list(single_batch.estimates()), tau, z=6.0)

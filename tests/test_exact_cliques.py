@@ -1,0 +1,88 @@
+"""Tests for exact K_l counting and listing."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.exact import count_cliques, count_four_cliques, list_cliques
+from repro.generators import complete_graph, cycle_graph, planted_clique
+from repro.graph import StaticGraph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    max_size=40,
+)
+
+
+def brute_force_cliques(edges, size):
+    g = StaticGraph(edges, strict=False)
+    verts = sorted(g.vertices())
+    count = 0
+    for combo in itertools.combinations(verts, size):
+        if all(g.has_edge(a, b) for a, b in itertools.combinations(combo, 2)):
+            count += 1
+    return count
+
+
+class TestKnownGraphs:
+    def test_complete_graph_counts(self):
+        for n in range(4, 9):
+            for size in range(3, n + 1):
+                assert count_cliques(complete_graph(n), size) == math.comb(n, size)
+
+    def test_four_cliques_k4(self):
+        assert count_four_cliques(complete_graph(4)) == 1
+        assert count_four_cliques(complete_graph(6)) == 15
+
+    def test_cycle_has_no_4cliques(self):
+        assert count_four_cliques(cycle_graph(10)) == 0
+
+    def test_sizes_one_and_two(self):
+        edges = [(0, 1), (1, 2)]
+        assert count_cliques(edges, 1) == 3
+        assert count_cliques(edges, 2) == 2
+        assert list_cliques(edges, 1) == [(0,), (1,), (2,)]
+        assert list_cliques(edges, 2) == [(0, 1), (1, 2)]
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            count_cliques([(0, 1)], 0)
+        with pytest.raises(InvalidParameterError):
+            list_cliques([(0, 1)], -1)
+
+    def test_planted_clique_found(self):
+        edges = planted_clique(40, 6, 30, seed=2)
+        assert count_cliques(edges, 6) >= 1
+
+
+class TestListing:
+    def test_k5_listing(self):
+        cliques = list_cliques(complete_graph(5), 4)
+        assert len(cliques) == 5
+        assert all(len(c) == 4 for c in cliques)
+        assert len(set(cliques)) == 5
+
+    def test_listing_members_are_cliques(self):
+        edges = planted_clique(25, 5, 40, seed=7)
+        g = StaticGraph(edges, strict=False)
+        for clique in list_cliques(edges, 4):
+            for a, b in itertools.combinations(clique, 2):
+                assert g.has_edge(a, b)
+
+
+class TestAgainstBruteForce:
+    @given(edge_lists, st.integers(3, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, edges, size):
+        assert count_cliques(edges, size) == brute_force_cliques(edges, size)
+
+    @given(edge_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_special_case_consistent(self, edges):
+        from repro.exact import count_triangles
+
+        assert count_cliques(edges, 3) == count_triangles(edges)

@@ -1,0 +1,55 @@
+"""Tests for the exact sliding-window triangle counter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.exact import count_triangles, sliding_window_triangle_counts
+from repro.exact.sliding import WindowedExactCounter
+from repro.graph import EdgeStream
+
+edge_streams = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=30,
+).map(lambda edges: EdgeStream(dict.fromkeys(
+    tuple(sorted(e)) for e in edges
+), validate=False))
+
+
+class TestWindowedCounter:
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            WindowedExactCounter(0)
+
+    def test_window_larger_than_stream(self, triangle_stream):
+        counts = sliding_window_triangle_counts(triangle_stream, window=100)
+        assert counts == [0, 0, 1, 1]
+
+    def test_triangle_expires(self):
+        # Triangle closes at position 3, expires as its first edge leaves.
+        stream = EdgeStream([(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (7, 8)])
+        counts = sliding_window_triangle_counts(stream, window=3)
+        assert counts == [0, 0, 1, 0, 0, 0]
+
+    def test_triangle_reappears_in_window_of_three(self):
+        stream = EdgeStream([(0, 1), (1, 2), (0, 2)])
+        counts = sliding_window_triangle_counts(stream, window=3)
+        assert counts[-1] == 1
+
+    def test_count_matches_full_graph_when_window_covers(self, small_er_graph):
+        edges, tau = small_er_graph
+        counts = sliding_window_triangle_counts(
+            EdgeStream(edges, validate=False), window=len(edges)
+        )
+        assert counts[-1] == tau
+
+    @given(edge_streams, st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_matches_recount(self, stream, window):
+        counts = sliding_window_triangle_counts(stream, window)
+        edges = list(stream)
+        for i, count in enumerate(counts):
+            window_edges = edges[max(0, i + 1 - window) : i + 1]
+            assert count == count_triangles(window_edges)

@@ -1,0 +1,125 @@
+"""Tests for the stream-order quantities of Section 3.2.1.
+
+Covers Claim 3.9 (``zeta = sum_e c(e)``), the tangle coefficient's
+``gamma <= 2 Delta`` bound, and the exact per-triangle probabilities of
+Lemma 3.1 on the worked example.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyStreamError
+from repro.exact import (
+    count_triangles,
+    count_wedges,
+    first_edge_of_triangle,
+    neighborhood_sizes,
+    tangle_coefficient,
+    triangle_first_edge_counts,
+)
+from repro.exact.tangle import triangle_sampling_probabilities
+from repro.graph import EdgeStream
+
+edge_streams = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=40,
+).map(lambda edges: EdgeStream(dict.fromkeys(
+    tuple(sorted(e)) for e in edges
+), validate=False))
+
+
+class TestNeighborhoodSizes:
+    def test_simple_stream(self):
+        s = EdgeStream([(0, 1), (1, 2), (0, 2)])
+        c = neighborhood_sizes(s)
+        assert c[(0, 1)] == 2  # both later edges touch 0 or 1
+        assert c[(1, 2)] == 1
+        assert c[(0, 2)] == 0
+
+    def test_claim_3_9_zeta_equals_sum_c(self, worked_example_stream):
+        c = neighborhood_sizes(worked_example_stream)
+        assert sum(c.values()) == count_wedges(worked_example_stream.edges)
+
+    @given(edge_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_claim_3_9_holds_for_any_stream(self, stream):
+        c = neighborhood_sizes(stream)
+        assert sum(c.values()) == count_wedges(stream.edges)
+
+    @given(edge_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_c_bounded_by_2_delta(self, stream):
+        if len(stream) == 0:
+            return
+        delta = stream.max_degree()
+        assert all(v <= 2 * delta for v in neighborhood_sizes(stream).values())
+
+
+class TestFirstEdges:
+    def test_first_edge_identity(self, worked_example_stream):
+        assert first_edge_of_triangle(worked_example_stream, (1, 2, 3)) == (1, 2)
+        assert first_edge_of_triangle(worked_example_stream, (4, 5, 6)) == (4, 5)
+        assert first_edge_of_triangle(worked_example_stream, (4, 5, 7)) == (4, 5)
+
+    def test_missing_triangle_raises(self, worked_example_stream):
+        with pytest.raises(EmptyStreamError):
+            first_edge_of_triangle(worked_example_stream, (1, 2, 8))
+
+    def test_s_counts(self, worked_example_stream):
+        s = triangle_first_edge_counts(worked_example_stream)
+        assert s == {(1, 2): 1, (4, 5): 2}
+
+    @given(edge_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_s_counts_sum_to_tau(self, stream):
+        s = triangle_first_edge_counts(stream)
+        assert sum(s.values()) == count_triangles(stream.edges)
+
+
+class TestTangleCoefficient:
+    def test_worked_example_value(self, worked_example_stream):
+        # gamma = (C(t1) + C(t2) + C(t3)) / 3 = (2 + 6 + 6) / 3.
+        gamma = tangle_coefficient(worked_example_stream)
+        assert gamma == pytest.approx((2 + 6 + 6) / 3)
+
+    def test_no_triangles_raises(self):
+        with pytest.raises(EmptyStreamError):
+            tangle_coefficient(EdgeStream([(0, 1), (1, 2)]))
+
+    @given(edge_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_gamma_at_most_2_delta(self, stream):
+        try:
+            gamma = tangle_coefficient(stream)
+        except EmptyStreamError:
+            return
+        assert gamma <= 2 * stream.max_degree() + 1e-9
+
+    def test_order_dependence(self):
+        # gamma depends on the stream order: putting the busy edge's
+        # triangle first inflates C(t).
+        edges = [(0, 1), (1, 2), (0, 2)] + [(0, i) for i in range(3, 10)]
+        forward = tangle_coefficient(EdgeStream(edges))
+        backward = tangle_coefficient(EdgeStream(list(reversed(edges))))
+        assert forward != backward
+
+
+class TestLemma31Probabilities:
+    def test_worked_example_probabilities(self, worked_example_stream):
+        probs = triangle_sampling_probabilities(worked_example_stream)
+        assert probs[(1, 2, 3)] == pytest.approx(1 / 20)
+        assert probs[(4, 5, 6)] == pytest.approx(1 / 60)
+        assert probs[(4, 5, 7)] == pytest.approx(1 / 60)
+
+    @given(edge_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_below_one_over_m(self, stream):
+        try:
+            probs = triangle_sampling_probabilities(stream)
+        except EmptyStreamError:
+            return
+        m = len(stream)
+        for p in probs.values():
+            assert 0.0 <= p <= 1.0 / m + 1e-12

@@ -1,0 +1,102 @@
+"""Tests for exact triangle counting/listing."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exact import (
+    count_triangles,
+    list_triangles,
+    triangles_per_edge,
+    triangles_per_vertex,
+)
+from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph import StaticGraph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+    max_size=50,
+)
+
+
+def brute_force_triangles(edges) -> int:
+    g = StaticGraph(edges, strict=False)
+    verts = sorted(g.vertices())
+    return sum(
+        1
+        for a, b, c in itertools.combinations(verts, 3)
+        if g.has_edge(a, b) and g.has_edge(a, c) and g.has_edge(b, c)
+    )
+
+
+class TestKnownGraphs:
+    def test_single_triangle(self):
+        assert count_triangles([(0, 1), (1, 2), (0, 2)]) == 1
+
+    def test_complete_graphs(self):
+        for n in range(3, 9):
+            expected = n * (n - 1) * (n - 2) // 6
+            assert count_triangles(complete_graph(n)) == expected
+
+    def test_triangle_free_graphs(self):
+        assert count_triangles(path_graph(10)) == 0
+        assert count_triangles(star_graph(10)) == 0
+        assert count_triangles(cycle_graph(8)) == 0
+
+    def test_c3_is_one_triangle(self):
+        assert count_triangles(cycle_graph(3)) == 1
+
+    def test_empty_graph(self):
+        assert count_triangles([]) == 0
+        assert list_triangles([]) == []
+
+    def test_accepts_graph_object(self):
+        g = StaticGraph([(0, 1), (1, 2), (0, 2)])
+        assert count_triangles(g) == 1
+
+
+class TestListing:
+    def test_lists_sorted_triples(self):
+        tris = list_triangles([(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)])
+        assert tris == [(0, 1, 2), (1, 2, 3)]
+
+    def test_each_triangle_once(self):
+        tris = list_triangles(complete_graph(6))
+        assert len(tris) == len(set(tris)) == 20
+
+
+class TestPerEdgeAndPerVertex:
+    def test_per_edge_counts_k4(self):
+        counts = triangles_per_edge(complete_graph(4))
+        # Every K4 edge lies in exactly 2 triangles.
+        assert set(counts.values()) == {2}
+        assert len(counts) == 6
+
+    def test_per_vertex_counts_k4(self):
+        counts = triangles_per_vertex(complete_graph(4))
+        # Every K4 vertex lies in exactly 3 triangles.
+        assert set(counts.values()) == {3}
+
+    def test_sums_are_consistent(self, small_social_graph):
+        edges, tau = small_social_graph
+        per_edge = triangles_per_edge(edges)
+        per_vertex = triangles_per_vertex(edges)
+        assert sum(per_edge.values()) == 3 * tau
+        assert sum(per_vertex.values()) == 3 * tau
+
+
+class TestAgainstBruteForce:
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, edges):
+        assert count_triangles(edges) == brute_force_triangles(edges)
+
+    @given(edge_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_listing_matches_count(self, edges):
+        tris = list_triangles(edges)
+        assert len(tris) == count_triangles(edges)
+        g = StaticGraph(edges, strict=False)
+        for a, b, c in tris:
+            assert g.has_edge(a, b) and g.has_edge(a, c) and g.has_edge(b, c)

@@ -1,0 +1,87 @@
+"""Tests for wedge counts, transitivity, and clustering coefficients."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptyStreamError
+from repro.exact import (
+    clustering_coefficient,
+    count_wedges,
+    global_clustering_coefficient,
+    transitivity_coefficient,
+)
+from repro.generators import complete_graph, path_graph, star_graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestWedges:
+    def test_path_wedges(self):
+        # P_n has n-2 internal vertices, each with one wedge.
+        assert count_wedges(path_graph(5)) == 3
+
+    def test_star_wedges(self):
+        # Star with k leaves: C(k, 2) wedges at the center.
+        assert count_wedges(star_graph(6)) == 15
+
+    def test_complete_graph_wedges(self):
+        # K_n: n * C(n-1, 2).
+        assert count_wedges(complete_graph(5)) == 5 * 6
+
+    def test_empty(self):
+        assert count_wedges([]) == 0
+
+
+class TestTransitivity:
+    def test_triangle_is_fully_transitive(self):
+        assert transitivity_coefficient([(0, 1), (1, 2), (0, 2)]) == pytest.approx(1.0)
+
+    def test_complete_graph_fully_transitive(self):
+        assert transitivity_coefficient(complete_graph(7)) == pytest.approx(1.0)
+
+    def test_path_has_zero_transitivity(self):
+        assert transitivity_coefficient(path_graph(5)) == 0.0
+
+    def test_undefined_without_wedges(self):
+        with pytest.raises(EmptyStreamError):
+            transitivity_coefficient([(0, 1), (2, 3)])
+
+    @given(edge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_range_is_zero_to_one(self, edges):
+        try:
+            kappa = transitivity_coefficient(edges)
+        except EmptyStreamError:
+            return
+        assert 0.0 <= kappa <= 1.0 + 1e-9
+
+
+class TestClustering:
+    def test_local_values(self):
+        # Vertex 2 sits in one triangle out of C(3,2)=3 possible wedges.
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (2, 4)]
+        cc = clustering_coefficient(edges)
+        assert cc[2] == pytest.approx(1 / 6)
+        assert cc[0] == pytest.approx(1.0)
+        assert cc[3] == 0.0  # degree-1 convention
+
+    def test_global_average(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        assert global_clustering_coefficient(edges) == pytest.approx(1.0)
+
+    def test_global_empty_raises(self):
+        with pytest.raises(EmptyStreamError):
+            global_clustering_coefficient([])
+
+    def test_transitivity_differs_from_clustering(self):
+        # The footnote-2 distinction: a triangle plus a high-degree
+        # wedge-heavy vertex drags the two metrics apart.
+        edges = [(0, 1), (1, 2), (0, 2)] + [(3, i) for i in range(4, 12)]
+        kappa = transitivity_coefficient(edges)
+        avg_cc = global_clustering_coefficient(edges)
+        assert kappa != pytest.approx(avg_cc)

@@ -1,0 +1,130 @@
+"""Tests for the experiment harness, tables, and figures."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import (
+    TrialStats,
+    ascii_plot,
+    render_table,
+    run_trials,
+    stream_through,
+    time_file_read,
+    write_csv,
+)
+from repro.experiments.figures import ascii_histogram
+from repro.experiments.tables import format_number
+
+
+class _FixedCounter:
+    """A fake counter returning a fixed estimate, for harness tests."""
+
+    def __init__(self, value):
+        self.value = value
+        self.batches = 0
+
+    def update_batch(self, batch):
+        self.batches += 1
+
+    def estimate(self):
+        return self.value
+
+
+class TestHarness:
+    def test_stream_through_batches(self):
+        counter = _FixedCounter(1.0)
+        elapsed = stream_through(counter, [(0, 1)] * 10, batch_size=3)
+        assert counter.batches == 4
+        assert elapsed >= 0.0
+
+    def test_run_trials_statistics(self):
+        stats = run_trials(
+            lambda seed: _FixedCounter(90.0 if seed % 2 else 110.0),
+            lambda seed: [(0, 1), (1, 2)],
+            true_value=100.0,
+            trials=4,
+        )
+        assert stats.mean_deviation == pytest.approx(10.0)
+        assert stats.min_deviation == pytest.approx(10.0)
+        assert stats.max_deviation == pytest.approx(10.0)
+        assert len(stats.estimates) == 4
+
+    def test_deviation_requires_nonzero_truth(self):
+        stats = TrialStats(true_value=0.0, estimates=[1.0], times=[0.1])
+        with pytest.raises(InvalidParameterError):
+            _ = stats.mean_deviation
+
+    def test_invalid_trials(self):
+        with pytest.raises(InvalidParameterError):
+            run_trials(
+                lambda seed: _FixedCounter(1.0),
+                lambda seed: [],
+                true_value=1.0,
+                trials=0,
+            )
+
+    def test_throughput(self):
+        stats = TrialStats(true_value=1.0, estimates=[1.0], times=[2.0])
+        assert stats.throughput(1000) == pytest.approx(500.0)
+
+    def test_summary_renders(self):
+        stats = TrialStats(true_value=100.0, estimates=[99.0, 101.0], times=[0.5, 0.7])
+        text = stats.summary()
+        assert "dev" in text and "median time" in text
+
+    def test_time_file_read(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n1 2\n")
+        assert time_file_read(path) >= 0.0
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table(["x", "y"], [[1, 2.0], [30, 4.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("x")
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_number_styles(self):
+        assert format_number(1234) == "1,234"
+        assert format_number(0.5) == "0.500"
+        assert format_number(1e9) == "1.000e+09"
+        assert format_number(1e-5) == "1.000e-05"
+        assert format_number("name") == "name"
+        assert format_number(0) == "0"
+        assert format_number(True) == "True"
+
+
+class TestFigures:
+    def test_ascii_plot_renders_markers(self):
+        out = ascii_plot(
+            {"a": ([1, 2, 3], [1.0, 2.0, 3.0]), "b": ([1, 2, 3], [3.0, 2.0, 1.0])}
+        )
+        assert "*" in out and "o" in out
+        assert "legend" in out
+
+    def test_ascii_plot_log_scales(self):
+        out = ascii_plot(
+            {"s": ([1, 10, 100], [1.0, 10.0, 100.0])}, log_x=True, log_y=True
+        )
+        assert "log10" in out
+
+    def test_empty_plot(self):
+        assert ascii_plot({"s": ([], [])}) == "(empty plot)"
+
+    def test_ascii_histogram(self):
+        out = ascii_histogram({1: 100, 2: 50, 4: 25, 8: 12}, title="deg")
+        assert out.splitlines()[0] == "deg"
+        assert "#" in out
+
+    def test_ascii_histogram_empty(self):
+        assert ascii_histogram({}) == "(empty histogram)"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "series.csv"
+        write_csv(path, ["x", "y"], [[1, 2], [3, 4]])
+        assert path.read_text().splitlines() == ["x,y", "1,2", "3,4"]

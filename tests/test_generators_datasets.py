@@ -1,0 +1,82 @@
+"""Tests for the dataset registry and its caching."""
+
+import pytest
+
+from repro.generators.datasets import (
+    GroundTruth,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_expected_names_present(self):
+        names = available_datasets()
+        for expected in (
+            "amazon_like",
+            "dblp_like",
+            "youtube_like",
+            "livejournal_like",
+            "orkut_like",
+            "syn_d_regular",
+            "syn_3reg",
+            "hepth_like",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            dataset_spec("nope")
+
+    def test_specs_carry_paper_stats(self):
+        spec = dataset_spec("syn_3reg")
+        assert spec.paper_stats["tau"] == 1000
+
+
+class TestGroundTruth:
+    def test_ratio_property(self):
+        t = GroundTruth(
+            num_vertices=10, num_edges=20, max_degree=5, triangles=4, wedges=40
+        )
+        assert t.m_delta_over_tau == pytest.approx(25.0)
+
+    def test_ratio_with_zero_triangles(self):
+        t = GroundTruth(
+            num_vertices=10, num_edges=20, max_degree=5, triangles=0, wedges=40
+        )
+        assert t.m_delta_over_tau == float("inf")
+
+    def test_round_trip_dict(self):
+        t = GroundTruth(
+            num_vertices=1, num_edges=2, max_degree=3, triangles=4, wedges=5
+        )
+        assert GroundTruth(**t.to_dict()) == t
+
+
+class TestLoading:
+    def test_syn3reg_truth_matches_paper(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        dataset = load_dataset("syn_3reg")
+        assert dataset.truth.num_vertices == 2000
+        assert dataset.truth.num_edges == 3000
+        assert dataset.truth.max_degree == 3
+        assert dataset.truth.triangles == 1000
+
+    def test_cache_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = load_dataset("syn_3reg", seed=1)
+        cached = load_dataset("syn_3reg", seed=1)
+        assert cached.edges == first.edges
+        assert cached.truth == first.truth
+        assert any(tmp_path.iterdir())  # files were written
+
+    def test_stream_orders(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        dataset = load_dataset("syn_3reg", seed=2)
+        plain = list(dataset.stream())
+        shuffled = list(dataset.stream(order="random", seed=3))
+        assert sorted(plain) == sorted(shuffled)
+        assert plain != shuffled
+        with pytest.raises(ValueError):
+            dataset.stream(order="bogus")

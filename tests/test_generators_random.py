@@ -1,0 +1,182 @@
+"""Tests for the random graph generators."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.exact import count_triangles
+from repro.generators import (
+    barabasi_albert,
+    clique_union_regular,
+    collaboration_graph,
+    configuration_power_law,
+    erdos_renyi,
+    holme_kim,
+    hub_power_law,
+    near_regular,
+)
+from repro.graph import StaticGraph
+
+
+def as_graph(edges):
+    return StaticGraph(edges, strict=False)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = as_graph(erdos_renyi(50, 200, seed=1))
+        assert g.num_edges == 200
+        assert g.num_vertices <= 50
+
+    def test_simple(self):
+        edges = erdos_renyi(30, 100, seed=2)
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi(5, 11, seed=0)
+
+    def test_deterministic_under_seed(self):
+        assert erdos_renyi(30, 80, seed=9) == erdos_renyi(30, 80, seed=9)
+
+
+class TestConfigurationPowerLaw:
+    def test_heavy_tail(self):
+        g = as_graph(configuration_power_law(2000, alpha=2.0, d_max=300, seed=4))
+        degrees = sorted(g.degrees().values())
+        assert g.max_degree() > 20  # a hub exists
+        assert degrees[len(degrees) // 2] <= 5  # median stays small
+
+    def test_max_degree_capped(self):
+        edges = configuration_power_law(500, alpha=1.8, d_max=40, seed=5)
+        assert as_graph(edges).max_degree() <= 40
+
+    def test_invalid_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            configuration_power_law(100, alpha=1.0, seed=0)
+
+    def test_invalid_degree_range(self):
+        with pytest.raises(InvalidParameterError):
+            configuration_power_law(100, d_min=5, d_max=2, seed=0)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = as_graph(barabasi_albert(200, 3, seed=6))
+        assert g.num_edges == (200 - 3) * 3
+        assert g.num_vertices <= 200
+
+    def test_invalid_attachment(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(10, 0, seed=0)
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(10, 10, seed=0)
+
+    def test_hub_formation(self):
+        g = as_graph(barabasi_albert(500, 2, seed=7))
+        assert g.max_degree() >= 15
+
+
+class TestHolmeKim:
+    def test_triad_formation_boosts_triangles(self):
+        low = count_triangles(holme_kim(400, 3, 0.0, seed=8))
+        high = count_triangles(holme_kim(400, 3, 0.9, seed=8))
+        assert high > 2 * max(low, 1)
+
+    def test_simple(self):
+        edges = holme_kim(300, 4, 0.5, seed=9)
+        assert len(edges) == len(set(edges))
+
+    def test_invalid_triad_prob(self):
+        with pytest.raises(InvalidParameterError):
+            holme_kim(100, 2, 1.5, seed=0)
+
+
+class TestNearRegular:
+    def test_degree_band(self):
+        g = as_graph(near_regular(400, 8, 12, seed=10))
+        degrees = list(g.degrees().values())
+        # Configuration-model erasure can only lower degrees slightly.
+        assert max(degrees) <= 12
+        assert sum(degrees) / len(degrees) >= 7
+
+    def test_invalid_band(self):
+        with pytest.raises(InvalidParameterError):
+            near_regular(10, 5, 3, seed=0)
+
+
+class TestHubPowerLaw:
+    def test_hub_degrees_dominate(self):
+        edges = hub_power_law(
+            1000, alpha=2.6, d_min=1, d_max=20, num_hubs=2, hub_degree=300, seed=1
+        )
+        g = as_graph(edges)
+        degrees = sorted(g.degrees().values(), reverse=True)
+        assert degrees[0] == 300 and degrees[1] == 300
+        assert degrees[2] <= 25  # the body stays modest
+
+    def test_large_m_delta_over_tau(self):
+        edges = hub_power_law(
+            2000, alpha=2.6, d_min=1, d_max=20, num_hubs=2, hub_degree=500, seed=2
+        )
+        g = as_graph(edges)
+        tau = count_triangles(edges)
+        assert g.num_edges * g.max_degree() / max(tau, 1) > 1000
+
+    def test_invalid_hub_config(self):
+        with pytest.raises(InvalidParameterError):
+            hub_power_law(100, hub_degree=100, seed=0)
+        with pytest.raises(InvalidParameterError):
+            hub_power_law(100, num_hubs=-1, hub_degree=10, seed=0)
+
+
+class TestCollaborationGraph:
+    def test_triangle_dense(self):
+        edges = collaboration_graph(500, 600, min_authors=3, max_authors=5, seed=3)
+        tau = count_triangles(edges)
+        # Every 3+-author paper contributes at least one triangle.
+        assert tau > 200
+
+    def test_simple_graph(self):
+        edges = collaboration_graph(300, 400, seed=4)
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_flat_popularity_caps_degree(self):
+        heavy = as_graph(collaboration_graph(800, 900, alpha=2.2, seed=5))
+        flat = as_graph(collaboration_graph(800, 900, alpha=8.0, seed=5))
+        assert flat.max_degree() < heavy.max_degree()
+
+    def test_invalid_author_counts(self):
+        with pytest.raises(InvalidParameterError):
+            collaboration_graph(100, 10, min_authors=1, max_authors=3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            collaboration_graph(100, 10, min_authors=4, max_authors=3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            collaboration_graph(3, 10, min_authors=2, max_authors=5, seed=0)
+
+
+class TestCliqueUnionRegular:
+    def test_triangle_density(self):
+        n, k = 240, 8
+        edges = clique_union_regular(n, k, 0, seed=11)
+        g = as_graph(edges)
+        expected_cliques = n // k
+        assert g.num_edges == expected_cliques * k * (k - 1) // 2
+        expected_triangles = expected_cliques * k * (k - 1) * (k - 2) // 6
+        assert count_triangles(edges) == expected_triangles
+
+    def test_overlay_adds_edges(self):
+        base = len(clique_union_regular(120, 6, 0, seed=12))
+        with_overlay = len(clique_union_regular(120, 6, 200, seed=12))
+        assert with_overlay > base
+
+    def test_small_m_delta_over_tau(self):
+        edges = clique_union_regular(600, 10, 300, seed=13)
+        g = as_graph(edges)
+        ratio = g.num_edges * g.max_degree() / count_triangles(edges)
+        assert ratio < 50  # the Syn-d-regular regime
+
+    def test_invalid_clique_size(self):
+        with pytest.raises(InvalidParameterError):
+            clique_union_regular(10, 2, 5, seed=0)

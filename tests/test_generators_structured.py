@@ -1,0 +1,115 @@
+"""Tests for structured graph builders, especially the Syn-3-reg recipe."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.exact import count_triangles
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    k33_component,
+    k4_component,
+    path_graph,
+    planted_clique,
+    relabel_shuffled,
+    star_graph,
+    three_regular_triangle_graph,
+    triangular_prism,
+)
+from repro.graph import StaticGraph
+
+
+class TestBasicBuilders:
+    def test_complete_graph_size(self):
+        assert len(complete_graph(5)) == 10
+        assert len(complete_graph(0)) == 0
+        with pytest.raises(InvalidParameterError):
+            complete_graph(-1)
+
+    def test_path_cycle_star(self):
+        assert len(path_graph(5)) == 4
+        assert len(cycle_graph(5)) == 5
+        assert len(star_graph(5)) == 5
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(2)
+
+    def test_offsets_keep_components_disjoint(self):
+        edges = disjoint_union(complete_graph(3), complete_graph(3, offset=3))
+        g = StaticGraph(edges)
+        assert g.num_vertices == 6
+        assert count_triangles(edges) == 2
+
+
+class TestComponents:
+    def test_prism_profile(self):
+        g = StaticGraph(triangular_prism())
+        assert g.num_vertices == 6
+        assert g.num_edges == 9
+        assert set(g.degrees().values()) == {3}
+        assert count_triangles(triangular_prism()) == 2
+
+    def test_k4_profile(self):
+        g = StaticGraph(k4_component())
+        assert g.num_vertices == 4
+        assert g.num_edges == 6
+        assert set(g.degrees().values()) == {3}
+        assert count_triangles(k4_component()) == 4
+
+    def test_k33_profile(self):
+        g = StaticGraph(k33_component())
+        assert g.num_vertices == 6
+        assert g.num_edges == 9
+        assert set(g.degrees().values()) == {3}
+        assert count_triangles(k33_component()) == 0
+
+
+class TestSyn3Reg:
+    def test_paper_statistics_exact(self):
+        """Table 1's dataset: n=2000, m=3000, Delta=3, tau=1000."""
+        edges = three_regular_triangle_graph(2000, seed=0)
+        g = StaticGraph(edges)
+        assert g.num_vertices == 2000
+        assert g.num_edges == 3000
+        assert set(g.degrees().values()) == {3}
+        assert count_triangles(edges) == 1000
+
+    def test_scales_with_n(self):
+        edges = three_regular_triangle_graph(160, seed=1)
+        g = StaticGraph(edges)
+        assert g.num_vertices == 160
+        assert count_triangles(edges) == 80
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            three_regular_triangle_graph(100)  # not a multiple of 16
+        with pytest.raises(InvalidParameterError):
+            three_regular_triangle_graph(0)
+
+    def test_seed_changes_labels_not_structure(self):
+        a = three_regular_triangle_graph(160, seed=1)
+        b = three_regular_triangle_graph(160, seed=2)
+        assert sorted(a) != sorted(b)
+        assert count_triangles(a) == count_triangles(b)
+
+
+class TestRelabel:
+    def test_preserves_structure(self):
+        edges = complete_graph(5)
+        relabeled = relabel_shuffled(edges, seed=3)
+        assert count_triangles(relabeled) == count_triangles(edges)
+        g = StaticGraph(relabeled)
+        assert g.num_edges == 10
+        assert g.num_vertices == 5
+
+
+class TestPlantedClique:
+    def test_contains_planted_clique(self):
+        from repro.exact import count_cliques
+
+        edges = planted_clique(50, 5, 60, seed=4)
+        assert count_cliques(edges, 5) >= 1
+
+    def test_rejects_oversized_clique(self):
+        with pytest.raises(InvalidParameterError):
+            planted_clique(4, 5, 0, seed=0)

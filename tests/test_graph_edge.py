@@ -1,0 +1,70 @@
+"""Tests for canonical edge algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidEdgeError
+from repro.graph import canonical_edge, edges_adjacent, shared_vertex, third_vertices
+
+vertex = st.integers(0, 10_000)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            canonical_edge(3, 3)
+
+    @given(vertex, vertex)
+    @settings(max_examples=50)
+    def test_canonical_is_sorted_and_symmetric(self, u, v):
+        if u == v:
+            with pytest.raises(InvalidEdgeError):
+                canonical_edge(u, v)
+        else:
+            e = canonical_edge(u, v)
+            assert e == canonical_edge(v, u)
+            assert e[0] < e[1]
+
+
+class TestAdjacency:
+    def test_shared_endpoint_detected(self):
+        assert edges_adjacent((1, 2), (2, 3))
+        assert edges_adjacent((1, 2), (0, 1))
+        assert not edges_adjacent((1, 2), (3, 4))
+
+    def test_identical_edges_not_adjacent(self):
+        assert not edges_adjacent((1, 2), (1, 2))
+
+    def test_shared_vertex_value(self):
+        assert shared_vertex((1, 2), (2, 3)) == 2
+        assert shared_vertex((1, 5), (1, 9)) == 1
+        assert shared_vertex((1, 2), (3, 4)) is None
+        assert shared_vertex((1, 2), (1, 2)) is None
+
+
+class TestThirdVertices:
+    def test_wedge_closing_edge(self):
+        # Wedge 1-2-3: closing edge is (1, 3).
+        assert third_vertices((1, 2), (2, 3)) == (1, 3)
+
+    def test_non_adjacent_returns_none(self):
+        assert third_vertices((1, 2), (3, 4)) is None
+
+    def test_same_edge_returns_none(self):
+        assert third_vertices((1, 2), (1, 2)) is None
+
+    @given(vertex, vertex, vertex)
+    @settings(max_examples=50)
+    def test_closing_edge_closes_triangle(self, a, b, c):
+        # For any genuine wedge a-b-c the closing edge is {a, c}.
+        if len({a, b, c}) != 3:
+            return
+        e1 = canonical_edge(a, b)
+        e2 = canonical_edge(b, c)
+        closing = third_vertices(e1, e2)
+        assert closing == canonical_edge(a, c)

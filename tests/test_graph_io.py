@@ -1,0 +1,47 @@
+"""Tests for edge-list file I/O."""
+
+from repro.graph import read_edge_list, write_edge_list
+from repro.graph.io import iter_edge_list
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        path = tmp_path / "g.edges"
+        assert write_edge_list(path, edges) == 3
+        assert read_edge_list(path) == edges
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# SNAP-style header\n\n0 1\n# another\n1 2\n")
+        assert read_edge_list(path) == [(0, 1), (1, 2)]
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path) == [(0, 1)]
+
+    def test_edges_canonicalized(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("5 2\n")
+        assert read_edge_list(path) == [(2, 5)]
+
+    def test_deduplicate_keeps_first_position(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("3 4\n0 1\n4 3\n1 2\n")
+        assert read_edge_list(path) == [(3, 4), (0, 1), (1, 2)]
+        assert read_edge_list(path, deduplicate=False) == [
+            (3, 4), (0, 1), (3, 4), (1, 2),
+        ]
+
+    def test_iter_is_lazy_and_complete(self, tmp_path):
+        path = tmp_path / "g.edges"
+        edges = [(i, i + 1) for i in range(100)]
+        write_edge_list(path, edges)
+        assert list(iter_edge_list(path)) == edges
+
+    def test_extra_columns_ignored(self, tmp_path):
+        # Some datasets carry weights/timestamps in later columns.
+        path = tmp_path / "g.edges"
+        path.write_text("0 1 1995\n1 2 1996\n")
+        assert read_edge_list(path) == [(0, 1), (1, 2)]

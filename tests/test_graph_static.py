@@ -1,0 +1,101 @@
+"""Tests for the StaticGraph adjacency structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateEdgeError, InvalidEdgeError
+from repro.graph import StaticGraph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda e: e[0] != e[1]),
+    max_size=60,
+)
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = StaticGraph([(0, 1), (1, 2), (0, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_duplicate_rejected_in_strict_mode(self):
+        with pytest.raises(DuplicateEdgeError):
+            StaticGraph([(0, 1), (1, 0)])
+
+    def test_self_loop_rejected_in_strict_mode(self):
+        with pytest.raises(InvalidEdgeError):
+            StaticGraph([(2, 2)])
+
+    def test_lenient_mode_drops_bad_edges(self):
+        g = StaticGraph([(0, 1), (1, 0), (2, 2), (1, 2)], strict=False)
+        assert g.num_edges == 2
+
+    def test_add_vertex_isolated(self):
+        g = StaticGraph([(0, 1)])
+        g.add_vertex(9)
+        assert g.num_vertices == 3
+        assert g.degree(9) == 0
+
+
+class TestQueries:
+    def test_degrees_and_max(self):
+        g = StaticGraph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert g.degree(0) == 3
+        assert g.degree(3) == 1
+        assert g.degree(42) == 0
+        assert g.max_degree() == 3
+        assert g.degrees() == {0: 3, 1: 2, 2: 2, 3: 1}
+
+    def test_has_edge_and_contains(self):
+        g = StaticGraph([(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert (0, 1) in g and (1, 0) in g
+        assert not g.has_edge(0, 2)
+
+    def test_neighbors(self):
+        g = StaticGraph([(0, 1), (0, 2)])
+        assert g.neighbors(0) == frozenset({1, 2})
+        assert g.neighbors(5) == frozenset()
+
+    def test_edges_canonical_and_unique(self):
+        g = StaticGraph([(3, 1), (2, 0)])
+        assert sorted(g.edges()) == [(0, 2), (1, 3)]
+
+    def test_neighbors_intersection(self):
+        g = StaticGraph([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+        assert g.neighbors_intersection(1, 2) == {0, 3}
+        assert g.neighbors_intersection(0, 3) == {1, 2}
+
+    def test_degree_histogram(self):
+        g = StaticGraph([(0, 1), (0, 2), (0, 3)])
+        assert g.degree_histogram() == {3: 1, 1: 3}
+
+    def test_subgraph(self):
+        g = StaticGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        sub = g.subgraph({0, 1, 2})
+        assert sub.num_edges == 3
+        assert not sub.has_edge(2, 3)
+
+    def test_empty_graph(self):
+        g = StaticGraph()
+        assert g.num_vertices == 0
+        assert g.max_degree() == 0
+        assert list(g.edges()) == []
+
+
+class TestProperties:
+    @given(edge_lists)
+    @settings(max_examples=40)
+    def test_handshake_lemma(self, edges):
+        g = StaticGraph(edges, strict=False)
+        assert sum(g.degrees().values()) == 2 * g.num_edges
+
+    @given(edge_lists)
+    @settings(max_examples=40)
+    def test_edges_round_trip(self, edges):
+        g = StaticGraph(edges, strict=False)
+        rebuilt = StaticGraph(g.edges())
+        assert sorted(rebuilt.edges()) == sorted(g.edges())
+        assert rebuilt.num_vertices == len({u for e in g.edges() for u in e})

@@ -1,0 +1,102 @@
+"""Tests for the EdgeStream abstraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateEdgeError, EmptyStreamError, InvalidEdgeError
+from repro.graph import EdgeStream, StaticGraph, batched
+
+
+class TestConstruction:
+    def test_canonicalizes(self):
+        s = EdgeStream([(2, 1), (3, 0)])
+        assert list(s) == [(1, 2), (0, 3)]
+
+    def test_duplicate_detection(self):
+        with pytest.raises(DuplicateEdgeError):
+            EdgeStream([(0, 1), (1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            EdgeStream([(1, 1)])
+
+    def test_from_graph_sorted_and_random(self):
+        g = StaticGraph([(0, 1), (1, 2), (0, 2)])
+        s = EdgeStream.from_graph(g)
+        assert list(s) == [(0, 1), (0, 2), (1, 2)]
+        shuffled = EdgeStream.from_graph(g, order="random", seed=5)
+        assert sorted(shuffled) == list(s)
+
+    def test_from_graph_unknown_order(self):
+        g = StaticGraph([(0, 1)])
+        with pytest.raises(ValueError):
+            EdgeStream.from_graph(g, order="sideways")
+
+
+class TestSequenceBehaviour:
+    def test_len_iter_getitem(self, triangle_stream):
+        assert len(triangle_stream) == 4
+        assert triangle_stream[0] == (0, 1)
+        assert list(triangle_stream)[-1] == (2, 3)
+
+    def test_position_of_is_one_based(self, triangle_stream):
+        assert triangle_stream.position_of((0, 1)) == 1
+        assert triangle_stream.position_of((3, 2)) == 4
+        with pytest.raises(EmptyStreamError):
+            triangle_stream.position_of((7, 8))
+
+    def test_prefix(self, triangle_stream):
+        assert list(triangle_stream.prefix(2)) == [(0, 1), (1, 2)]
+
+
+class TestTransforms:
+    def test_shuffled_is_permutation(self, triangle_stream):
+        shuffled = triangle_stream.shuffled(seed=3)
+        assert sorted(shuffled) == sorted(triangle_stream)
+
+    def test_shuffled_deterministic_under_seed(self, triangle_stream):
+        a = list(triangle_stream.shuffled(seed=3))
+        b = list(triangle_stream.shuffled(seed=3))
+        assert a == b
+
+    def test_batches(self):
+        s = EdgeStream([(0, i) for i in range(1, 11)])
+        batches = list(s.batches(4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [e for b in batches for e in b] == list(s)
+
+    def test_batched_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(batched([(0, 1)], 0))
+
+
+class TestStatistics:
+    def test_num_vertices_and_max_degree(self):
+        s = EdgeStream([(0, 1), (0, 2), (0, 3)])
+        assert s.num_vertices() == 4
+        assert s.max_degree() == 3
+
+    def test_empty_stream_stats(self):
+        s = EdgeStream([])
+        assert s.num_vertices() == 0
+        assert s.max_degree() == 0
+
+    def test_to_graph_round_trip(self, triangle_stream):
+        g = triangle_stream.to_graph()
+        assert g.num_edges == 4
+        assert sorted(g.edges()) == sorted(triangle_stream)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30)
+    def test_shuffle_preserves_graph(self, edges):
+        stream = EdgeStream(edges, validate=False)
+        shuffled = stream.shuffled(seed=0)
+        assert sorted(set(stream)) == sorted(set(shuffled))

@@ -1,0 +1,143 @@
+"""Tests for the incidence-stream model (and the model separation)."""
+
+import pytest
+
+from repro.core.incidence import (
+    IncidenceStream,
+    IncidenceTriangleCounter,
+    IncidenceWedgeSampler,
+    _unrank_pair,
+    incidence_estimators_needed,
+)
+from repro.errors import InvalidParameterError
+from repro.exact import count_open_wedges, count_triangles, count_wedges
+from repro.generators import complete_graph, erdos_renyi, star_graph
+from repro.theory import alice_graph_edges, bob_query_edges
+from tests.conftest import assert_mean_close
+
+
+class TestUnrankPair:
+    def test_enumerates_all_pairs(self):
+        d = 6
+        pairs = [_unrank_pair(k, d) for k in range(d * (d - 1) // 2)]
+        assert len(set(pairs)) == 15
+        assert all(0 <= i < j < d for i, j in pairs)
+
+    def test_first_and_last(self):
+        assert _unrank_pair(0, 4) == (0, 1)
+        assert _unrank_pair(5, 4) == (2, 3)
+
+
+class TestIncidenceStream:
+    def test_each_edge_appears_twice(self):
+        edges = erdos_renyi(20, 60, seed=1)
+        stream = IncidenceStream.from_graph(edges)
+        slots = sum(len(nbrs) for _, nbrs in stream)
+        assert slots == 2 * len(edges)
+
+    def test_vertex_orders(self):
+        edges = [(0, 1), (1, 2)]
+        sorted_stream = IncidenceStream.from_graph(edges)
+        assert [v for v, _ in sorted_stream] == [0, 1, 2]
+        shuffled = IncidenceStream.from_graph(edges, order="random", seed=3)
+        assert sorted(v for v, _ in shuffled) == [0, 1, 2]
+        with pytest.raises(InvalidParameterError):
+            IncidenceStream.from_graph(edges, order="bogus")
+
+
+class TestWedgeSampler:
+    def test_tracks_total_wedges(self):
+        edges = erdos_renyi(25, 80, seed=2)
+        sampler = IncidenceWedgeSampler(seed=0)
+        for v, nbrs in IncidenceStream.from_graph(edges):
+            sampler.observe(v, nbrs)
+        assert sampler.total_wedges == count_wedges(edges)
+
+    def test_star_never_closes(self):
+        sampler = IncidenceWedgeSampler(seed=1)
+        for v, nbrs in IncidenceStream.from_graph(star_graph(8)):
+            sampler.observe(v, nbrs)
+        assert sampler.estimate() == 0.0
+
+    def test_unbiased_on_er_graph(self):
+        edges = erdos_renyi(30, 140, seed=4)
+        tau = count_triangles(edges)
+        assert tau > 0
+        stream = IncidenceStream.from_graph(edges, order="random", seed=9)
+        estimates = []
+        for seed in range(6000):
+            sampler = IncidenceWedgeSampler(seed=seed)
+            for v, nbrs in stream:
+                sampler.observe(v, nbrs)
+            estimates.append(sampler.estimate())
+        assert_mean_close(estimates, tau, z=6.0)
+
+    def test_unbiased_under_any_vertex_order(self):
+        edges = complete_graph(7)
+        tau = count_triangles(edges)
+        for order_seed in (1, 2):
+            stream = IncidenceStream.from_graph(edges, order="random", seed=order_seed)
+            estimates = []
+            for seed in range(4000):
+                sampler = IncidenceWedgeSampler(seed=seed)
+                for v, nbrs in stream:
+                    sampler.observe(v, nbrs)
+                estimates.append(sampler.estimate())
+            assert_mean_close(estimates, tau, z=6.0)
+
+
+class TestCounter:
+    def test_requires_positive_pool(self):
+        with pytest.raises(InvalidParameterError):
+            IncidenceTriangleCounter(0)
+
+    def test_accurate_on_dense_graph(self):
+        edges = complete_graph(15)
+        tau = count_triangles(edges)
+        counter = IncidenceTriangleCounter(4000, seed=5)
+        counter.consume(IncidenceStream.from_graph(edges))
+        assert abs(counter.estimate() - tau) / tau < 0.15
+
+    def test_wedge_count_exact(self):
+        edges = erdos_renyi(20, 50, seed=6)
+        counter = IncidenceTriangleCounter(3, seed=7)
+        counter.consume(IncidenceStream.from_graph(edges))
+        assert counter.wedge_count() == count_wedges(edges)
+
+
+class TestSizing:
+    def test_formula_positive(self):
+        r = incidence_estimators_needed(0.1, 0.1, wedges=1000, triangles=100)
+        assert r >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            incidence_estimators_needed(0.0, 0.1, wedges=10, triangles=1)
+        with pytest.raises(InvalidParameterError):
+            incidence_estimators_needed(0.1, 0.1, wedges=0, triangles=1)
+
+    def test_bound_scales_with_t2_over_tau(self):
+        few_open = incidence_estimators_needed(0.2, 0.1, wedges=300, triangles=100)
+        many_open = incidence_estimators_needed(0.2, 0.1, wedges=30_000, triangles=100)
+        assert many_open > 50 * few_open
+
+
+class TestModelSeparation:
+    """Theorem 3.13's point, executed: the Index graphs are easy in the
+    incidence model (zeta = 3 tau, T2 = 0, so O(1) estimators suffice)
+    while the adjacency model provably needs Omega(n) bits."""
+
+    def test_lower_bound_graphs_have_zero_t2(self):
+        edges = alice_graph_edges([1, 0, 1, 1]) + bob_query_edges(0)
+        assert count_open_wedges(edges) == 0
+
+    def test_constant_estimators_distinguish_one_vs_two_triangles(self):
+        bits = [1, 0, 1]
+        correct = 0
+        for k in range(len(bits)):
+            edges = alice_graph_edges(bits) + bob_query_edges(k)
+            counter = IncidenceTriangleCounter(60, seed=k)
+            counter.consume(IncidenceStream.from_graph(edges))
+            decoded = 1 if counter.estimate() > 1.5 else 0
+            correct += decoded == bits[k]
+        assert correct == len(bits)

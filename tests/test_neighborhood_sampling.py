@@ -1,0 +1,130 @@
+"""Tests for Algorithm 1 (NSAMP-TRIANGLE): invariants and Lemma 3.1/3.2."""
+
+from collections import Counter
+
+from repro.core.neighborhood_sampling import NeighborhoodSampler
+from repro.exact import list_triangles, neighborhood_sizes
+from repro.exact.tangle import triangle_sampling_probabilities
+from repro.graph import EdgeStream
+from repro.graph.edge import edges_adjacent
+from tests.conftest import assert_fraction_close, assert_mean_close
+
+
+def run_sampler(stream, seed):
+    sampler = NeighborhoodSampler(seed=seed)
+    for e in stream:
+        sampler.update(e)
+    return sampler
+
+
+class TestStateInvariants:
+    def test_initial_state(self):
+        s = NeighborhoodSampler(seed=0)
+        assert s.r1 is None and s.r2 is None and s.t is None and s.c == 0
+        assert s.triangle_estimate() == 0.0
+
+    def test_first_edge_always_becomes_r1(self):
+        s = NeighborhoodSampler(seed=0)
+        s.update((3, 7))
+        assert s.r1 == (3, 7)
+        assert s.c == 0
+
+    def test_r2_adjacent_to_r1(self, small_er_graph):
+        edges, _ = small_er_graph
+        for seed in range(20):
+            s = run_sampler(edges, seed)
+            if s.r2 is not None:
+                assert edges_adjacent(s.r1, s.r2)
+
+    def test_c_matches_true_neighborhood_size(self, small_er_graph):
+        """The invariant c = |N(r1)| against the exact backward pass."""
+        edges, _ = small_er_graph
+        stream = EdgeStream(edges, validate=False)
+        true_c = neighborhood_sizes(stream)
+        for seed in range(20):
+            s = run_sampler(stream, seed)
+            assert s.c == true_c[s.r1]
+
+    def test_held_triangle_is_real_and_first_edge_is_r1(self, small_er_graph):
+        edges, _ = small_er_graph
+        stream = EdgeStream(edges, validate=False)
+        triangles = set(list_triangles(edges))
+        for seed in range(60):
+            s = run_sampler(stream, seed)
+            if s.t is None:
+                continue
+            assert s.t in triangles
+            a, b, c = s.t
+            assert set(s.r1) <= {a, b, c}
+
+    def test_estimate_formula(self, triangle_stream):
+        for seed in range(50):
+            s = run_sampler(triangle_stream, seed)
+            expected = float(s.c) * len(triangle_stream) if s.t else 0.0
+            assert s.triangle_estimate() == expected
+            assert s.wedge_estimate() == float(s.c) * len(triangle_stream)
+
+
+class TestLemma31:
+    """Monte-Carlo check of Pr[t = t*] = 1 / (m * C(t*))."""
+
+    def test_worked_example_probabilities(self, worked_example_stream):
+        probs = triangle_sampling_probabilities(worked_example_stream)
+        trials = 60_000
+        held = Counter()
+        for seed in range(trials):
+            s = run_sampler(worked_example_stream, seed)
+            if s.t is not None:
+                held[s.t] += 1
+        # Pr[t1] = 1/20; Pr[t2] = Pr[t3] = 1/60 (see conftest).
+        for tri, p in probs.items():
+            assert_fraction_close(held[tri], trials, p)
+
+    def test_single_triangle_stream(self):
+        # m = 3, C = 2 -> the triangle is held with probability 1/6.
+        stream = EdgeStream([(0, 1), (1, 2), (0, 2)])
+        trials = 30_000
+        hits = sum(
+            1 for seed in range(trials) if run_sampler(stream, seed).t is not None
+        )
+        assert_fraction_close(hits, trials, 1 / 6)
+
+
+class TestLemma32:
+    """E[tau~] = tau(G) for arbitrary streams."""
+
+    def test_unbiased_on_er_graph(self, small_er_graph):
+        edges, tau = small_er_graph
+        samples = [run_sampler(edges, seed).triangle_estimate() for seed in range(4000)]
+        assert_mean_close(samples, tau)
+
+    def test_unbiased_on_clustered_graph(self, small_social_graph):
+        edges, tau = small_social_graph
+        samples = [run_sampler(edges, seed).triangle_estimate() for seed in range(4000)]
+        assert_mean_close(samples, tau)
+
+    def test_unbiased_under_adversarial_order(self, small_social_graph):
+        """Stream order changes C(t) but never the expectation."""
+        edges, tau = small_social_graph
+        reordered = sorted(edges)  # lexicographic: highly non-random
+        samples = [
+            run_sampler(reordered, seed).triangle_estimate() for seed in range(4000)
+        ]
+        assert_mean_close(samples, tau)
+
+    def test_zero_on_triangle_free_stream(self):
+        edges = [(i, i + 1) for i in range(30)]
+        for seed in range(30):
+            assert run_sampler(edges, seed).triangle_estimate() == 0.0
+
+
+class TestLemma310:
+    """E[m * c] = zeta(G) (the wedge estimator)."""
+
+    def test_unbiased_wedges(self, small_er_graph):
+        from repro.exact import count_wedges
+
+        edges, _ = small_er_graph
+        zeta = count_wedges(edges)
+        samples = [run_sampler(edges, seed).wedge_estimate() for seed in range(4000)]
+        assert_mean_close(samples, zeta)

@@ -1,0 +1,169 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These target whole-system invariants that should hold for *any* graph,
+*any* stream order, and *any* batch decomposition -- the places where
+subtle streaming bugs hide.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactStreamingCounter
+from repro.core.bulk import BulkTriangleCounter
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.exact import (
+    count_open_wedges,
+    count_triangles,
+    count_wedges,
+    neighborhood_sizes,
+    tangle_coefficient,
+)
+from repro.errors import EmptyStreamError
+from repro.graph import EdgeStream, StaticGraph
+
+
+def simple_edge_lists(max_vertex=14, max_size=45):
+    """Strategy: de-duplicated canonical edge lists (arbitrary order)."""
+    return st.lists(
+        st.tuples(
+            st.integers(0, max_vertex), st.integers(0, max_vertex)
+        ).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=max_size,
+    ).map(
+        lambda edges: list(dict.fromkeys(tuple(sorted(e)) for e in edges))
+    )
+
+
+def batch_plans(n):
+    """Strategy: a list of positive batch sizes summing to >= n."""
+    return st.lists(st.integers(1, max(n, 1)), min_size=1, max_size=n or 1)
+
+
+class TestStreamOrderInvariance:
+    """Exact counts are properties of the graph, not the stream order."""
+
+    @given(simple_edge_lists(), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_count_order_invariant(self, edges, seed):
+        shuffled = list(EdgeStream(edges, validate=False).shuffled(seed))
+        assert count_triangles(shuffled) == count_triangles(edges)
+
+    @given(simple_edge_lists(), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_exact_counter_order_invariant(self, edges, seed):
+        a = ExactStreamingCounter()
+        a.update_batch(edges)
+        b = ExactStreamingCounter()
+        b.update_batch(list(EdgeStream(edges, validate=False).shuffled(seed)))
+        assert a.triangles == b.triangles
+        assert a.wedges == b.wedges
+
+
+class TestCountingIdentities:
+    @given(simple_edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_zeta_decomposition(self, edges):
+        """zeta = 3 tau + T2: every wedge is open or part of a triangle."""
+        assert count_wedges(edges) == 3 * count_triangles(edges) + count_open_wedges(
+            edges
+        )
+
+    @given(simple_edge_lists(), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_claim_3_9_for_any_order(self, edges, seed):
+        stream = EdgeStream(edges, validate=False).shuffled(seed)
+        assert sum(neighborhood_sizes(stream).values()) == count_wedges(edges)
+
+    @given(simple_edge_lists(), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_tangle_bounds(self, edges, seed):
+        stream = EdgeStream(edges, validate=False).shuffled(seed)
+        try:
+            gamma = tangle_coefficient(stream)
+        except EmptyStreamError:
+            return
+        # C(t) >= 2 for every triangle (its other two edges follow the
+        # first), and gamma <= 2 Delta always.
+        assert 2.0 <= gamma <= 2 * stream.max_degree() + 1e-9
+
+
+class TestEngineInvariantsUnderArbitrarySplits:
+    @given(simple_edge_lists(), batch_plans(45), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_engine_invariants(self, edges, plan, seed):
+        counter = BulkTriangleCounter(25, seed=seed)
+        consumed = 0
+        for size in plan:
+            if consumed >= len(edges):
+                break
+            counter.update_batch(edges[consumed : consumed + size])
+            consumed += size
+        counter.update_batch(edges[consumed:])
+        true_c = neighborhood_sizes(EdgeStream(edges, validate=False))
+        triangles = set()
+        from repro.exact import list_triangles
+
+        triangles = set(list_triangles(edges))
+        for state in counter.states():
+            assert state.c == true_c[state.r1]
+            if state.t is not None:
+                assert state.t in triangles
+
+    @given(simple_edge_lists(), batch_plans(45), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_vectorized_engine_invariants(self, edges, plan, seed):
+        counter = VectorizedTriangleCounter(25, seed=seed)
+        consumed = 0
+        for size in plan:
+            if consumed >= len(edges):
+                break
+            counter.update_batch(edges[consumed : consumed + size])
+            consumed += size
+        counter.update_batch(edges[consumed:])
+        true_c = neighborhood_sizes(EdgeStream(edges, validate=False))
+        for i in range(counter.num_estimators):
+            r1 = (int(counter.r1u[i]), int(counter.r1v[i]))
+            assert counter.c[i] == true_c[r1]
+        from repro.exact import list_triangles
+
+        triangles = set(list_triangles(edges))
+        for tri in counter.triangles_held():
+            assert tri in triangles
+
+
+class TestWindowedCounterProperties:
+    @given(simple_edge_lists(), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_window_counter_equals_recount(self, edges, window):
+        from repro.exact.sliding import WindowedExactCounter
+
+        counter = WindowedExactCounter(window)
+        for i, e in enumerate(edges):
+            count = counter.push(e)
+            recount = count_triangles(edges[max(0, i + 1 - window) : i + 1])
+            assert count == recount
+
+
+class TestGraphRoundTrips:
+    @given(simple_edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_graph_stream_graph_identity(self, edges):
+        graph = StaticGraph(edges, strict=False)
+        stream = EdgeStream.from_graph(graph)
+        rebuilt = stream.to_graph()
+        assert sorted(rebuilt.edges()) == sorted(graph.edges())
+
+    @given(simple_edge_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_file_round_trip(self, edges):
+        import tempfile
+        from pathlib import Path
+
+        from repro.graph import read_edge_list, write_edge_list
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "g.edges"
+            write_edge_list(path, edges)
+            assert read_edge_list(path) == edges

@@ -1,0 +1,123 @@
+"""Tests for the random primitives (coin, randInt, geometric skips)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.rng import RandomSource, spawn_sources
+from tests.conftest import assert_fraction_close
+
+
+class TestCoin:
+    def test_extremes_are_deterministic(self):
+        rng = RandomSource(1)
+        assert all(rng.coin(1.0) for _ in range(50))
+        assert not any(rng.coin(0.0) for _ in range(50))
+
+    def test_out_of_range_probabilities_clamp(self):
+        rng = RandomSource(1)
+        assert rng.coin(2.0) is True
+        assert rng.coin(-1.0) is False
+
+    def test_frequency_matches_probability(self):
+        rng = RandomSource(7)
+        trials = 20_000
+        heads = sum(rng.coin(0.3) for _ in range(trials))
+        assert_fraction_close(heads, trials, 0.3)
+
+    def test_reservoir_pattern_is_uniform(self):
+        # coin(1/i) reservoir over 10 items selects each with prob 1/10.
+        rng = RandomSource(13)
+        counts = [0] * 10
+        trials = 20_000
+        for _ in range(trials):
+            kept = 0
+            for i in range(1, 11):
+                if rng.coin(1.0 / i):
+                    kept = i
+            counts[kept - 1] += 1
+        for c in counts:
+            assert_fraction_close(c, trials, 0.1)
+
+
+class TestRandInt:
+    def test_bounds_inclusive(self):
+        rng = RandomSource(5)
+        values = {rng.rand_int(2, 4) for _ in range(200)}
+        assert values == {2, 3, 4}
+
+    def test_single_point_range(self):
+        rng = RandomSource(5)
+        assert rng.rand_int(7, 7) == 7
+
+    def test_invalid_range_raises(self):
+        rng = RandomSource(5)
+        with pytest.raises(InvalidParameterError):
+            rng.rand_int(3, 2)
+
+    @given(st.integers(-50, 50), st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_always_within_range(self, a, width):
+        rng = RandomSource(0)
+        value = rng.rand_int(a, a + width)
+        assert a <= value <= a + width
+
+
+class TestGeometricSkip:
+    def test_p_one_never_skips(self):
+        rng = RandomSource(3)
+        assert all(rng.geometric_skip(1.0) == 0 for _ in range(20))
+
+    def test_invalid_p_raises(self):
+        rng = RandomSource(3)
+        with pytest.raises(InvalidParameterError):
+            rng.geometric_skip(0.0)
+        with pytest.raises(InvalidParameterError):
+            rng.geometric_skip(1.5)
+
+    def test_mean_matches_geometric(self):
+        rng = RandomSource(17)
+        p = 0.2
+        samples = [rng.geometric_skip(p) for _ in range(20_000)]
+        expected_mean = (1 - p) / p
+        observed = sum(samples) / len(samples)
+        stderr = math.sqrt((1 - p) / p**2 / len(samples))
+        assert abs(observed - expected_mean) < 5 * stderr
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(99)
+        b = RandomSource(99)
+        assert [a.rand_int(0, 1000) for _ in range(20)] == [
+            b.rand_int(0, 1000) for _ in range(20)
+        ]
+
+    def test_spawn_sources_are_deterministic(self):
+        xs = [src.rand_int(0, 10**9) for src in spawn_sources(4, 5)]
+        ys = [src.rand_int(0, 10**9) for src in spawn_sources(4, 5)]
+        assert xs == ys
+        assert len(set(xs)) > 1  # sources differ from each other
+
+    def test_spawn_sources_negative_count_raises(self):
+        with pytest.raises(InvalidParameterError):
+            spawn_sources(0, -1)
+
+    def test_shuffle_permutes(self):
+        rng = RandomSource(21)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items
+
+    def test_sample_indices_distinct(self):
+        rng = RandomSource(2)
+        idx = rng.sample_indices(100, 30)
+        assert len(set(idx)) == 30
+        assert all(0 <= i < 100 for i in idx)
+        with pytest.raises(InvalidParameterError):
+            rng.sample_indices(3, 4)

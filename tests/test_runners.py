@@ -1,0 +1,107 @@
+"""Smoke tests for the experiment runners on tiny configurations.
+
+The full-scale shapes are asserted by the benchmark suite; here we only
+verify each runner executes end to end and reports sane structures.
+Only the small datasets are used so the suite stays fast.
+"""
+
+import pytest
+
+from repro.experiments.runners import (
+    _RUNNERS,
+    main,
+    run_ablation_aggregation,
+    run_ablation_engines,
+    run_ablation_tangle,
+    run_buriol_study,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_table1,
+    run_table3,
+)
+
+
+class TestTableRunners:
+    def test_table1_tiny(self):
+        out = run_table1(r_values=(64, 256), trials=2, verbose=False)
+        assert out["true_tau"] == 1000
+        assert len(out["rows"]) == 2
+        for row in out["rows"]:
+            assert row[1] >= 0.0 and row[3] >= 0.0  # deviations
+            assert row[2] > 0.0 and row[4] > 0.0  # times
+
+    def test_table3_tiny(self):
+        out = run_table3(
+            r_values=(256,),
+            datasets=("syn_3reg", "amazon_like"),
+            trials=2,
+            verbose=False,
+        )
+        assert len(out["rows"]) == 2
+        assert out["memory_rows"][0][0] == 256
+
+    def test_figure4_tiny(self):
+        out = run_figure4(
+            r_values=(256,), datasets=("syn_3reg",), trials=1, verbose=False
+        )
+        assert out["rows"][0][2] > 0  # Medges/s positive
+
+    def test_figure5_tiny(self):
+        out = run_figure5(
+            r_values=(256, 1024),
+            datasets=("amazon_like",),
+            trials=1,
+            verbose=False,
+        )
+        series = out["series"]["amazon_like"]
+        assert len(series["devs"]) == 2
+        assert series["bounds"][0] > series["bounds"][1]  # bound shrinks with r
+
+    def test_figure6_tiny(self):
+        out = run_figure6(
+            batch_factors=(1, 8),
+            dataset="amazon_like",
+            num_estimators=512,
+            trials=1,
+            verbose=False,
+        )
+        assert len(out["throughputs"]) == 2
+
+
+class TestStudyRunners:
+    def test_buriol_study_tiny(self):
+        out = run_buriol_study(dataset="amazon_like", num_estimators=2000, verbose=False)
+        assert out["buriol_fraction"] <= out["ours_fraction"]
+
+    def test_ablation_tangle_tiny(self):
+        out = run_ablation_tangle(datasets=("syn_3reg",), verbose=False)
+        row = out["rows"][0]
+        gamma, two_delta = row[1], row[2]
+        assert gamma <= two_delta
+
+    def test_ablation_aggregation_tiny(self):
+        out = run_ablation_aggregation(
+            dataset="syn_3reg", num_estimators=512, trials=3, verbose=False
+        )
+        assert len(out["mean_errors"]) == 3
+
+    def test_ablation_engines_tiny(self):
+        out = run_ablation_engines(
+            dataset="syn_3reg", num_estimators=128, trials=1, verbose=False
+        )
+        assert {row[0] for row in out["rows"]} == {"reference", "bulk", "vectorized"}
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in _RUNNERS:
+            assert name in out
+
+    def test_unknown(self, capsys):
+        assert main(["definitely-not-real"]) == 1
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0

@@ -1,0 +1,136 @@
+"""Tests for sliding-window triangle counting (Section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.core.sliding_window import ChainedWindowSampler, SlidingWindowTriangleCounter
+from repro.errors import InvalidParameterError
+from repro.exact import sliding_window_triangle_counts
+from repro.generators import erdos_renyi
+from repro.graph import EdgeStream
+from tests.conftest import assert_mean_close
+
+
+class TestChainStructure:
+    def test_invalid_window(self):
+        with pytest.raises(InvalidParameterError):
+            ChainedWindowSampler(0)
+
+    def test_chain_holds_suffix_minima(self):
+        s = ChainedWindowSampler(window=50, seed=1)
+        for e in [(i, i + 1) for i in range(40)]:
+            s.update(e)
+        rhos = [link.rho for link in s._chain]
+        assert rhos == sorted(rhos)  # strictly increasing priorities
+        positions = [link.pos for link in s._chain]
+        assert positions == sorted(positions)
+
+    def test_expired_edges_leave_chain(self):
+        s = ChainedWindowSampler(window=5, seed=2)
+        for e in [(i, i + 1) for i in range(30)]:
+            s.update(e)
+        for link in s._chain:
+            assert link.pos > 30 - 5
+
+    def test_expected_chain_length_is_logarithmic(self):
+        w = 256
+        lengths = []
+        for seed in range(300):
+            s = ChainedWindowSampler(window=w, seed=seed)
+            for e in [(i, i + 1) for i in range(w)]:
+                s.update(e)
+            lengths.append(s.chain_length())
+        mean_len = sum(lengths) / len(lengths)
+        # Expected length is the harmonic number H_w ~ ln w + gamma.
+        expected = math.log(w) + 0.5772
+        assert abs(mean_len - expected) < 1.0
+
+    def test_head_uniform_over_window(self):
+        edges = [(0, i) for i in range(1, 9)]
+        w = 4
+        counts = {e: 0 for e in edges[-w:]}
+        trials = 20_000
+        for seed in range(trials):
+            s = ChainedWindowSampler(window=w, seed=seed)
+            for e in edges:
+                s.update(e)
+            counts[s.head().edge] += 1
+        expected = trials / w
+        for count in counts.values():
+            assert abs(count - expected) < 6 * expected**0.5
+
+    def test_window_size_reporting(self):
+        s = ChainedWindowSampler(window=10, seed=3)
+        for e in [(i, i + 1) for i in range(4)]:
+            s.update(e)
+        assert s.window_size() == 4
+        for e in [(i, i + 1) for i in range(4, 30)]:
+            s.update(e)
+        assert s.window_size() == 10
+
+
+class TestWindowedEstimates:
+    def test_unbiased_for_window_triangles(self):
+        """E[estimate] equals the triangle count of the current window."""
+        edges = erdos_renyi(30, 120, seed=4)
+        window = 60
+        exact = sliding_window_triangle_counts(
+            EdgeStream(edges, validate=False), window
+        )[-1]
+        estimates = []
+        for seed in range(4000):
+            s = ChainedWindowSampler(window=window, seed=seed)
+            for e in edges:
+                s.update(e)
+            estimates.append(s.triangle_estimate())
+        assert_mean_close(estimates, exact, z=6.0)
+
+    def test_held_triangle_is_inside_window(self):
+        edges = erdos_renyi(30, 120, seed=5)
+        window = 40
+        for seed in range(200):
+            s = ChainedWindowSampler(window=window, seed=seed)
+            for e in edges:
+                s.update(e)
+            tri = s.held_triangle()
+            if tri is None:
+                continue
+            window_edges = set(
+                EdgeStream(edges, validate=False).edges[-window:]
+            )
+            a, b, c = tri
+            assert {(min(a, b), max(a, b)), (min(a, c), max(a, c)),
+                    (min(b, c), max(b, c))} <= window_edges
+
+    def test_expired_triangles_not_counted(self):
+        # Triangle at the start, then 20 fresh path edges: window of 5
+        # no longer contains it.
+        edges = [(0, 1), (1, 2), (0, 2)] + [(i, i + 1) for i in range(10, 30)]
+        for seed in range(100):
+            s = ChainedWindowSampler(window=5, seed=seed)
+            for e in edges:
+                s.update(e)
+            assert s.triangle_estimate() == 0.0
+
+
+class TestCounterFacade:
+    def test_requires_positive_pool(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowTriangleCounter(0, 10)
+
+    def test_estimate_tracks_window(self):
+        edges = erdos_renyi(30, 150, seed=6)
+        window = 75
+        exact = sliding_window_triangle_counts(
+            EdgeStream(edges, validate=False), window
+        )[-1]
+        counter = SlidingWindowTriangleCounter(3000, window, seed=7)
+        counter.update_batch(edges)
+        assert exact > 0
+        assert abs(counter.estimate() - exact) / exact < 0.5
+
+    def test_mean_chain_length(self):
+        counter = SlidingWindowTriangleCounter(50, 64, seed=8)
+        counter.update_batch([(i, i + 1) for i in range(64)])
+        assert 1.0 <= counter.mean_chain_length() <= 12.0

@@ -1,0 +1,141 @@
+"""Tests for the lower-bound protocol (Theorem 3.13) and the bound catalogue."""
+
+import pytest
+
+from repro.baselines import ExactStreamingCounter
+from repro.core.triangle_count import TriangleCounter
+from repro.errors import InvalidParameterError
+from repro.exact import count_triangles
+from repro.theory import (
+    alice_graph_edges,
+    bob_query_edges,
+    run_index_protocol,
+    space_bound,
+    space_bound_table,
+)
+from repro.theory.bounds import ALGORITHMS, GraphParameters
+
+
+class TestReductionConstruction:
+    def test_alice_graph_has_one_triangle_plus_bit_edges(self):
+        bits = [1, 0, 1, 1]
+        edges = alice_graph_edges(bits)
+        assert count_triangles(edges) == 1  # only the anchor triangle
+        assert len(edges) == 3 + sum(bits)
+
+    def test_bob_edges_complete_triangle_iff_bit_set(self):
+        bits = [1, 0]
+        # Bit 0 set: adding Bob's edges creates a second triangle.
+        assert count_triangles(alice_graph_edges(bits) + bob_query_edges(0)) == 2
+        # Bit 1 unset: still only the anchor triangle.
+        assert count_triangles(alice_graph_edges(bits) + bob_query_edges(1)) == 1
+
+    def test_t2_is_zero_on_reduction_graphs(self):
+        """The key structural property: no vertex triple has exactly two
+        edges, so O(1 + T2/tau) space would be O(1)."""
+        from itertools import combinations
+
+        from repro.graph import StaticGraph
+
+        bits = [1, 0, 1]
+        g = StaticGraph(alice_graph_edges(bits), strict=False)
+        verts = sorted(g.vertices())
+        for a, b, c in combinations(verts, 3):
+            edge_count = sum(
+                1 for u, v in ((a, b), (a, c), (b, c)) if g.has_edge(u, v)
+            )
+            assert edge_count != 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            alice_graph_edges([0, 2])
+        with pytest.raises(InvalidParameterError):
+            bob_query_edges(-1)
+        with pytest.raises(InvalidParameterError):
+            run_index_protocol([1, 0], 5, ExactStreamingCounter)
+
+
+class TestProtocolExecution:
+    def test_exact_counter_decodes_every_bit(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        for k in range(len(bits)):
+            outcome = run_index_protocol(bits, k, ExactStreamingCounter)
+            assert outcome.correct
+            assert outcome.decoded_bit == bits[k]
+
+    def test_exact_counter_state_grows_with_n(self):
+        """The Omega(n) message: exact state scales with the bit count."""
+        small = ExactStreamingCounter()
+        for e in alice_graph_edges([1] * 10):
+            small.update(e)
+        large = ExactStreamingCounter()
+        for e in alice_graph_edges([1] * 100):
+            large.update(e)
+        assert large.state_size_edges() >= small.state_size_edges() + 80
+
+    def test_sublinear_counter_fails_sometimes(self):
+        """A small-space approximate counter cannot reliably achieve
+        relative error < 1/2 on the adversarial graphs -- that is the
+        content of the lower bound."""
+        bits = [1, 0] * 20
+        wrong = 0
+        for k in range(len(bits)):
+            outcome = run_index_protocol(
+                bits, k, lambda: TriangleCounter(4, seed=k)
+            )
+            wrong += not outcome.correct
+        assert wrong > 0
+
+    def test_outcome_dataclass(self):
+        outcome = run_index_protocol([1], 0, ExactStreamingCounter)
+        assert outcome.k == 0
+        assert outcome.true_bit == 1
+        assert outcome.estimate == 2.0
+
+
+class TestBoundCatalogue:
+    def params(self):
+        return GraphParameters(
+            n=10_000, m=100_000, max_degree=500, triangles=50_000
+        )
+
+    def test_all_algorithms_evaluated(self):
+        table = space_bound_table(self.params())
+        assert set(table) == set(ALGORITHMS)
+        assert all(v > 0 for v in table.values())
+
+    def test_ours_beats_jg_by_delta_factor(self):
+        p = self.params()
+        ours = space_bound("neighborhood-sampling (Thm 3.3)", p)
+        jg = space_bound("jowhari-ghodsi", p)
+        assert jg == pytest.approx(ours * p.max_degree)
+
+    def test_ours_beats_buriol_when_delta_below_n(self):
+        p = self.params()
+        ours = space_bound("neighborhood-sampling (Thm 3.3)", p)
+        buriol = space_bound("buriol-et-al", p)
+        assert buriol / ours == pytest.approx(p.n / p.max_degree)
+
+    def test_tangle_bound_defaults_to_2delta(self):
+        p = self.params()
+        tangle_default = space_bound("neighborhood-sampling, tangle (Thm 3.4)", p)
+        base = space_bound("neighborhood-sampling (Thm 3.3)", p)
+        assert tangle_default == pytest.approx(2 * base)
+
+    def test_tangle_bound_uses_gamma_when_given(self):
+        p = GraphParameters(
+            n=10_000, m=100_000, max_degree=500, triangles=50_000, tangle=5.0
+        )
+        with_gamma = space_bound("neighborhood-sampling, tangle (Thm 3.4)", p)
+        base = space_bound("neighborhood-sampling (Thm 3.3)", p)
+        assert with_gamma < base
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            space_bound("quantum", self.params())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            space_bound_table(
+                GraphParameters(n=0, m=1, max_degree=1, triangles=1)
+            )

@@ -1,0 +1,122 @@
+"""Tests for the TriangleCounter facade and the aggregation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.triangle_count import (
+    TriangleCounter,
+    aggregate_mean,
+    aggregate_median_of_means,
+)
+from repro.errors import EmptyStreamError, InvalidParameterError
+
+
+class TestAggregators:
+    def test_mean(self):
+        assert aggregate_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(EmptyStreamError):
+            aggregate_mean([])
+
+    def test_median_of_means_basic(self):
+        # 3 groups of 2: means 1.5, 3.5, 100.0 -> median 3.5.
+        values = [1, 2, 3, 4, 100, 100]
+        assert aggregate_median_of_means(values, 3) == pytest.approx(3.5)
+
+    def test_median_of_means_robust_to_outliers(self):
+        # 3 corrupted values can pollute at most 3 of 10 groups, so the
+        # median of group means stays near 10 while the plain mean blows up.
+        values = [10.0] * 97 + [1e9] * 3
+        shuffled = np.random.default_rng(0).permutation(values)
+        mom = aggregate_median_of_means(shuffled, 10)
+        assert mom < 1e6
+        assert aggregate_mean(shuffled) > 1e7
+
+    def test_median_of_means_groups_clamped(self):
+        assert aggregate_median_of_means([5.0, 5.0], 100) == pytest.approx(5.0)
+
+    def test_invalid_groups(self):
+        with pytest.raises(InvalidParameterError):
+            aggregate_median_of_means([1.0], 0)
+
+
+class TestFacade:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TriangleCounter(10, engine="gpu")
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TriangleCounter(10, aggregation="mode")
+
+    @pytest.mark.parametrize("engine", ["reference", "bulk", "vectorized"])
+    def test_engines_share_api(self, engine, triangle_stream):
+        counter = TriangleCounter(100, engine=engine, seed=1)
+        counter.update_batch(list(triangle_stream))
+        assert counter.edges_seen == 4
+        assert counter.num_estimators == 100
+        assert counter.estimate() >= 0.0
+        assert 0.0 <= counter.fraction_holding_triangle() <= 1.0
+        assert counter.engine_name == engine
+
+    def test_update_single_edge(self):
+        counter = TriangleCounter(10, seed=0)
+        counter.update((0, 1))
+        assert counter.edges_seen == 1
+
+    def test_from_accuracy_sizes_pool(self):
+        counter = TriangleCounter.from_accuracy(
+            0.5, 0.5, m=100, max_degree=5, triangles=50, seed=0
+        )
+        from repro.core.accuracy import estimators_needed
+
+        expected = estimators_needed(0.5, 0.5, m=100, max_degree=5, triangles=50)
+        assert counter.num_estimators == expected
+
+    def test_accurate_at_paper_scale(self, small_social_graph):
+        """With a healthy pool the estimate lands within a few percent."""
+        edges, tau = small_social_graph
+        counter = TriangleCounter(30_000, seed=3)
+        counter.update_batch(edges)
+        assert abs(counter.estimate() - tau) / tau < 0.10
+
+    def test_median_of_means_aggregation_path(self, small_social_graph):
+        edges, tau = small_social_graph
+        counter = TriangleCounter(
+            20_000, aggregation="median-of-means", groups=8, seed=4
+        )
+        counter.update_batch(edges)
+        assert abs(counter.estimate() - tau) / tau < 0.35
+
+    def test_error_decreases_with_r(self, small_social_graph):
+        """The Figure 5 trend: more estimators, less error (on average)."""
+        edges, tau = small_social_graph
+        errors = {}
+        for r in (100, 30_000):
+            trial_errors = []
+            for seed in range(3):
+                counter = TriangleCounter(r, seed=seed)
+                counter.update_batch(edges)
+                trial_errors.append(abs(counter.estimate() - tau) / tau)
+            errors[r] = sum(trial_errors) / len(trial_errors)
+        assert errors[30_000] < errors[100]
+
+    def test_triangle_free_stream_estimates_zero(self):
+        counter = TriangleCounter(500, seed=5)
+        counter.update_batch([(i, i + 1) for i in range(50)])
+        assert counter.estimate() == 0.0
+        assert counter.fraction_holding_triangle() == 0.0
+
+
+class TestReferenceEngineAdapter:
+    def test_samplers_exposed(self):
+        counter = TriangleCounter(5, engine="reference", seed=0)
+        counter.update_batch([(0, 1), (1, 2), (0, 2)])
+        samplers = counter.engine.samplers()
+        assert len(samplers) == 5
+        assert all(s.edges_seen == 3 for s in samplers)
+
+    def test_requires_positive_estimators(self):
+        with pytest.raises(InvalidParameterError):
+            TriangleCounter(0, engine="reference")

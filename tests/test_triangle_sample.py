@@ -1,0 +1,107 @@
+"""Tests for uniform triangle sampling (Lemma 3.7, Theorem 3.8)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.triangle_sample import TriangleSampler
+from repro.errors import EmptyStreamError, InsufficientSampleError, InvalidParameterError
+from repro.exact import list_triangles
+from tests.conftest import assert_fraction_close
+
+
+class TestBasics:
+    def test_empty_stream_raises(self):
+        sampler = TriangleSampler(10, seed=0)
+        with pytest.raises(EmptyStreamError):
+            sampler.sample_one()
+
+    def test_triangle_free_stream_returns_none(self):
+        sampler = TriangleSampler(200, seed=1)
+        sampler.update_batch([(i, i + 1) for i in range(30)])
+        assert sampler.sample_one() is None
+        assert sampler.success_fraction() == 0.0
+
+    def test_sample_k_requires_positive(self, triangle_stream):
+        sampler = TriangleSampler(10, seed=2)
+        sampler.update_batch(list(triangle_stream))
+        with pytest.raises(InvalidParameterError):
+            sampler.sample(0)
+
+    def test_insufficient_samplers_raise(self):
+        sampler = TriangleSampler(1, seed=3)
+        sampler.update_batch([(i, i + 1) for i in range(10)])
+        with pytest.raises(InsufficientSampleError):
+            sampler.sample(5)
+
+    def test_tracked_max_degree(self, triangle_stream):
+        sampler = TriangleSampler(10, seed=4)
+        sampler.update_batch(list(triangle_stream))
+        assert sampler.current_max_degree() == 3  # vertex 2
+
+    def test_fixed_max_degree_used(self, triangle_stream):
+        sampler = TriangleSampler(10, max_degree=50, seed=5)
+        sampler.update_batch(list(triangle_stream))
+        assert sampler.current_max_degree() == 50
+
+
+class TestUniformity:
+    def test_sampled_triangles_are_real(self, small_er_graph):
+        edges, _ = small_er_graph
+        triangles = set(list_triangles(edges))
+        sampler = TriangleSampler(3000, seed=6)
+        sampler.update_batch(edges)
+        sample = sampler.sample(5)
+        assert len(sample) == 5
+        for t in sample:
+            assert t in triangles
+
+    def test_rejection_makes_output_uniform(self, worked_example_stream):
+        """Lemma 3.7: after the c/(2 Delta) rejection, each triangle is
+        released with identical probability 1/(2 m Delta)."""
+        edges = list(worked_example_stream)
+        m = len(edges)
+        delta = 6  # vertices 4 and 5 have degree 6
+        trials = 40_000
+        sampler = TriangleSampler(trials, max_degree=delta, seed=7)
+        sampler.update_batch(edges)
+        released = sampler._released_triangles()
+        counts = Counter(released)
+        expected = 1.0 / (2 * m * delta)
+        for tri in list_triangles(edges):
+            assert_fraction_close(counts[tri], trials, expected)
+
+    def test_success_probability_bound(self, worked_example_stream):
+        """Some triangle is released with probability >= tau/(2 m Delta)."""
+        edges = list(worked_example_stream)
+        m, tau, delta = len(edges), 3, 6
+        trials = 40_000
+        sampler = TriangleSampler(trials, max_degree=delta, seed=8)
+        sampler.update_batch(edges)
+        released = len(sampler._released_triangles())
+        assert released / trials >= tau / (2 * m * delta) * 0.8
+
+    def test_sample_with_replacement_semantics(self, small_social_graph):
+        edges, _ = small_social_graph
+        sampler = TriangleSampler(5000, seed=9)
+        sampler.update_batch(edges)
+        sample = sampler.sample(3)
+        assert len(sample) == 3
+
+
+class TestTheorem38Sizing:
+    def test_sized_pool_succeeds(self, small_social_graph):
+        """With r per Theorem 3.8, sample(k) succeeds (prob 1 - delta)."""
+        from repro.core.accuracy import estimators_needed_sampling
+        from repro.graph import StaticGraph
+
+        edges, tau = small_social_graph
+        g = StaticGraph(edges, strict=False)
+        k, delta_fail = 3, 0.05
+        r = estimators_needed_sampling(
+            k, delta_fail, m=len(edges), max_degree=g.max_degree(), triangles=tau
+        )
+        r = min(r, 60_000)  # keep the test fast; still far above need
+        sampler = TriangleSampler(r, seed=10)
+        sampler.update_batch(edges)
+        assert len(sampler.sample(k)) == k

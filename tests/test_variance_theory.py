@@ -1,0 +1,86 @@
+"""Tests for the exact estimator-variance formulas."""
+
+import statistics
+
+import pytest
+
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.errors import InvalidParameterError
+from repro.exact import count_triangles, tangle_coefficient
+from repro.graph import EdgeStream
+from repro.theory.variance import (
+    estimator_moments,
+    estimator_variance,
+    predicted_mean_deviation_pct,
+    predicted_std_of_mean,
+)
+
+
+class TestExactFormulas:
+    def test_mean_is_tau(self, small_er_graph):
+        edges, tau = small_er_graph
+        mean, _ = estimator_moments(EdgeStream(edges, validate=False))
+        assert mean == tau
+
+    def test_second_moment_is_m_tau_gamma(self, small_er_graph):
+        edges, tau = small_er_graph
+        stream = EdgeStream(edges, validate=False)
+        _, second = estimator_moments(stream)
+        gamma = tangle_coefficient(stream)
+        assert second == pytest.approx(len(stream) * tau * gamma)
+
+    def test_variance_nonnegative(self, small_social_graph):
+        edges, _ = small_social_graph
+        assert estimator_variance(EdgeStream(edges, validate=False)) >= 0
+
+    def test_triangle_free_stream_has_zero_variance(self):
+        stream = EdgeStream([(i, i + 1) for i in range(20)])
+        assert estimator_variance(stream) == 0.0
+
+    def test_invalid_r(self, small_er_graph):
+        edges, _ = small_er_graph
+        with pytest.raises(InvalidParameterError):
+            predicted_std_of_mean(EdgeStream(edges, validate=False), 0)
+
+    def test_no_triangles_deviation_undefined(self):
+        stream = EdgeStream([(0, 1), (1, 2)])
+        with pytest.raises(InvalidParameterError):
+            predicted_mean_deviation_pct(stream, 10)
+
+
+class TestPredictionsMatchReality:
+    def test_empirical_variance_matches_formula(self, small_er_graph):
+        """The formula Var = m tau gamma - tau^2 against the spread of
+        actual per-estimator estimates."""
+        edges, tau = small_er_graph
+        stream = EdgeStream(edges, validate=False)
+        predicted = estimator_variance(stream)
+
+        engine = VectorizedTriangleCounter(60_000, seed=3)
+        engine.update_batch(list(stream))
+        empirical = statistics.pvariance([float(x) for x in engine.estimates()])
+        assert empirical == pytest.approx(predicted, rel=0.10)
+
+    def test_predicted_std_shrinks_like_sqrt_r(self, small_er_graph):
+        edges, _ = small_er_graph
+        stream = EdgeStream(edges, validate=False)
+        assert predicted_std_of_mean(stream, 400) == pytest.approx(
+            predicted_std_of_mean(stream, 100) / 2
+        )
+
+    def test_predicted_mean_deviation_matches_trials(self, small_social_graph):
+        """The Table 3-style MD% should be predictable from gamma."""
+        edges, tau = small_social_graph
+        stream = EdgeStream(edges, validate=False)
+        r = 4_000
+        predicted = predicted_mean_deviation_pct(stream, r)
+
+        deviations = []
+        for seed in range(12):
+            engine = VectorizedTriangleCounter(r, seed=seed)
+            engine.update_batch(list(stream))
+            deviations.append(abs(engine.estimate() - tau) / tau * 100)
+        observed = statistics.fmean(deviations)
+        # Loose agreement: the normal approximation plus 12-trial noise.
+        assert observed < 3 * predicted + 1.0
+        assert observed > predicted / 4

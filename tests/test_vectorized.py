@@ -1,0 +1,163 @@
+"""Tests for the numpy vectorized engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.vectorized import VectorizedTriangleCounter
+from repro.errors import InvalidParameterError
+from repro.exact import list_triangles, neighborhood_sizes
+from repro.graph import EdgeStream
+from repro.graph.edge import canonical_edge, edges_adjacent
+from tests.conftest import assert_mean_close
+
+
+def feed(counter, edges, batch_size):
+    for start in range(0, len(edges), batch_size):
+        counter.update_batch(edges[start : start + batch_size])
+
+
+class TestValidation:
+    def test_requires_positive_estimators(self):
+        with pytest.raises(InvalidParameterError):
+            VectorizedTriangleCounter(0)
+
+    def test_rejects_self_loops(self):
+        c = VectorizedTriangleCounter(4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            c.update_batch([(3, 3)])
+
+    def test_rejects_huge_vertex_ids(self):
+        c = VectorizedTriangleCounter(4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            c.update_batch([(0, 2**31)])
+
+    def test_rejects_bad_shape(self):
+        c = VectorizedTriangleCounter(4, seed=0)
+        with pytest.raises(InvalidParameterError):
+            c.update_batch(np.zeros((3, 3), dtype=np.int64))
+
+    def test_empty_batch_noop(self):
+        c = VectorizedTriangleCounter(4, seed=0)
+        c.update_batch([])
+        assert c.edges_seen == 0
+
+
+class TestInvariants:
+    def test_c_matches_neighborhood_size(self, small_er_graph):
+        edges, _ = small_er_graph
+        stream = EdgeStream(edges, validate=False)
+        true_c = neighborhood_sizes(stream)
+        c = VectorizedTriangleCounter(300, seed=5)
+        feed(c, edges, 64)
+        for i in range(c.num_estimators):
+            r1 = (int(c.r1u[i]), int(c.r1v[i]))
+            assert c.c[i] == true_c[r1]
+
+    def test_r2_adjacent_and_after(self, small_er_graph):
+        edges, _ = small_er_graph
+        c = VectorizedTriangleCounter(300, seed=6)
+        feed(c, edges, 64)
+        for i in range(c.num_estimators):
+            if c.r2u[i] >= 0:
+                r1 = (int(c.r1u[i]), int(c.r1v[i]))
+                r2 = (int(c.r2u[i]), int(c.r2v[i]))
+                assert edges_adjacent(r1, r2)
+                assert c.r2pos[i] > c.r1pos[i]
+
+    def test_held_triangles_real(self, small_er_graph):
+        edges, _ = small_er_graph
+        triangles = set(list_triangles(edges))
+        c = VectorizedTriangleCounter(500, seed=7)
+        feed(c, edges, 128)
+        held = c.triangles_held()
+        assert held
+        for t in held:
+            assert t in triangles
+
+    def test_canonicalizes_input(self):
+        c = VectorizedTriangleCounter(8, seed=1)
+        c.update_batch([(5, 2), (9, 2)])
+        for i in range(8):
+            assert c.r1u[i] < c.r1v[i]
+
+
+class TestUnbiasedness:
+    def test_mean_estimate_matches_tau(self, small_er_graph):
+        edges, tau = small_er_graph
+        c = VectorizedTriangleCounter(40_000, seed=11)
+        feed(c, edges, 97)
+        assert_mean_close(list(c.estimates()), tau)
+
+    def test_batch_split_invariance(self, small_social_graph):
+        edges, tau = small_social_graph
+        for batch_size in (1, 13, 128, len(edges)):
+            c = VectorizedTriangleCounter(15_000, seed=batch_size)
+            feed(c, edges, batch_size)
+            assert_mean_close(list(c.estimates()), tau, z=6.0)
+
+    def test_wedge_estimates_unbiased(self, small_er_graph):
+        from repro.exact import count_wedges
+
+        edges, _ = small_er_graph
+        zeta = count_wedges(edges)
+        c = VectorizedTriangleCounter(25_000, seed=13)
+        feed(c, edges, 61)
+        assert_mean_close(list(c.wedge_estimates()), zeta)
+
+
+class TestMemoryAccounting:
+    def test_state_bytes_scale_linearly(self):
+        small = VectorizedTriangleCounter(1_000, seed=0).state_nbytes()
+        large = VectorizedTriangleCounter(10_000, seed=0).state_nbytes()
+        assert large == pytest.approx(10 * small, rel=0.01)
+
+    def test_bytes_per_estimator_is_constant(self):
+        c = VectorizedTriangleCounter(1_000, seed=0)
+        per = c.state_nbytes() / c.num_estimators
+        # 10 int64 arrays + 1 bool array = 81 bytes per estimator.
+        assert per == pytest.approx(81.0)
+
+
+class TestBatchContextHelpers:
+    def test_position_of_edge_lookup(self):
+        from repro.core.vectorized import _BatchContext
+
+        bu = np.array([0, 2, 4], dtype=np.int64)
+        bv = np.array([1, 3, 5], dtype=np.int64)
+        ctx = _BatchContext(bu, bv, base=10)
+        pos = ctx.position_of_edge(
+            np.array([0, 4, 6], dtype=np.int64), np.array([1, 5, 7], dtype=np.int64)
+        )
+        assert list(pos) == [11, 13, 0]
+
+    def test_final_degree_lookup(self):
+        from repro.core.vectorized import _BatchContext
+
+        bu = np.array([0, 0, 2], dtype=np.int64)
+        bv = np.array([1, 2, 3], dtype=np.int64)
+        ctx = _BatchContext(bu, bv, base=0)
+        deg = ctx.final_degree(np.array([0, 2, 9, -1], dtype=np.int64))
+        assert list(deg) == [2, 2, 0, 0]
+
+    def test_event_edge_index_decoding(self):
+        from repro.core.vectorized import _BatchContext
+
+        # Edges: (0,1), (0,2), (0,3): vertex 0's occurrences are edges 0,1,2.
+        bu = np.array([0, 0, 0], dtype=np.int64)
+        bv = np.array([1, 2, 3], dtype=np.int64)
+        ctx = _BatchContext(bu, bv, base=0)
+        j = ctx.event_edge_index(
+            np.array([0, 0, 0], dtype=np.int64), np.array([1, 2, 3], dtype=np.int64)
+        )
+        assert list(j) == [0, 1, 2]
+
+    def test_running_degrees(self):
+        from repro.core.vectorized import _BatchContext
+
+        # Figure 2's batch: KL, JK, IK, IJ, IL with I=0, J=1, K=2, L=3.
+        bu = np.array([2, 1, 0, 0, 0], dtype=np.int64)
+        bv = np.array([3, 2, 2, 1, 3], dtype=np.int64)
+        ctx = _BatchContext(bu, bv, base=0)
+        # deg of first endpoint after each edge (paper's Figure 2 circles).
+        assert list(ctx.deg_at_edge_u) == [1, 1, 1, 2, 3]
+        assert list(ctx.deg_at_edge_v) == [1, 2, 3, 2, 2]
