@@ -8,22 +8,47 @@ Reproduced claims:
 
 Absolute edges/second are Python-scale, not the paper's C++ numbers;
 the trends are the reproduction target.
+
+Running this file also writes ``BENCH_throughput.json`` at the repo
+root -- the vectorized engine's Medges/s per (dataset, r) -- so the
+performance trajectory is tracked across PRs.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
-from repro.experiments.datasets import load_dataset
 from repro.experiments.runners import run_figure4
 
 R_VALUES = (1_024, 16_384, 131_072)
 DATASETS = ("amazon_like", "youtube_like", "livejournal_like", "orkut_like")
 
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _write_artifact(out: dict) -> None:
+    throughputs = {
+        row[0]: {f"r={r}": row[2 + i] for i, r in enumerate(R_VALUES)}
+        for row in out["rows"]
+    }
+    payload = {
+        "benchmark": "fig4_throughput",
+        "engine": "vectorized",
+        "unit": "Medges/s",
+        "r_values": list(R_VALUES),
+        "throughput": throughputs,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
 
 @pytest.fixture(scope="module")
 def figure4():
-    return run_figure4(
+    out = run_figure4(
         r_values=R_VALUES, datasets=DATASETS, trials=3, verbose=False
     )
+    _write_artifact(out)
+    return out
 
 
 def test_fig4_runs(benchmark):

@@ -26,6 +26,11 @@ The main entry points:
 - :class:`CliqueCounter4` / :class:`CliqueCounter` /
   :class:`CliqueSampler` -- 4-cliques and general ``K_l`` (Section 5.1);
 - :class:`SlidingWindowTriangleCounter` -- Section 5.2;
+- :mod:`repro.streaming` -- the one-pass pipeline: lazy
+  :class:`~repro.streaming.EdgeSource` s, the
+  :class:`~repro.streaming.StreamingEstimator` protocol, the
+  engine/estimator registries, and the :class:`~repro.streaming.Pipeline`
+  fan-out runner that feeds many estimators from a single stream read;
 - :mod:`repro.exact` -- exact ground-truth counters;
 - :mod:`repro.generators` -- synthetic workloads and named datasets;
 - :mod:`repro.baselines` -- Jowhari-Ghodsi, Buriol et al.,
@@ -53,11 +58,14 @@ from .core.triangle_count import TriangleCounter
 from .core.triangle_sample import TriangleSampler
 from .errors import (
     DuplicateEdgeError,
+    EdgeNotFoundError,
     EmptyStreamError,
     InsufficientSampleError,
     InvalidEdgeError,
     InvalidParameterError,
     ReproError,
+    SourceExhaustedError,
+    WorkerCrashedError,
 )
 from .exact.cliques import count_cliques as exact_clique_count
 from .exact.tangle import tangle_coefficient
@@ -67,27 +75,46 @@ from .exact.wedges import transitivity_coefficient
 from .graph.static_graph import StaticGraph
 from .graph.stream import EdgeStream
 from .rng import RandomSource
+from .streaming import (
+    EdgeSource,
+    FileSource,
+    IterableSource,
+    MemorySource,
+    Pipeline,
+    StreamingEstimator,
+    as_source,
+)
 
 __all__ = [
     "CliqueCounter",
     "CliqueCounter4",
     "CliqueSampler",
     "DuplicateEdgeError",
+    "EdgeNotFoundError",
+    "EdgeSource",
     "EdgeStream",
     "EmptyStreamError",
+    "FileSource",
     "InsufficientSampleError",
     "InvalidEdgeError",
     "InvalidParameterError",
+    "IterableSource",
+    "MemorySource",
     "NeighborhoodSampler",
+    "Pipeline",
     "RandomSource",
     "ReproError",
     "SlidingWindowTriangleCounter",
+    "SourceExhaustedError",
     "StaticGraph",
+    "StreamingEstimator",
     "TransitivityEstimator",
     "TriangleCounter",
     "TriangleSampler",
     "WedgeCounter",
+    "WorkerCrashedError",
     "__version__",
+    "as_source",
     "error_bound",
     "estimators_needed",
     "estimators_needed_sampling",

@@ -3,12 +3,23 @@
     python -m repro count --input graph.edges --estimators 50000
     python -m repro transitivity --input graph.edges --estimators 50000
     python -m repro sample --input graph.edges --estimators 20000 -k 5
+    python -m repro pipeline --input graph.edges --estimator count \\
+        --estimator transitivity --estimator sample
     python -m repro exact --input graph.edges
     python -m repro stats --input graph.edges
 
 Files are whitespace-separated ``u v`` lines (SNAP format; ``#``
-comments ignored). All subcommands stream the file through the
-requested estimator in batches and print a small report.
+comments ignored). Every subcommand pulls the file through a lazy
+:class:`~repro.streaming.FileSource` in fixed-size batches -- the edge
+list is never materialized. Repeated edges are dropped on the fly by
+default (the paper assumes a simple stream; SNAP files often list both
+directions), which keeps a membership set; pass ``--no-dedup`` on
+already-simple inputs to make memory bounded by the batch size plus
+estimator state no matter how long the stream is. ``pipeline``
+fans one stream pass out to any set of estimators from the registry
+(``--estimator`` choices below); ``--engine`` choices likewise come
+from the engine registry, so out-of-tree registrations appear
+automatically.
 """
 
 from __future__ import annotations
@@ -23,43 +34,63 @@ from .core.transitivity import TransitivityEstimator
 from .core.triangle_count import TriangleCounter
 from .core.triangle_sample import TriangleSampler
 from .errors import ReproError
-from .graph.io import read_edge_list
+from .streaming import ENGINES, ESTIMATORS, FileSource, Pipeline
 
 __all__ = ["main"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", required=True, help="edge-list file")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument(
-        "--batch-size", type=int, default=65_536, help="edges per batch"
+        "--batch-size", type=_positive_int, default=65_536, help="edges per batch"
+    )
+    parser.add_argument(
+        "--dedup",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="drop repeated edges on the fly so the stream is a simple "
+        "graph's, as the paper assumes (default; costs O(distinct edges) "
+        "memory). Pass --no-dedup for constant-memory streaming of inputs "
+        "that are already simple",
     )
 
 
-def _stream(counter, edges, batch_size: int) -> float:
+def _source(args: argparse.Namespace) -> FileSource:
+    return FileSource(args.input, deduplicate=args.dedup)
+
+
+def _stream(counter, source: FileSource, batch_size: int) -> float:
+    """Drive ``counter`` over the lazy source; return elapsed seconds."""
     start = time.perf_counter()
-    for i in range(0, len(edges), batch_size):
-        counter.update_batch(edges[i : i + batch_size])
+    for batch in source.batches(batch_size):
+        counter.update_batch(batch)
     return time.perf_counter() - start
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    edges = read_edge_list(args.input)
     counter = TriangleCounter(args.estimators, engine=args.engine, seed=args.seed)
-    elapsed = _stream(counter, edges, args.batch_size)
-    print(f"edges: {len(edges):,}")
+    elapsed = _stream(counter, _source(args), args.batch_size)
+    edges = counter.edges_seen
+    print(f"edges: {edges:,}")
     print(f"estimated triangles: {counter.estimate():,.1f}")
     print(f"estimators holding a triangle: {counter.fraction_holding_triangle():.2%}")
     print(f"processing time: {elapsed:.3f}s "
-          f"({len(edges) / max(elapsed, 1e-9) / 1e6:.2f}M edges/s)")
+          f"({edges / max(elapsed, 1e-9) / 1e6:.2f}M edges/s, incl. file I/O)")
     return 0
 
 
 def _cmd_transitivity(args: argparse.Namespace) -> int:
-    edges = read_edge_list(args.input)
     est = TransitivityEstimator(args.estimators, args.wedge_estimators, seed=args.seed)
-    elapsed = _stream(est, edges, args.batch_size)
-    print(f"edges: {len(edges):,}")
+    elapsed = _stream(est, _source(args), args.batch_size)
+    print(f"edges: {est.edges_seen:,}")
     print(f"estimated triangles: {est.triangle_estimate():,.1f}")
     print(f"estimated wedges: {est.wedge_estimate():,.1f}")
     print(f"estimated transitivity: {est.estimate():.4f}")
@@ -68,9 +99,8 @@ def _cmd_transitivity(args: argparse.Namespace) -> int:
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
-    edges = read_edge_list(args.input)
     sampler = TriangleSampler(args.estimators, seed=args.seed)
-    _stream(sampler, edges, args.batch_size)
+    _stream(sampler, _source(args), args.batch_size)
     triangles = sampler.sample(args.k)
     print(f"{args.k} uniform triangles (with replacement):")
     for tri in triangles:
@@ -79,10 +109,9 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
-    edges = read_edge_list(args.input)
     counter = ExactStreamingCounter()
-    elapsed = _stream(counter, edges, args.batch_size)
-    print(f"edges: {len(edges):,}")
+    elapsed = _stream(counter, _source(args), args.batch_size)
+    print(f"edges: {counter.edges_seen:,}")
     print(f"triangles: {counter.triangles:,}")
     print(f"wedges: {counter.wedges:,}")
     if counter.wedges:
@@ -92,13 +121,27 @@ def _cmd_exact(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .graph.static_graph import StaticGraph
+    # One lazy pass: vertex set and degrees, never the edge list itself.
+    degrees: dict[int, int] = {}
+    edges = 0
+    for batch in _source(args).batches(args.batch_size):
+        edges += len(batch)
+        for u, v in batch:
+            degrees[u] = degrees.get(u, 0) + 1
+            degrees[v] = degrees.get(v, 0) + 1
+    print(f"vertices: {len(degrees):,}")
+    print(f"edges: {edges:,}")
+    print(f"max degree: {max(degrees.values(), default=0):,}")
+    return 0
 
-    edges = read_edge_list(args.input)
-    graph = StaticGraph(edges, strict=False)
-    print(f"vertices: {graph.num_vertices:,}")
-    print(f"edges: {graph.num_edges:,}")
-    print(f"max degree: {graph.max_degree():,}")
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    names = args.estimator or ["count", "transitivity", "exact"]
+    pipeline = Pipeline.from_registry(
+        names, num_estimators=args.estimators, seed=args.seed
+    )
+    report = pipeline.run(_source(args), batch_size=args.batch_size)
+    print(report.render())
     return 0
 
 
@@ -110,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_count)
     p_count.add_argument("--estimators", type=int, default=100_000)
     p_count.add_argument(
-        "--engine", choices=("reference", "bulk", "vectorized"), default="vectorized"
+        "--engine", choices=ENGINES.names(), default="vectorized"
     )
     p_count.set_defaults(func=_cmd_count)
 
@@ -125,6 +168,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.add_argument("--estimators", type=int, default=50_000)
     p_sample.add_argument("-k", type=int, default=1, help="triangles to draw")
     p_sample.set_defaults(func=_cmd_sample)
+
+    p_pipe = sub.add_parser(
+        "pipeline",
+        help="fan one stream pass out to several estimators",
+        description="Run any set of registered estimators over a single "
+        "read of the input file, with per-estimator timing.",
+    )
+    _add_common(p_pipe)
+    p_pipe.add_argument(
+        "--estimator",
+        action="append",
+        choices=ESTIMATORS.names(),
+        metavar="NAME",
+        help="estimator to run (repeatable); choices: "
+        + ", ".join(ESTIMATORS.names())
+        + "; default: count, transitivity, exact",
+    )
+    p_pipe.add_argument(
+        "--estimators",
+        type=int,
+        default=None,
+        help="pool size for every estimator (default: per-estimator)",
+    )
+    p_pipe.set_defaults(func=_cmd_pipeline)
 
     p_exact = sub.add_parser("exact", help="exact counts (O(m) memory)")
     _add_common(p_exact)

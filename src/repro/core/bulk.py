@@ -33,6 +33,7 @@ from collections.abc import Sequence
 
 from ..graph.edge import Edge, canonical_edge, third_vertices
 from ..rng import RandomSource
+from ..streaming.registry import register_engine
 
 __all__ = ["BulkEstimatorState", "BulkTriangleCounter"]
 
@@ -73,6 +74,7 @@ class BulkEstimatorState:
         return tuple(sorted((a, b, shared)))  # type: ignore[return-value]
 
 
+@register_engine("bulk")
 class BulkTriangleCounter:
     """``r`` neighborhood-sampling estimators with batch updates.
 

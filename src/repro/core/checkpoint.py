@@ -20,13 +20,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .vectorized import STATE_FIELDS as _ARRAY_FIELDS
 from .vectorized import VectorizedTriangleCounter
 
 __all__ = ["to_state_dict", "from_state_dict", "merge_counters"]
-
-_ARRAY_FIELDS = (
-    "r1u", "r1v", "r1pos", "r2u", "r2v", "r2pos", "c", "tset", "ta", "tb", "tc",
-)
 
 
 def to_state_dict(counter: VectorizedTriangleCounter) -> dict:
@@ -37,9 +34,7 @@ def to_state_dict(counter: VectorizedTriangleCounter) -> dict:
     :func:`from_state_dict`), which preserves correctness -- reservoir
     decisions are memoryless -- but not bit-exact replay.
     """
-    state = {name: getattr(counter, name).copy() for name in _ARRAY_FIELDS}
-    state["edges_seen"] = counter.edges_seen
-    return state
+    return counter.state_dict()
 
 
 def from_state_dict(state: dict, *, seed: int | None = None) -> VectorizedTriangleCounter:

@@ -7,36 +7,115 @@ estimator observes the whole stream independently, so ``r`` estimators
 split into ``k`` pools of ``r/k``, each pool runs on its own core over
 the same edges, and the final estimate is the pooled mean.
 
-:class:`ParallelTriangleCounter` implements exactly that with
-``multiprocessing``: workers build vectorized engines over the shared
-edge list and return their state; the parent merges via
-:func:`repro.core.checkpoint.merge_counters`. Worthwhile once the
-stream x estimator volume dwarfs process start-up cost.
+:class:`ParallelTriangleCounter` implements that with long-lived
+``multiprocessing`` workers fed batch by batch: the parent reads the
+stream **once** through an :class:`~repro.streaming.source.EdgeSource`
+and fans each batch out to every worker's bounded queue (an imap-style
+feed), so peak memory is O(workers x batch) instead of the old
+per-worker ``list(edges)`` copies (k x stream memory). Worker seeds are
+spawned through :class:`numpy.random.SeedSequence`, whose splitting is
+collision-resistant by construction -- and ``seed=None`` now means
+fresh OS entropy per run rather than silently degrading to a
+deterministic seed. Workers return their estimator state; the parent
+merges via :func:`repro.core.checkpoint.merge_counters`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from collections.abc import Sequence
+import pickle
+import queue as queue_module
+import traceback
 
-from ..errors import InvalidParameterError
-from .checkpoint import from_state_dict, merge_counters, to_state_dict
+import numpy as np
+
+from ..errors import InvalidParameterError, WorkerCrashedError
+from ..streaming.source import as_source
+from .checkpoint import from_state_dict, merge_counters
 from .vectorized import VectorizedTriangleCounter
 
 __all__ = ["ParallelTriangleCounter", "count_triangles_parallel"]
 
+#: Batches in flight per worker queue; bounds parent-side memory while
+#: still hiding pickling latency behind worker compute.
+_QUEUE_DEPTH = 4
 
-def _worker(args: tuple) -> dict:
-    """Run one estimator shard over the full edge list (subprocess)."""
-    num_estimators, seed, edges, batch_size = args
-    counter = VectorizedTriangleCounter(num_estimators, seed=seed)
-    for start in range(0, len(edges), batch_size):
-        counter.update_batch(edges[start : start + batch_size])
-    return to_state_dict(counter)
+
+def _worker_loop(
+    in_queue,
+    out_queue,
+    index: int,
+    num_estimators: int,
+    seed_seq: np.random.SeedSequence,
+) -> None:
+    """Consume batches until the ``None`` sentinel; ship back the state.
+
+    On a worker-side exception the error is shipped back instead of the
+    state, and the input queue is drained to its sentinel first -- the
+    parent writes to bounded queues, so a worker that stopped consuming
+    would deadlock it.
+    """
+    try:
+        counter = VectorizedTriangleCounter(num_estimators, seed=seed_seq)
+        while True:
+            batch = in_queue.get()
+            if batch is None:
+                break
+            counter.update_batch(batch)
+        result = ("ok", counter.state_dict())
+    except Exception as exc:
+        while in_queue.get() is not None:
+            pass
+        try:
+            pickle.dumps(exc)
+            result = ("error", exc)
+        except Exception:  # pragma: no cover - unpicklable exception
+            result = ("error", RuntimeError(traceback.format_exc()))
+    out_queue.put((index, result))
+
+
+def _put_alive(queue, item, proc, index: int) -> None:
+    """``queue.put`` that notices a dead consumer instead of blocking.
+
+    The batch queues are bounded, so a worker killed abnormally (OOM,
+    segfault) would otherwise wedge the parent forever once its queue
+    filled.
+    """
+    while True:
+        try:
+            queue.put(item, timeout=1.0)
+            return
+        except queue_module.Full:
+            if not proc.is_alive():
+                raise WorkerCrashedError(
+                    f"worker {index} died (exitcode {proc.exitcode}) "
+                    "without reporting a result"
+                ) from None
+
+
+def _collect_results(out_queue, procs) -> list:
+    """Gather one result per worker, raising if any died silently."""
+    indexed: list = []
+    while len(indexed) < len(procs):
+        try:
+            indexed.append(out_queue.get(timeout=1.0))
+        except queue_module.Empty:
+            reported = {i for i, _ in indexed}
+            for i, proc in enumerate(procs):
+                if (
+                    i not in reported
+                    and not proc.is_alive()
+                    and proc.exitcode != 0
+                ):
+                    raise WorkerCrashedError(
+                        f"worker {i} died (exitcode {proc.exitcode}) "
+                        "without reporting a result"
+                    ) from None
+    return indexed
 
 
 class ParallelTriangleCounter:
-    """Offline parallel counting: shard estimators across processes.
+    """Parallel counting: shard estimators across processes, stream once.
 
     Parameters
     ----------
@@ -44,6 +123,9 @@ class ParallelTriangleCounter:
         Total pool size ``r`` (split as evenly as possible).
     workers:
         Number of worker processes.
+    seed:
+        Root seed; worker pools run on independent
+        ``SeedSequence.spawn`` children. ``None`` draws OS entropy.
     """
 
     def __init__(
@@ -64,23 +146,67 @@ class ParallelTriangleCounter:
         base, extra = divmod(self.num_estimators, self.workers)
         return [base + (1 if i < extra else 0) for i in range(self.workers)]
 
-    def count(
-        self, edges: Sequence[tuple[int, int]], *, batch_size: int = 65_536
-    ) -> float:
-        """Process the whole stream across workers; return the estimate."""
+    def count(self, edges, *, batch_size: int = 65_536) -> float:
+        """Process the whole stream across workers; return the estimate.
+
+        ``edges`` is anything :func:`~repro.streaming.source.as_source`
+        accepts -- an in-memory sequence, a file path, an
+        ``EdgeSource``, or a one-shot generator (the stream is read
+        exactly once either way).
+        """
         shards = self._shard_sizes()
-        base_seed = 0 if self.seed is None else self.seed
-        jobs = [
-            (size, base_seed * 7919 + i, list(edges), batch_size)
-            for i, size in enumerate(shards)
-        ]
+        seed_seqs = np.random.SeedSequence(self.seed).spawn(self.workers)
+        source = as_source(edges)
+
         if self.workers == 1:
-            states = [_worker(jobs[0])]
+            counter = VectorizedTriangleCounter(shards[0], seed=seed_seqs[0])
+            for batch in source.batches(batch_size):
+                counter.update_batch(batch)
+            states = [counter.state_dict()]
         else:
-            with multiprocessing.Pool(self.workers) as pool:
-                states = pool.map(_worker, jobs)
+            ctx = multiprocessing.get_context()
+            in_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)]
+            out_queue = ctx.Queue()
+            procs = [
+                ctx.Process(
+                    target=_worker_loop,
+                    args=(in_queues[i], out_queue, i, shards[i], seed_seqs[i]),
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+            for proc in procs:
+                proc.start()
+            try:
+                try:
+                    for batch in source.batches(batch_size):
+                        batch = list(batch)
+                        for i, queue in enumerate(in_queues):
+                            _put_alive(queue, batch, procs[i], i)
+                finally:
+                    # Always send the sentinel, even when the source
+                    # raises mid-stream -- workers block on get otherwise.
+                    # Best effort: a wedged queue is abandoned (its
+                    # worker is dead or will be terminated below).
+                    for queue in in_queues:
+                        try:
+                            queue.put(None, timeout=5.0)
+                        except queue_module.Full:  # pragma: no cover
+                            pass
+                indexed = _collect_results(out_queue, procs)
+            finally:
+                for proc in procs:
+                    proc.join(timeout=30)
+                    if proc.is_alive():  # pragma: no cover - defensive
+                        proc.terminate()
+            states = []
+            for _, (status, payload) in sorted(indexed):
+                if status == "error":
+                    raise payload
+                states.append(payload)
+
         counters = [from_state_dict(s) for s in states]
-        self._merged = merge_counters(counters, seed=base_seed)
+        self._merged = merge_counters(counters, seed=self.seed)
         return self._merged.estimate()
 
     @property
@@ -92,13 +218,13 @@ class ParallelTriangleCounter:
 
 
 def count_triangles_parallel(
-    edges: Sequence[tuple[int, int]],
+    edges,
     num_estimators: int,
     *,
     workers: int = 2,
     seed: int | None = None,
     batch_size: int = 65_536,
 ) -> float:
-    """One-call parallel triangle estimate over an edge sequence."""
+    """One-call parallel triangle estimate over any edge source."""
     counter = ParallelTriangleCounter(num_estimators, workers=workers, seed=seed)
     return counter.count(edges, batch_size=batch_size)

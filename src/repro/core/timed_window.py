@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import InvalidParameterError
-from ..graph.edge import Edge, canonical_edge
+from ..graph.edge import canonical_edge
 from ..rng import RandomSource, spawn_sources
 from .sliding_window import _ChainLink
 

@@ -24,10 +24,13 @@ import numpy as np
 
 from ..errors import EmptyStreamError, InvalidParameterError
 from ..rng import RandomSource
+from ..streaming.registry import ENGINES, register_engine
 from .accuracy import estimators_needed
-from .bulk import BulkTriangleCounter
+# The bulk/vectorized imports also register those engines (decorator
+# side effect); re-exported for callers that address them directly.
+from .bulk import BulkTriangleCounter  # noqa: F401
 from .neighborhood_sampling import NeighborhoodSampler
-from .vectorized import VectorizedTriangleCounter
+from .vectorized import VectorizedTriangleCounter  # noqa: F401
 
 __all__ = [
     "ReferenceTriangleCounter",
@@ -65,6 +68,7 @@ def aggregate_median_of_means(
     return statistics.median(means)
 
 
+@register_engine("reference")
 class ReferenceTriangleCounter:
     """Engine adapter over ``r`` independent :class:`NeighborhoodSampler` s.
 
@@ -111,13 +115,6 @@ class ReferenceTriangleCounter:
         return self._samplers
 
 
-_ENGINES = {
-    "reference": ReferenceTriangleCounter,
-    "bulk": BulkTriangleCounter,
-    "vectorized": VectorizedTriangleCounter,
-}
-
-
 class TriangleCounter:
     """(eps, delta)-approximate triangle counting over an edge stream.
 
@@ -128,7 +125,9 @@ class TriangleCounter:
         :func:`repro.core.accuracy.estimators_needed` (Theorem 3.3) or
         :meth:`from_accuracy`.
     engine:
-        ``"vectorized"`` (default), ``"bulk"``, or ``"reference"``.
+        ``"vectorized"`` (default), ``"bulk"``, ``"reference"``, or any
+        name added to :data:`repro.streaming.ENGINES` via
+        :func:`repro.streaming.register_engine`.
     aggregation:
         ``"mean"`` (Theorem 3.3) or ``"median-of-means"``
         (Theorem 3.4); the latter uses ``groups`` groups.
@@ -152,13 +151,7 @@ class TriangleCounter:
         groups: int = 16,
         seed: int | None = None,
     ) -> None:
-        try:
-            engine_cls = _ENGINES[engine]
-        except KeyError:
-            known = ", ".join(sorted(_ENGINES))
-            raise InvalidParameterError(
-                f"unknown engine {engine!r}; available: {known}"
-            ) from None
+        engine_cls = ENGINES.get(engine)
         if aggregation not in ("mean", "median-of-means"):
             raise InvalidParameterError(
                 f"unknown aggregation {aggregation!r}; "
@@ -221,6 +214,20 @@ class TriangleCounter:
     def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
         """Observe a batch of stream edges (order within the batch counts)."""
         self._engine.update_batch(batch)
+
+    def state_dict(self) -> dict:
+        """The engine's serializable state (checkpoint/ship surface).
+
+        Only engines that implement the
+        :class:`~repro.streaming.protocol.CheckpointableEstimator`
+        protocol (the vectorized one does) support this.
+        """
+        engine = self._engine
+        if not hasattr(engine, "state_dict"):
+            raise InvalidParameterError(
+                f"engine {self._engine_name!r} does not support state_dict()"
+            )
+        return engine.state_dict()
 
     # ------------------------------------------------------------------
     # queries

@@ -149,3 +149,12 @@ class TriangleSampler:
     def success_fraction(self) -> float:
         """Fraction of samplers currently holding any triangle (pre-rejection)."""
         return float(self._engine.tset.mean())
+
+    def estimate(self) -> float:
+        """The underlying pool's triangle-count estimate (Theorem 3.3).
+
+        The sampler's estimators are ordinary neighborhood samplers, so
+        the count estimate comes for free -- and it completes the
+        :class:`~repro.streaming.protocol.StreamingEstimator` surface.
+        """
+        return self._engine.estimate()

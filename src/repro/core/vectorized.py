@@ -30,12 +30,22 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..streaming.registry import register_engine
 
-__all__ = ["VectorizedTriangleCounter"]
+__all__ = ["STATE_FIELDS", "VectorizedTriangleCounter"]
 
 _VERTEX_LIMIT = np.int64(1) << 31  # ids packed two-per-int64 for edge keys
 
+#: The per-estimator state arrays, in checkpoint order. The single
+#: source of truth shared by :meth:`VectorizedTriangleCounter.state_dict`,
+#: :meth:`~VectorizedTriangleCounter.state_nbytes`, and
+#: :mod:`repro.core.checkpoint`'s restore/merge.
+STATE_FIELDS = (
+    "r1u", "r1v", "r1pos", "r2u", "r2v", "r2pos", "c", "tset", "ta", "tb", "tc",
+)
 
+
+@register_engine("vectorized")
 class VectorizedTriangleCounter:
     """``r`` neighborhood-sampling estimators in numpy arrays.
 
@@ -44,7 +54,10 @@ class VectorizedTriangleCounter:
     num_estimators:
         The number of parallel estimators ``r``.
     seed:
-        Seed for the numpy ``Generator``.
+        Seed for the numpy ``Generator``; anything
+        :func:`numpy.random.default_rng` accepts (an ``int``, a
+        ``SeedSequence`` -- as the parallel counter's spawned worker
+        seeds are -- or ``None`` for OS entropy).
 
     Notes
     -----
@@ -52,7 +65,9 @@ class VectorizedTriangleCounter:
     ``[0, 2^31)`` so an edge packs into one ``int64`` key.
     """
 
-    def __init__(self, num_estimators: int, *, seed: int | None = None) -> None:
+    def __init__(
+        self, num_estimators: int, *, seed: int | np.random.SeedSequence | None = None
+    ) -> None:
         if num_estimators < 1:
             raise InvalidParameterError(
                 f"num_estimators must be >= 1, got {num_estimators}"
@@ -116,13 +131,22 @@ class VectorizedTriangleCounter:
             (int(self.ta[i]), int(self.tb[i]), int(self.tc[i])) for i in idx
         ]
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the estimator state.
+
+        The :class:`~repro.streaming.protocol.CheckpointableEstimator`
+        surface; see :mod:`repro.core.checkpoint` for restore/merge.
+        The generator state is *not* captured: reservoir decisions are
+        memoryless, so a restored counter continues correctly (though
+        not bit-identically) with a fresh generator.
+        """
+        state = {name: getattr(self, name).copy() for name in STATE_FIELDS}
+        state["edges_seen"] = self.edges_seen
+        return state
+
     def state_nbytes(self) -> int:
         """Total bytes of estimator state (the paper's memory table, 4.3)."""
-        arrays = (
-            self.r1u, self.r1v, self.r1pos, self.r2u, self.r2v, self.r2pos,
-            self.c, self.tset, self.ta, self.tb, self.tc,
-        )
-        return int(sum(a.nbytes for a in arrays))
+        return int(sum(getattr(self, name).nbytes for name in STATE_FIELDS))
 
     # ------------------------------------------------------------------
     # internals

@@ -23,6 +23,34 @@ class EmptyStreamError(ReproError):
     """An operation that needs at least one observed edge saw none."""
 
 
+class EdgeNotFoundError(ReproError, KeyError):
+    """A lookup for a specific edge found no such edge.
+
+    Subclasses :class:`KeyError` too, so ``except KeyError`` works for
+    callers treating the stream as a mapping from edges to positions.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return Exception.__str__(self)
+
+
+class WorkerCrashedError(ReproError):
+    """A parallel worker process died without reporting a result.
+
+    Raised for abnormal deaths (OOM kill, segfault) that bypass the
+    worker's own Python-level error reporting.
+    """
+
+
+class SourceExhaustedError(ReproError):
+    """A one-shot edge source was asked to replay its stream.
+
+    Sources backed by a generator or other single-use iterable can be
+    consumed exactly once; build a :class:`~repro.streaming.FileSource`
+    or :class:`~repro.streaming.MemorySource` for replayable streams.
+    """
+
+
 class InvalidParameterError(ReproError):
     """A numeric parameter is outside its documented domain."""
 

@@ -17,7 +17,7 @@ from typing import Callable, Protocol, Sequence
 
 from ..errors import InvalidParameterError
 from ..graph.edge import Edge
-from ..graph.stream import batched
+from ..streaming.source import EdgeSource, as_source
 
 __all__ = ["TrialStats", "run_trials", "stream_through", "time_file_read"]
 
@@ -28,11 +28,19 @@ class _Counter(Protocol):  # pragma: no cover - typing helper
 
 
 def stream_through(
-    counter: _Counter, edges: Sequence[Edge], batch_size: int
+    counter: _Counter,
+    edges: Sequence[Edge] | EdgeSource | str,
+    batch_size: int,
 ) -> float:
-    """Feed ``edges`` to ``counter`` in batches; return elapsed seconds."""
+    """Feed an edge source to ``counter`` in batches; return elapsed seconds.
+
+    ``edges`` is anything :func:`~repro.streaming.source.as_source`
+    accepts: an in-memory sequence (the historical calling convention),
+    a file path, a generator, or an :class:`EdgeSource`.
+    """
+    source = as_source(edges)
     start = time.perf_counter()
-    for batch in batched(edges, batch_size):
+    for batch in source.batches(batch_size):
         counter.update_batch(batch)
     return time.perf_counter() - start
 
@@ -112,8 +120,10 @@ def run_trials(
     counter_factory:
         ``seed -> counter``; a fresh counter per trial.
     stream_factory:
-        ``seed -> edge sequence``; the paper randomizes the stream order
-        between trials, so the factory receives the trial seed too.
+        ``seed -> edge source`` (a sequence, file path, generator, or
+        :class:`~repro.streaming.source.EdgeSource`); the paper
+        randomizes the stream order between trials, so the factory
+        receives the trial seed too.
     true_value:
         The exact quantity being estimated.
     """

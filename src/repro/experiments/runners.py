@@ -28,7 +28,7 @@ from ..core.triangle_count import (
 )
 from ..core.vectorized import VectorizedTriangleCounter
 from ..exact.tangle import tangle_coefficient
-from ..graph.stream import EdgeStream
+from ..streaming import ENGINES, Pipeline
 from .datasets import FIGURE3_DATASETS, load_dataset
 from .figures import ascii_histogram, ascii_plot
 from .harness import TrialStats, run_trials, stream_through
@@ -46,6 +46,7 @@ __all__ = [
     "run_ablation_tangle",
     "run_ablation_aggregation",
     "run_ablation_engines",
+    "run_pipeline_fanout",
 ]
 
 
@@ -559,14 +560,13 @@ def run_ablation_engines(
     """Ablation A3: the three engines agree in distribution; compare speed."""
     data = load_dataset(dataset)
     true_tau = data.truth.triangles
+    # Every registered engine competes; out-of-tree registrations show
+    # up here automatically.
     engines = {
-        "reference": lambda seed: TriangleCounter(
-            num_estimators, engine="reference", seed=seed
-        ),
-        "bulk": lambda seed: TriangleCounter(num_estimators, engine="bulk", seed=seed),
-        "vectorized": lambda seed: TriangleCounter(
-            num_estimators, engine="vectorized", seed=seed
-        ),
+        name: lambda seed, name=name: TriangleCounter(
+            num_estimators, engine=name, seed=seed
+        )
+        for name in ENGINES.names()
     }
     rows = []
     results = {}
@@ -593,6 +593,49 @@ def run_ablation_engines(
 
 
 # ---------------------------------------------------------------------------
+# Single-pass fan-out: one stream read, many estimators
+# ---------------------------------------------------------------------------
+
+def run_pipeline_fanout(
+    *,
+    dataset: str = "amazon_like",
+    estimator_names: Sequence[str] = ("count", "transitivity", "sample", "exact"),
+    num_estimators: int = 20_000,
+    seed: int = 0,
+    batch_size: int = 65_536,
+    verbose: bool = True,
+) -> dict:
+    """Drive every named estimator over ONE pass of the dataset stream.
+
+    Demonstrates the streaming pipeline's fan-out: the stream is read
+    once and each estimator sees identical batches, with per-estimator
+    wall-clock time reported. The same registry names back the CLI's
+    ``pipeline`` subcommand.
+    """
+    data = load_dataset(dataset)
+    pipeline = Pipeline.from_registry(
+        estimator_names, num_estimators=num_estimators, seed=seed
+    )
+    report = pipeline.run(
+        _dataset_edges(dataset, seed), batch_size=batch_size
+    )
+    rows = [
+        [r.name, round(r.seconds, 3)]
+        + [f"{k}={v}" for k, v in list(r.results.items())[:2]]
+        for r in report.estimators
+    ]
+    table = render_table(
+        ["estimator", "time (s)", "result", ""],
+        rows,
+        title=f"Single-pass fan-out on {dataset} "
+        f"(m={report.edges}, true tau={data.truth.triangles})",
+    )
+    if verbose:
+        print(table)
+    return {"rows": rows, "table": table, "report": report.to_dict()}
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -608,6 +651,7 @@ _RUNNERS = {
     "ablation-tangle": run_ablation_tangle,
     "ablation-aggregation": run_ablation_aggregation,
     "ablation-engines": run_ablation_engines,
+    "pipeline-fanout": run_pipeline_fanout,
 }
 
 

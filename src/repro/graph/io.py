@@ -14,7 +14,21 @@ from collections.abc import Iterable, Iterator
 
 from .edge import Edge, canonical_edge
 
-__all__ = ["read_edge_list", "write_edge_list", "iter_edge_list"]
+__all__ = ["read_edge_list", "write_edge_list", "iter_edge_list", "dedup_edges"]
+
+
+def dedup_edges(edges: Iterable[Edge]) -> Iterator[Edge]:
+    """Lazily drop repeated edges; first occurrence keeps its position.
+
+    The streaming-dedup primitive shared by :func:`read_edge_list` and
+    :class:`repro.streaming.FileSource`. Costs O(distinct edges) memory
+    for the membership set.
+    """
+    seen: set[Edge] = set()
+    for e in edges:
+        if e not in seen:
+            seen.add(e)
+            yield e
 
 
 def iter_edge_list(path: str | os.PathLike) -> Iterator[Edge]:
@@ -45,13 +59,7 @@ def read_edge_list(path: str | os.PathLike, *, deduplicate: bool = True) -> list
     """
     if not deduplicate:
         return list(iter_edge_list(path))
-    seen: set[Edge] = set()
-    edges: list[Edge] = []
-    for e in iter_edge_list(path):
-        if e not in seen:
-            seen.add(e)
-            edges.append(e)
-    return edges
+    return list(dedup_edges(iter_edge_list(path)))
 
 
 def write_edge_list(path: str | os.PathLike, edges: Iterable[Edge]) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
 
-from ..errors import DuplicateEdgeError, EmptyStreamError
+from ..errors import DuplicateEdgeError, EdgeNotFoundError
 from ..rng import RandomSource
 from .edge import Edge, canonical_edge
 from .static_graph import StaticGraph
@@ -112,12 +112,18 @@ class EdgeStream:
 
         Linear scan; intended for tests and worked examples, not hot
         paths.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not occur in the stream (also catchable as
+            ``KeyError``).
         """
         target = canonical_edge(*edge)
         for i, e in enumerate(self._edges):
             if e == target:
                 return i + 1
-        raise EmptyStreamError(f"edge {target} is not in the stream")
+        raise EdgeNotFoundError(f"edge {target} is not in the stream")
 
     # ------------------------------------------------------------------
     # transforms

@@ -1,0 +1,69 @@
+"""The streaming pipeline: lazy sources, the estimator protocol, fan-out.
+
+This subpackage is the architectural backbone for one-pass processing:
+
+- :mod:`repro.streaming.source` -- :class:`EdgeSource` and friends:
+  batches lazily pulled from files, sequences, or generators, so
+  file-backed runs use constant memory in the stream length;
+- :mod:`repro.streaming.protocol` -- the :class:`StreamingEstimator`
+  contract every algorithm satisfies;
+- :mod:`repro.streaming.registry` -- decorator-based registries for
+  triangle-counter engines and pipeline estimators;
+- :mod:`repro.streaming.pipeline` -- :class:`Pipeline`, which drives
+  any number of registered estimators over one stream read with
+  per-estimator timing and a structured report;
+- :mod:`repro.streaming.estimators` -- the registered specs for every
+  algorithm in the package (imported below for its registration side
+  effect).
+
+Quick taste::
+
+    from repro.streaming import FileSource, Pipeline
+
+    report = Pipeline.from_registry(
+        ["count", "transitivity", "sample"], seed=7
+    ).run(FileSource("graph.edges"), batch_size=65_536)
+    print(report.render())
+"""
+
+from .pipeline import EstimatorReport, Pipeline, PipelineReport, derive_seed
+from .protocol import BatchedEstimator, CheckpointableEstimator, StreamingEstimator
+from .registry import (
+    ENGINES,
+    ESTIMATORS,
+    EstimatorSpec,
+    Registry,
+    register_engine,
+    register_estimator,
+)
+from .source import (
+    EdgeSource,
+    FileSource,
+    IterableSource,
+    MemorySource,
+    as_source,
+    batched_iter,
+)
+from . import estimators as _estimators  # noqa: F401  (registers the specs)
+
+__all__ = [
+    "ENGINES",
+    "ESTIMATORS",
+    "BatchedEstimator",
+    "CheckpointableEstimator",
+    "EdgeSource",
+    "EstimatorReport",
+    "EstimatorSpec",
+    "FileSource",
+    "IterableSource",
+    "MemorySource",
+    "Pipeline",
+    "PipelineReport",
+    "Registry",
+    "StreamingEstimator",
+    "as_source",
+    "batched_iter",
+    "derive_seed",
+    "register_engine",
+    "register_estimator",
+]

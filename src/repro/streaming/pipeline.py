@@ -1,0 +1,227 @@
+"""Single-pass fan-out: drive many estimators over one stream read.
+
+The point of one-pass algorithms is that the stream is the expensive
+resource. :class:`Pipeline` reads an :class:`~repro.streaming.source.EdgeSource`
+exactly once and feeds every registered estimator the same batches, so
+one scan of a 100M-edge file produces a triangle count, a transitivity
+coefficient, uniform triangle samples, and windowed estimates
+simultaneously -- each with its own timing in the structured
+:class:`PipelineReport`.
+
+Estimators come either pre-built (any object satisfying
+:class:`~repro.streaming.protocol.StreamingEstimator`) or by name from
+the :data:`~repro.streaming.registry.ESTIMATORS` registry via
+:meth:`Pipeline.from_registry`. Per-estimator seeds are derived
+deterministically from the root seed and the estimator *name* (not the
+position), so a pipeline run is bit-identical to running each estimator
+alone with :func:`derive_seed`'s output -- the equivalence the test
+suite asserts.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .registry import ESTIMATORS, _default_report
+from .source import EdgeSource, as_source
+
+__all__ = ["Pipeline", "PipelineReport", "EstimatorReport", "derive_seed"]
+
+
+def derive_seed(seed: int | None, name: str) -> int | None:
+    """A per-estimator seed from the root seed and the estimator name.
+
+    ``None`` stays ``None`` (OS entropy). Otherwise the seed is drawn
+    through :class:`numpy.random.SeedSequence` keyed on the name's
+    CRC-32, so different estimators sharing one root seed do not run
+    correlated reservoirs, and the derivation does not depend on the
+    order estimators were requested in.
+    """
+    if seed is None:
+        return None
+    entropy = np.random.SeedSequence([seed, zlib.crc32(name.encode("utf-8"))])
+    return int(entropy.generate_state(1, np.uint32)[0])
+
+
+@dataclass
+class EstimatorReport:
+    """One estimator's share of a pipeline run."""
+
+    name: str
+    seconds: float
+    results: dict[str, Any]
+
+    def render(self) -> str:
+        parts = ", ".join(f"{k}={_fmt(v)}" for k, v in self.results.items())
+        return f"{self.name}: {parts} [{self.seconds:.3f}s]"
+
+
+@dataclass
+class PipelineReport:
+    """Structured result of :meth:`Pipeline.run`."""
+
+    edges: int
+    batches: int
+    seconds: float
+    estimators: list[EstimatorReport] = field(default_factory=list)
+
+    def __getitem__(self, name: str) -> EstimatorReport:
+        for report in self.estimators:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """A small human-readable report (what the CLI prints)."""
+        lines = [
+            f"edges: {self.edges:,} in {self.batches:,} batches",
+            f"stream pass: {self.seconds:.3f}s "
+            f"({self.edges / max(self.seconds, 1e-9) / 1e6:.2f}M edges/s)",
+        ]
+        lines.extend("  " + report.render() for report in self.estimators)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (for artifacts and machine consumers)."""
+        return {
+            "edges": self.edges,
+            "batches": self.batches,
+            "seconds": self.seconds,
+            "estimators": [
+                {"name": r.name, "seconds": r.seconds, "results": r.results}
+                for r in self.estimators
+            ],
+        }
+
+
+class Pipeline:
+    """Fan a single stream pass out to ``n`` streaming estimators.
+
+    Parameters
+    ----------
+    estimators:
+        ``name -> estimator`` mapping, or a sequence of
+        ``(name, estimator)`` pairs (names must be unique -- they key
+        the report). Each estimator must satisfy
+        :class:`~repro.streaming.protocol.StreamingEstimator`.
+    reporters:
+        Optional ``name -> (estimator -> dict)`` overrides for how each
+        estimator's final results are extracted. Defaults to the
+        registry's reporter when the name is registered, else to
+        ``{"estimate": estimator.estimate()}``.
+    """
+
+    def __init__(
+        self,
+        estimators: Mapping[str, Any] | Sequence[tuple[str, Any]],
+        *,
+        reporters: Mapping[str, Any] | None = None,
+    ) -> None:
+        pairs = (
+            list(estimators.items())
+            if isinstance(estimators, Mapping)
+            else list(estimators)
+        )
+        if not pairs:
+            raise InvalidParameterError("pipeline needs at least one estimator")
+        names = [name for name, _ in pairs]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"duplicate estimator names: {names}")
+        self._pairs = pairs
+        self._reporters = dict(reporters or {})
+
+    @classmethod
+    def from_registry(
+        cls,
+        names: Iterable[str],
+        *,
+        num_estimators: int | None = None,
+        seed: int | None = None,
+        options: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> "Pipeline":
+        """Build a pipeline of registered estimators.
+
+        Parameters
+        ----------
+        names:
+            Estimator names from the registry (``ESTIMATORS.names()``
+            enumerates them; so does ``repro pipeline --help``).
+        num_estimators:
+            Pool size for every estimator; ``None`` uses each spec's
+            own default.
+        seed:
+            Root seed; each estimator gets ``derive_seed(seed, name)``.
+        options:
+            Per-name factory keyword overrides, e.g.
+            ``{"sliding-window": {"window": 10_000}}``.
+        """
+        options = options or {}
+        pairs = []
+        for name in names:
+            spec = ESTIMATORS.get(name)
+            estimator = spec.create(
+                num_estimators, derive_seed(seed, name), **options.get(name, {})
+            )
+            pairs.append((name, estimator))
+        return cls(pairs)
+
+    @property
+    def names(self) -> list[str]:
+        return [name for name, _ in self._pairs]
+
+    def estimator(self, name: str) -> Any:
+        for pair_name, est in self._pairs:
+            if pair_name == name:
+                return est
+        raise KeyError(name)
+
+    def run(self, source, *, batch_size: int = 65_536) -> PipelineReport:
+        """One pass over ``source``, feeding every estimator each batch.
+
+        ``source`` is anything :func:`~repro.streaming.source.as_source`
+        accepts. Per-estimator wall-clock time is accumulated around
+        each ``update_batch`` call; the report's ``seconds`` also counts
+        I/O (reading/decoding the stream), so
+        ``seconds - sum(per-estimator)`` is the I/O share the paper's
+        Table 3 reports separately.
+        """
+        src: EdgeSource = as_source(source)
+        timings = {name: 0.0 for name, _ in self._pairs}
+        edges = 0
+        batches = 0
+        start = time.perf_counter()
+        for batch in src.batches(batch_size):
+            batches += 1
+            edges += len(batch)
+            for name, estimator in self._pairs:
+                t0 = time.perf_counter()
+                estimator.update_batch(batch)
+                timings[name] += time.perf_counter() - t0
+        total = time.perf_counter() - start
+        report = PipelineReport(edges=edges, batches=batches, seconds=total)
+        for name, estimator in self._pairs:
+            reporter = self._reporters.get(name)
+            if reporter is None:
+                reporter = (
+                    ESTIMATORS.get(name).report
+                    if name in ESTIMATORS
+                    else _default_report
+                )
+            report.estimators.append(
+                EstimatorReport(
+                    name=name, seconds=timings[name], results=reporter(estimator)
+                )
+            )
+        return report
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.4f}" if abs(value) < 100 else f"{value:,.1f}"
+    return str(value)

@@ -1,0 +1,63 @@
+"""The streaming-estimator protocol every consumer codes against.
+
+The paper's algorithms -- triangle counting, transitivity, uniform
+sampling, clique counting, windowed variants, and the exact baselines --
+all share one observable behaviour: they consume an adjacency stream in
+batches and answer queries about what they saw. These protocols make
+that contract formal so the :class:`~repro.streaming.pipeline.Pipeline`
+runner, the experiment harness, and the CLI can drive any of them
+interchangeably (and so alternative estimators from the literature --
+e.g. Kallaugher-Price hybrid sampling or Cormode-Jowhari -- can plug in
+by implementing two methods).
+
+``isinstance`` checks work at runtime (``@runtime_checkable``), but the
+protocols are structural: nothing needs to inherit from them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "StreamingEstimator",
+    "BatchedEstimator",
+    "CheckpointableEstimator",
+]
+
+Edge = tuple[int, int]
+
+
+@runtime_checkable
+class StreamingEstimator(Protocol):
+    """Anything that eats edge batches and produces a scalar estimate."""
+
+    def update_batch(self, batch: Sequence[Edge]) -> None:
+        """Observe a batch of stream edges (order within the batch counts)."""
+        ...
+
+    def estimate(self) -> float:
+        """The current aggregated estimate."""
+        ...
+
+
+@runtime_checkable
+class BatchedEstimator(StreamingEstimator, Protocol):
+    """A :class:`StreamingEstimator` that also exposes per-estimator values."""
+
+    def estimates(self) -> Iterable[float]:
+        """Per-estimator unbiased estimates (before aggregation)."""
+        ...
+
+
+@runtime_checkable
+class CheckpointableEstimator(StreamingEstimator, Protocol):
+    """A :class:`StreamingEstimator` whose state can be persisted/shipped.
+
+    The state dict is the entire message a streaming node must persist
+    or send (it is literally Alice's message in the Theorem 3.13
+    protocol); see :mod:`repro.core.checkpoint` for restore and merge.
+    """
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable snapshot of the estimator state."""
+        ...

@@ -1,0 +1,181 @@
+"""Lazy edge sources: the input half of the streaming pipeline.
+
+The paper's model is a one-pass adjacency stream, so no consumer should
+ever need the whole edge list in memory. An :class:`EdgeSource` yields
+the stream as fixed-size batches, lazily:
+
+- :class:`FileSource` -- reads a SNAP-style edge-list file batch by
+  batch with streaming dedup by default (pass ``deduplicate=False``
+  for constant memory on already-simple inputs), replayable because
+  every pass re-opens the file;
+- :class:`MemorySource` -- wraps an in-memory sequence or
+  :class:`~repro.graph.stream.EdgeStream` (replayable, zero-copy
+  slicing);
+- :class:`IterableSource` -- wraps a generator or other one-shot
+  iterable; a second pass raises
+  :class:`~repro.errors.SourceExhaustedError`.
+
+:func:`as_source` coerces whatever a caller holds (path, stream,
+sequence, generator, or an existing source) into an :class:`EdgeSource`,
+which is what the CLI, the :class:`~repro.streaming.pipeline.Pipeline`
+runner, the experiment harness, and the parallel counter all consume.
+
+Batch boundaries are deterministic (``ceil(m / batch_size)`` batches,
+all but the last of exactly ``batch_size`` edges), so estimators driven
+from a file and from the equivalent in-memory list consume their RNG
+identically and produce bit-identical results under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import SourceExhaustedError
+from ..graph.edge import Edge
+from ..graph.io import dedup_edges, iter_edge_list
+from ..graph.stream import EdgeStream, batched
+
+__all__ = [
+    "EdgeSource",
+    "FileSource",
+    "MemorySource",
+    "IterableSource",
+    "as_source",
+    "batched_iter",
+]
+
+
+def batched_iter(edges: Iterable[Edge], batch_size: int) -> Iterator[list[Edge]]:
+    """Group any edge iterable into lists of ``batch_size`` edges.
+
+    The iterator analogue of :func:`repro.graph.stream.batched`: only
+    one batch is materialized at a time, so memory stays bounded by
+    ``batch_size`` no matter how long the stream is.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch: list[Edge] = []
+    for edge in edges:
+        batch.append(edge)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+class EdgeSource(ABC):
+    """A stream of edges consumable in fixed-size batches."""
+
+    #: Whether :meth:`batches` may be called more than once.
+    replayable: bool = True
+
+    @abstractmethod
+    def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
+        """Yield the stream as consecutive batches of ``batch_size``."""
+
+    def __iter__(self) -> Iterator[Edge]:
+        """Iterate edge by edge (a batch size of one pass)."""
+        for batch in self.batches(65_536):
+            yield from batch
+
+
+class FileSource(EdgeSource):
+    """Lazily stream a whitespace-separated ``u v`` edge-list file.
+
+    Parameters
+    ----------
+    path:
+        The file to read. ``#`` comments, blank lines, and self-loops
+        are skipped; edges are canonicalized (see
+        :func:`repro.graph.io.iter_edge_list`).
+    deduplicate:
+        When ``True`` (default, matching :func:`repro.graph.io.read_edge_list`
+        and the CLI), drop repeated edges on the fly so the stream is a
+        simple graph's, as the paper assumes -- SNAP files often list
+        both directions of each undirected edge. The membership set
+        costs O(distinct edges) memory, so pass ``False`` for
+        constant-memory streaming of inputs that are already simple.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, deduplicate: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.deduplicate = deduplicate
+
+    def edges(self) -> Iterator[Edge]:
+        """Lazily yield the (optionally deduplicated) edge stream."""
+        edges = iter_edge_list(self.path)
+        return dedup_edges(edges) if self.deduplicate else edges
+
+    def batches(self, batch_size: int) -> Iterator[list[Edge]]:
+        return batched_iter(self.edges(), batch_size)
+
+    def __repr__(self) -> str:
+        return f"FileSource({self.path!r}, deduplicate={self.deduplicate})"
+
+
+class MemorySource(EdgeSource):
+    """Wrap an in-memory edge sequence (list, tuple, or ``EdgeStream``)."""
+
+    def __init__(self, edges: Sequence[Edge] | EdgeStream) -> None:
+        self._edges = edges
+
+    def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
+        return batched(self._edges, batch_size)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self) -> str:
+        return f"MemorySource(<{len(self._edges)} edges>)"
+
+
+class IterableSource(EdgeSource):
+    """Wrap a one-shot edge iterable (generator, file object, socket...).
+
+    The source never materializes the stream: memory is bounded by one
+    batch regardless of (possibly unbounded) stream length. It can be
+    consumed exactly once.
+    """
+
+    replayable = False
+
+    def __init__(self, edges: Iterable[Edge]) -> None:
+        self._edges: Iterator[Edge] | None = iter(edges)
+
+    def batches(self, batch_size: int) -> Iterator[list[Edge]]:
+        if self._edges is None:
+            raise SourceExhaustedError(
+                "this IterableSource has already been consumed; wrap a "
+                "FileSource or MemorySource for replayable streams"
+            )
+        edges, self._edges = self._edges, None
+        return batched_iter(edges, batch_size)
+
+    def __repr__(self) -> str:
+        state = "exhausted" if self._edges is None else "fresh"
+        return f"IterableSource(<{state}>)"
+
+
+def as_source(obj) -> EdgeSource:
+    """Coerce ``obj`` into an :class:`EdgeSource`.
+
+    Accepts an existing source (returned as-is), a path (``str`` /
+    ``os.PathLike`` -> :class:`FileSource`), an ``EdgeStream`` or any
+    sequence (-> :class:`MemorySource`), or any other iterable
+    (-> one-shot :class:`IterableSource`).
+    """
+    if isinstance(obj, EdgeSource):
+        return obj
+    if isinstance(obj, (str, os.PathLike)):
+        return FileSource(obj)
+    if isinstance(obj, (EdgeStream, Sequence)):
+        return MemorySource(obj)
+    if isinstance(obj, Iterable):
+        return IterableSource(obj)
+    raise TypeError(
+        f"cannot build an EdgeSource from {type(obj).__name__!r}; expected a "
+        "path, sequence, EdgeStream, iterable, or EdgeSource"
+    )

@@ -11,7 +11,7 @@ from repro.baselines import (
 from repro.baselines.jowhari_ghodsi import JowhariGhodsiEstimator
 from repro.errors import EmptyStreamError, InvalidParameterError
 from repro.exact import count_triangles, count_wedges, transitivity_coefficient
-from repro.generators import complete_graph, erdos_renyi
+from repro.generators import complete_graph
 from tests.conftest import assert_mean_close
 
 

@@ -1,7 +1,5 @@
 """Tests for the Section 3.3 bulk-processing engine (bulkTC)."""
 
-import statistics
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -121,3 +121,43 @@ class TestParallel:
         counter = ParallelTriangleCounter(10, workers=3)
         assert sum(counter._shard_sizes()) == 10
         assert max(counter._shard_sizes()) - min(counter._shard_sizes()) <= 1
+
+    def test_same_seed_is_deterministic(self, small_er_graph):
+        edges, _ = small_er_graph
+        first = count_triangles_parallel(edges, 2_000, workers=2, seed=11,
+                                         batch_size=512)
+        second = count_triangles_parallel(edges, 2_000, workers=2, seed=11,
+                                          batch_size=512)
+        assert first == second
+
+    def test_seed_none_draws_fresh_entropy(self, small_er_graph):
+        """seed=None must not silently degrade to a fixed seed: two runs
+        over the same stream should (with overwhelming probability) make
+        different reservoir decisions."""
+        edges, _ = small_er_graph
+
+        def reservoir_decisions():
+            counter = ParallelTriangleCounter(500, workers=1, seed=None)
+            counter.count(edges, batch_size=512)
+            return tuple(counter.merged.r1pos.tolist())
+
+        assert reservoir_decisions() != reservoir_decisions()
+
+    def test_worker_error_propagates_instead_of_hanging(self, small_er_graph):
+        """A worker-side failure (here: vertex id outside the engine's
+        [0, 2^31) domain) must surface in the parent, not deadlock the
+        batch queues."""
+        edges, _ = small_er_graph
+        poisoned = list(edges) + [(5, 1 << 40)]
+        counter = ParallelTriangleCounter(100, workers=2, seed=0)
+        with pytest.raises(InvalidParameterError, match="vertex ids"):
+            counter.count(poisoned, batch_size=64)
+
+    def test_streams_from_a_one_shot_generator(self, small_er_graph):
+        """The stream is read once and fed batch-by-batch: a one-shot
+        generator (no len, no slicing, not replayable) suffices."""
+        edges, tau = small_er_graph
+        estimate = count_triangles_parallel(
+            iter(edges), 8_000, workers=2, seed=5, batch_size=256
+        )
+        assert abs(estimate - tau) / tau < 0.5

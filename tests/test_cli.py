@@ -61,6 +61,52 @@ class TestSample:
         assert "error" in capsys.readouterr().err
 
 
+class TestPipeline:
+    def test_default_estimators(self, graph_file, capsys):
+        code = main(
+            ["pipeline", "--input", graph_file, "--estimators", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count:" in out
+        assert "transitivity:" in out
+        assert "exact:" in out
+        assert "stream pass" in out
+
+    def test_explicit_estimator_selection(self, graph_file, capsys):
+        code = main(
+            ["pipeline", "--input", graph_file, "--estimators", "1000",
+             "--estimator", "count", "--estimator", "sample"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count:" in out
+        assert "sample:" in out
+        assert "exact:" not in out
+
+    def test_unknown_estimator_rejected(self, graph_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "--input", graph_file, "--estimator", "nope"])
+
+
+class TestDedup:
+    def test_doubled_snap_file_deduped_by_default(self, tmp_path, capsys):
+        """SNAP files often list each undirected edge in both
+        directions; the CLI must count the simple graph by default."""
+        path = tmp_path / "doubled.edges"
+        path.write_text("0 1\n1 2\n0 2\n1 0\n2 1\n2 0\n")
+        assert main(["exact", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "edges: 3" in out
+        assert "triangles: 1" in out
+
+    def test_no_dedup_streams_raw(self, tmp_path, capsys):
+        path = tmp_path / "doubled.edges"
+        path.write_text("0 1\n1 2\n0 2\n1 0\n2 1\n2 0\n")
+        assert main(["exact", "--input", str(path), "--no-dedup"]) == 0
+        assert "edges: 6" in capsys.readouterr().out
+
+
 class TestExactAndStats:
     def test_exact_counts(self, graph_file, capsys):
         assert main(["exact", "--input", graph_file]) == 0

@@ -1,7 +1,5 @@
 """Tests for the 4-clique samplers (Algorithm 4 / Section 5.1)."""
 
-import statistics
-
 import pytest
 
 from repro.core.cliques4 import (

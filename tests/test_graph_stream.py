@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import DuplicateEdgeError, EmptyStreamError, InvalidEdgeError
+from repro.errors import DuplicateEdgeError, EdgeNotFoundError, InvalidEdgeError
 from repro.graph import EdgeStream, StaticGraph, batched
 
 
@@ -43,7 +43,11 @@ class TestSequenceBehaviour:
     def test_position_of_is_one_based(self, triangle_stream):
         assert triangle_stream.position_of((0, 1)) == 1
         assert triangle_stream.position_of((3, 2)) == 4
-        with pytest.raises(EmptyStreamError):
+        with pytest.raises(EdgeNotFoundError):
+            triangle_stream.position_of((7, 8))
+
+    def test_position_of_missing_edge_is_a_key_error(self, triangle_stream):
+        with pytest.raises(KeyError):
             triangle_stream.position_of((7, 8))
 
     def test_prefix(self, triangle_stream):

@@ -5,7 +5,6 @@ These target whole-system invariants that should hold for *any* graph,
 subtle streaming bugs hide.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

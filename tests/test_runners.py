@@ -5,7 +5,6 @@ verify each runner executes end to end and reports sane structures.
 Only the small datasets are used so the suite stays fast.
 """
 
-import pytest
 
 from repro.experiments.runners import (
     _RUNNERS,

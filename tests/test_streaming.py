@@ -1,0 +1,228 @@
+"""Tests for the streaming pipeline: sources, registries, fan-out."""
+
+import itertools
+
+import pytest
+
+from repro.errors import InvalidParameterError, SourceExhaustedError
+from repro.experiments.harness import stream_through
+from repro.generators import holme_kim
+from repro.graph import EdgeStream, write_edge_list
+from repro.streaming import (
+    ENGINES,
+    ESTIMATORS,
+    FileSource,
+    IterableSource,
+    MemorySource,
+    Pipeline,
+    Registry,
+    StreamingEstimator,
+    as_source,
+    batched_iter,
+    derive_seed,
+)
+from repro.streaming.registry import EstimatorSpec
+
+EDGES = holme_kim(250, 3, 0.5, seed=4)
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "graph.edges"
+    write_edge_list(path, EDGES)
+    return str(path)
+
+
+class TestSources:
+    def test_file_source_batches_lazily_and_completely(self, graph_file):
+        source = FileSource(graph_file)
+        batches = list(source.batches(64))
+        assert [e for b in batches for e in b] == EDGES
+        assert all(len(b) == 64 for b in batches[:-1])
+        assert 0 < len(batches[-1]) <= 64
+
+    def test_file_source_is_replayable(self, graph_file):
+        source = FileSource(graph_file)
+        assert list(source.batches(100)) == list(source.batches(100))
+
+    def test_file_source_streaming_dedup_is_the_default(self, tmp_path):
+        path = tmp_path / "dups.edges"
+        write_edge_list(path, [(0, 1), (1, 2), (1, 0), (0, 1), (2, 3)])
+        assert list(FileSource(path)) == [(0, 1), (1, 2), (2, 3)]
+        assert list(FileSource(path, deduplicate=False)) == [
+            (0, 1), (1, 2), (0, 1), (0, 1), (2, 3)
+        ]
+
+    def test_memory_source_wraps_sequences_and_streams(self):
+        assert list(MemorySource(EDGES).batches(97))[0] == EDGES[:97]
+        stream = EdgeStream(EDGES, validate=False)
+        assert [e for b in MemorySource(stream).batches(97) for e in b] == EDGES
+
+    def test_iterable_source_is_single_shot(self):
+        source = IterableSource(iter(EDGES))
+        assert [e for b in source.batches(50) for e in b] == EDGES
+        with pytest.raises(SourceExhaustedError):
+            source.batches(50)
+
+    def test_iterable_source_bounded_memory_on_endless_stream(self):
+        """An infinite generator can be consumed batch by batch: memory
+        is bounded by one batch, proving nothing is materialized."""
+        endless = ((i, i + 1) for i in itertools.count())
+        batches = IterableSource(endless).batches(1_000)
+        assert len(next(batches)) == 1_000
+        assert next(batches)[0] == (1_000, 1_001)
+
+    def test_as_source_coercions(self, graph_file):
+        assert isinstance(as_source(graph_file), FileSource)
+        assert isinstance(as_source(EDGES), MemorySource)
+        assert isinstance(as_source(EdgeStream(EDGES, validate=False)), MemorySource)
+        assert isinstance(as_source(iter(EDGES)), IterableSource)
+        source = FileSource(graph_file)
+        assert as_source(source) is source
+        with pytest.raises(TypeError):
+            as_source(42)
+
+    def test_batched_iter_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batched_iter(iter(EDGES), 0))
+
+
+class TestRegistry:
+    def test_engines_registered(self):
+        for name in ("reference", "bulk", "vectorized"):
+            assert name in ENGINES
+
+    def test_estimators_registered(self):
+        for name in ("count", "transitivity", "sample", "exact",
+                     "cliques4", "sliding-window"):
+            assert name in ESTIMATORS
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(InvalidParameterError, match="vectorized"):
+            ENGINES.get("nope")
+
+    def test_conflicting_registration_rejected(self):
+        registry = Registry("thing")
+
+        class First:
+            pass
+
+        class Second:
+            pass
+
+        registry.register("a", First)
+        with pytest.raises(InvalidParameterError):
+            registry.register("a", Second)
+
+    def test_reregistering_same_definition_is_idempotent(self):
+        """Module re-execution (importlib.reload, notebook autoreload)
+        re-runs the decorators; the same definition must not raise."""
+        registry = Registry("thing")
+
+        class Engine:
+            pass
+
+        registry.register("a", Engine)
+        registry.register("a", Engine)
+        assert registry.get("a") is Engine
+
+    def test_decorator_registration(self):
+        registry = Registry("engine")
+
+        @registry.register("mine")
+        class MyEngine:
+            pass
+
+        assert registry.get("mine") is MyEngine
+
+    def test_specs_build_streaming_estimators(self):
+        for name, spec in ESTIMATORS.items():
+            assert isinstance(spec, EstimatorSpec)
+            estimator = spec.create(num_estimators=4, seed=0)
+            assert isinstance(estimator, StreamingEstimator), name
+            estimator.update_batch(EDGES[:16])
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_name_keyed(self):
+        assert derive_seed(7, "count") == derive_seed(7, "count")
+        assert derive_seed(7, "count") != derive_seed(7, "sample")
+        assert derive_seed(8, "count") != derive_seed(7, "count")
+
+    def test_none_passes_through(self):
+        assert derive_seed(None, "count") is None
+
+
+class TestPipeline:
+    NAMES = ["count", "transitivity", "wedges", "exact"]
+
+    def test_fanout_matches_independent_passes(self):
+        """One shared pass must be bit-identical to one pass per
+        estimator with the same derived seeds."""
+        fanout = Pipeline.from_registry(self.NAMES, num_estimators=512, seed=9)
+        report = fanout.run(EDGES, batch_size=128)
+
+        for name in self.NAMES:
+            spec = ESTIMATORS.get(name)
+            alone = spec.create(512, derive_seed(9, name))
+            stream_through(alone, EDGES, 128)
+            assert spec.report(alone) == report[name].results, name
+
+    def test_file_and_memory_sources_agree_bit_for_bit(self, graph_file):
+        def seeded():
+            return Pipeline.from_registry(self.NAMES, num_estimators=512, seed=3)
+
+        from_file = seeded().run(FileSource(graph_file), batch_size=100)
+        from_memory = seeded().run(EDGES, batch_size=100)
+        from_generator = seeded().run(iter(EDGES), batch_size=100)
+        for name in self.NAMES:
+            assert from_file[name].results == from_memory[name].results
+            assert from_file[name].results == from_generator[name].results
+
+    def test_count_streams_an_unbounded_source(self):
+        """The CLI's count path (lazy batches -> update_batch) never
+        materializes the stream: an endless generator can be consumed
+        batch by batch with memory bounded by batch + estimator state."""
+        endless = ((i, i + 1) for i in itertools.count())
+        counter = ESTIMATORS.get("count").create(64, 0)
+        batches = as_source(endless).batches(4_096)
+        for _ in range(3):
+            counter.update_batch(next(batches))
+        assert counter.edges_seen == 3 * 4_096
+
+    def test_report_structure(self):
+        report = Pipeline.from_registry(["count", "exact"], num_estimators=64,
+                                        seed=0).run(EDGES, batch_size=100)
+        assert report.edges == len(EDGES)
+        assert report.batches == -(-len(EDGES) // 100)
+        assert {r.name for r in report.estimators} == {"count", "exact"}
+        assert all(r.seconds >= 0 for r in report.estimators)
+        assert "edges" in report.render()
+        payload = report.to_dict()
+        assert payload["estimators"][0]["results"]
+        with pytest.raises(KeyError):
+            report["missing"]
+
+    def test_prebuilt_estimators_and_default_reporter(self):
+        from repro.baselines.exact_stream import ExactStreamingCounter
+
+        pipeline = Pipeline([("truth", ExactStreamingCounter())])
+        report = pipeline.run(EDGES, batch_size=64)
+        assert report["truth"].results["estimate"] == pytest.approx(
+            float(_exact_count())
+        )
+
+    def test_duplicate_or_empty_estimators_rejected(self):
+        from repro.baselines.exact_stream import ExactStreamingCounter
+
+        with pytest.raises(InvalidParameterError):
+            Pipeline([])
+        with pytest.raises(InvalidParameterError):
+            Pipeline([("a", ExactStreamingCounter()),
+                      ("a", ExactStreamingCounter())])
+
+
+def _exact_count() -> int:
+    from repro.exact import count_triangles
+
+    return count_triangles(EDGES)

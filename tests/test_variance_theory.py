@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.vectorized import VectorizedTriangleCounter
 from repro.errors import InvalidParameterError
-from repro.exact import count_triangles, tangle_coefficient
+from repro.exact import tangle_coefficient
 from repro.graph import EdgeStream
 from repro.theory.variance import (
     estimator_moments,

@@ -7,7 +7,7 @@ from repro.core.vectorized import VectorizedTriangleCounter
 from repro.errors import InvalidParameterError
 from repro.exact import list_triangles, neighborhood_sizes
 from repro.graph import EdgeStream
-from repro.graph.edge import canonical_edge, edges_adjacent
+from repro.graph.edge import edges_adjacent
 from tests.conftest import assert_mean_close
 
 
