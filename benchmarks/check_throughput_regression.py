@@ -1,0 +1,51 @@
+"""CI smoke gate: fail when streaming throughput regresses badly.
+
+Runs the Figure 4 benchmark on the smallest committed configuration
+(the smallest dataset at the smallest ``r``) and compares against the
+repo's committed ``BENCH_throughput.json``. A measurement below 50% of
+the committed value fails the build -- generous enough for CI hardware
+variance, tight enough to catch a hot-path regression.
+
+    PYTHONPATH=src python benchmarks/check_throughput_regression.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.runners import run_figure4
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+FLOOR_FRACTION = 0.5
+
+
+def main() -> int:
+    committed = json.loads(ARTIFACT.read_text())
+    r = min(committed["r_values"])
+    # Smallest dataset = cheapest smoke run; ordering in the artifact
+    # follows FIGURE3_DATASETS, whose first entry is the smallest.
+    dataset = next(iter(committed["throughput"]))
+    baseline = committed["throughput"][dataset][f"r={r}"]
+
+    out = run_figure4(r_values=(r,), datasets=(dataset,), trials=3, verbose=False)
+    measured = out["rows"][0][2]
+    floor = FLOOR_FRACTION * baseline
+
+    print(
+        f"[throughput-gate] {dataset} @ r={r}: measured {measured:.3f} Medges/s, "
+        f"committed {baseline:.3f}, floor {floor:.3f}"
+    )
+    if measured < floor:
+        print(
+            "[throughput-gate] FAIL: throughput regressed more than "
+            f"{100 * (1 - FLOOR_FRACTION):.0f}% against the committed "
+            "BENCH_throughput.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("[throughput-gate] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,8 @@ import sys
 import time
 from collections.abc import Sequence
 
+import numpy as np
+
 from .baselines.exact_stream import ExactStreamingCounter
 from .core.transitivity import TransitivityEstimator
 from .core.triangle_count import TriangleCounter
@@ -121,14 +123,17 @@ def _cmd_exact(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    # One lazy pass: vertex set and degrees, never the edge list itself.
+    # One lazy pass: per-batch degree counts come from a vectorized
+    # np.unique over the columnar batch; only the (much smaller) set of
+    # distinct vertices per batch touches Python. The edge list itself
+    # is never materialized.
     degrees: dict[int, int] = {}
     edges = 0
     for batch in _source(args).batches(args.batch_size):
         edges += len(batch)
-        for u, v in batch:
-            degrees[u] = degrees.get(u, 0) + 1
-            degrees[v] = degrees.get(v, 0) + 1
+        verts, counts = np.unique(batch.array, return_counts=True)
+        for vertex, count in zip(verts.tolist(), counts.tolist()):
+            degrees[vertex] = degrees.get(vertex, 0) + count
     print(f"vertices: {len(degrees):,}")
     print(f"edges: {edges:,}")
     print(f"max degree: {max(degrees.values(), default=0):,}")

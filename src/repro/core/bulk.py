@@ -33,6 +33,7 @@ from collections.abc import Sequence
 
 from ..graph.edge import Edge, canonical_edge, third_vertices
 from ..rng import RandomSource
+from ..streaming.batch import EdgeBatch
 from ..streaming.registry import register_engine
 
 __all__ = ["BulkEstimatorState", "BulkTriangleCounter"]
@@ -92,6 +93,10 @@ class BulkTriangleCounter:
         Seed for the engine's random source.
     """
 
+    #: This engine consumes the batch's tuple view only; a pipeline
+    #: fan-out need not build the shared array index on its account.
+    uses_batch_context = False
+
     def __init__(self, num_estimators: int, *, seed: int | None = None) -> None:
         if num_estimators < 1:
             raise ValueError(f"num_estimators must be >= 1, got {num_estimators}")
@@ -112,9 +117,20 @@ class BulkTriangleCounter:
 
     def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
         """Process a batch of ``w`` edges in O(r + w) time (Theorem 3.5)."""
-        if not batch:
+        if isinstance(batch, EdgeBatch):
+            # Already canonical; the tuple list is cached on the batch
+            # and shared with every other per-edge consumer.
+            self._update_canonical(batch.tuples())
+        else:
+            self._update_canonical([canonical_edge(*e) for e in batch])
+
+    def update_prepared(self, batch: EdgeBatch) -> None:
+        """Columnar fast path: reuse the batch's cached canonical tuples."""
+        self._update_canonical(batch.tuples())
+
+    def _update_canonical(self, edges: list[Edge]) -> None:
+        if not edges:
             return
-        edges = [canonical_edge(*e) for e in batch]
         table_l = self._step1_resample_level1(edges)
         deg_b = self._step2a_betas(edges, table_l)
         table_p = self._step2b_choose_level2(edges, deg_b)

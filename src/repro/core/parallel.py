@@ -12,7 +12,10 @@ the same edges, and the final estimate is the pooled mean.
 stream **once** through an :class:`~repro.streaming.source.EdgeSource`
 and fans each batch out to every worker's bounded queue (an imap-style
 feed), so peak memory is O(workers x batch) instead of the old
-per-worker ``list(edges)`` copies (k x stream memory). Worker seeds are
+per-worker ``list(edges)`` copies (k x stream memory). Columnar batches
+cross the process boundary as raw ``(w, 2)`` int64 arrays -- pickled as
+flat buffers rather than per-tuple objects -- and workers feed them
+straight to the vectorized engine's prepared fast path. Worker seeds are
 spawned through :class:`numpy.random.SeedSequence`, whose splitting is
 collision-resistant by construction -- and ``seed=None`` now means
 fresh OS entropy per run rather than silently degrading to a
@@ -30,6 +33,7 @@ import traceback
 import numpy as np
 
 from ..errors import InvalidParameterError, WorkerCrashedError
+from ..streaming.batch import EdgeBatch
 from ..streaming.source import as_source
 from .checkpoint import from_state_dict, merge_counters
 from .vectorized import VectorizedTriangleCounter
@@ -61,7 +65,12 @@ def _worker_loop(
             batch = in_queue.get()
             if batch is None:
                 break
-            counter.update_batch(batch)
+            if isinstance(batch, np.ndarray):
+                # Columnar payload: already canonical and validated by
+                # the parent's source, so skip straight to the fast path.
+                counter.update_prepared(EdgeBatch(batch))
+            else:
+                counter.update_batch(batch)
         result = ("ok", counter.state_dict())
     except Exception as exc:
         while in_queue.get() is not None:
@@ -180,9 +189,16 @@ class ParallelTriangleCounter:
             try:
                 try:
                     for batch in source.batches(batch_size):
-                        batch = list(batch)
+                        # Columnar batches ship as raw int64 arrays --
+                        # pickled as flat buffers, far cheaper than a
+                        # list of Python tuples -- and workers rebuild
+                        # the EdgeBatch without re-validating.
+                        if isinstance(batch, EdgeBatch):
+                            payload = batch.array
+                        else:
+                            payload = list(batch)
                         for i, queue in enumerate(in_queues):
-                            _put_alive(queue, batch, procs[i], i)
+                            _put_alive(queue, payload, procs[i], i)
                 finally:
                     # Always send the sentinel, even when the source
                     # raises mid-stream -- workers block on get otherwise.

@@ -50,6 +50,10 @@ class WedgeCounter:
     def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
         self._engine.update_batch(batch)
 
+    def update_prepared(self, batch) -> None:
+        """Columnar fast path (shared prepared ``EdgeBatch``)."""
+        self._engine.update_prepared(batch)
+
     def estimates(self) -> np.ndarray:
         """Per-estimator unbiased wedge estimates ``m * c``."""
         return self._engine.wedge_estimates()
@@ -106,6 +110,11 @@ class TransitivityEstimator:
         """Observe a batch of stream edges with both pools."""
         self._triangles.update_batch(batch)
         self._wedges.update_batch(batch)
+
+    def update_prepared(self, batch) -> None:
+        """Columnar fast path: both pools share the prepared batch."""
+        self._triangles.update_prepared(batch)
+        self._wedges.update_prepared(batch)
 
     def triangle_estimate(self) -> float:
         """The pool's triangle count estimate ``tau'``."""

@@ -75,6 +75,20 @@ class TriangleSampler:
     def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
         """Observe a batch of stream edges."""
         self._engine.update_batch(batch)
+        self._track_degrees(batch)
+
+    def update_prepared(self, batch) -> None:
+        """Columnar fast path (shared prepared ``EdgeBatch``)."""
+        self._engine.update_prepared(batch)
+        if self._degrees is not None:
+            # Vectorized degree accumulation: only the (much smaller)
+            # set of distinct batch vertices touches the Python dict.
+            verts, counts = np.unique(batch.array, return_counts=True)
+            degrees = self._degrees
+            for vertex, count in zip(verts.tolist(), counts.tolist()):
+                degrees[vertex] = degrees.get(vertex, 0) + count
+
+    def _track_degrees(self, batch: Sequence[tuple[int, int]]) -> None:
         if self._degrees is not None:
             for u, v in batch:
                 self._degrees[u] = self._degrees.get(u, 0) + 1

@@ -21,6 +21,13 @@ Correspondence to the paper's tables:
 
 Triangle identities are retained (not just a "closed" bit), so the
 sampling algorithms of Section 3.4 can run on this engine too.
+
+The per-batch tables live in :class:`repro.streaming.batch.BatchContext`
+(hoisted out of this module so a :class:`~repro.streaming.pipeline.Pipeline`
+fan-out builds them once per batch for all estimators); this engine
+implements the :class:`~repro.streaming.protocol.PreparedEstimator`
+fast path, and ``update_batch`` remains the compatibility entry point
+with bit-identical randomness consumption.
 """
 
 from __future__ import annotations
@@ -30,11 +37,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..streaming.batch import BatchContext, EdgeBatch
 from ..streaming.registry import register_engine
 
 __all__ = ["STATE_FIELDS", "VectorizedTriangleCounter"]
-
-_VERTEX_LIMIT = np.int64(1) << 31  # ids packed two-per-int64 for edge keys
 
 #: The per-estimator state arrays, in checkpoint order. The single
 #: source of truth shared by :meth:`VectorizedTriangleCounter.state_dict`,
@@ -99,16 +105,34 @@ class VectorizedTriangleCounter:
         """Process one edge (a batch of size one)."""
         self.update_batch([edge])
 
-    def update_batch(self, batch: Sequence[tuple[int, int]] | np.ndarray) -> None:
-        """Process a batch of ``w`` edges (Section 3.3 semantics)."""
-        bu, bv = self._canonical_arrays(batch)
-        w = bu.shape[0]
+    def update_batch(
+        self, batch: Sequence[tuple[int, int]] | np.ndarray | EdgeBatch
+    ) -> None:
+        """Process a batch of ``w`` edges (Section 3.3 semantics).
+
+        The compatibility entry point: coerces ``batch`` to an
+        :class:`~repro.streaming.batch.EdgeBatch` (validation and
+        canonicalization as always) and defers to
+        :meth:`update_prepared`. Randomness consumption is identical
+        on both paths.
+        """
+        self.update_prepared(EdgeBatch.from_edges(batch))
+
+    def update_prepared(self, batch: EdgeBatch) -> None:
+        """Columnar fast path: consume a prepared, validated batch.
+
+        Skips conversion and validation and reuses ``batch.context``
+        (the per-batch index), which a pipeline fan-out builds exactly
+        once and shares across all estimators.
+        """
+        w = len(batch)
         if w == 0:
             return
+        bu, bv = batch.u, batch.v
         new_mask, new_j = self._step1(bu, bv, w)
-        ctx = _BatchContext(bu, bv, self.edges_seen)
-        self._step2(ctx, new_mask, new_j)
-        self._step3(ctx)
+        ctx = batch.context
+        self._step2(ctx, new_mask, new_j, self.edges_seen)
+        self._step3(ctx, self.edges_seen)
         self.edges_seen += w
 
     def estimates(self) -> np.ndarray:
@@ -151,23 +175,6 @@ class VectorizedTriangleCounter:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _canonical_arrays(
-        batch: Sequence[tuple[int, int]] | np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        arr = np.asarray(batch, dtype=np.int64)
-        if arr.size == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        if arr.ndim != 2 or arr.shape[1] != 2:
-            raise InvalidParameterError("batch must be an (w, 2) array of edges")
-        if (arr < 0).any() or (arr >= _VERTEX_LIMIT).any():
-            raise InvalidParameterError("vertex ids must be in [0, 2^31)")
-        if (arr[:, 0] == arr[:, 1]).any():
-            raise InvalidParameterError("self-loops are not allowed")
-        bu = np.minimum(arr[:, 0], arr[:, 1])
-        bv = np.maximum(arr[:, 0], arr[:, 1])
-        return bu, bv
-
     def _step1(
         self, bu: np.ndarray, bv: np.ndarray, w: int
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -187,9 +194,17 @@ class VectorizedTriangleCounter:
         return new_mask, new_j
 
     def _step2(
-        self, ctx: "_BatchContext", new_mask: np.ndarray, new_j: np.ndarray
+        self,
+        ctx: BatchContext,
+        new_mask: np.ndarray,
+        new_j: np.ndarray,
+        base: int,
     ) -> None:
-        """Level-2 selection: betas, candidate counts, event decoding."""
+        """Level-2 selection: betas, candidate counts, event decoding.
+
+        ``base`` is the stream position before this batch (the context
+        itself is position-free so it can be shared across estimators).
+        """
         r = self.num_estimators
         # beta values: batch-degrees of r1's endpoints at r1's arrival
         # (0 for estimators whose r1 predates this batch) -- Obs. 3.6.
@@ -228,10 +243,10 @@ class VectorizedTriangleCounter:
         j = ctx.event_edge_index(target_v[replace], target_d[replace])
         self.r2u[replace] = ctx.bu[j]
         self.r2v[replace] = ctx.bv[j]
-        self.r2pos[replace] = ctx.base + j + 1
+        self.r2pos[replace] = base + j + 1
         self.tset[replace] = False
 
-    def _step3(self, ctx: "_BatchContext") -> None:
+    def _step3(self, ctx: BatchContext, base: int) -> None:
         """Close wedges: find each open wedge's closing edge in the batch."""
         open_wedge = (~self.tset) & (self.r2u >= 0) & (self.r1u >= 0)
         if not open_wedge.any():
@@ -244,8 +259,8 @@ class VectorizedTriangleCounter:
         out2 = r2u + r2v - shared
         cu = np.minimum(out1, out2)
         cv = np.maximum(out1, out2)
-        pos = ctx.position_of_edge(cu, cv)
-        closed = (pos > 0) & (pos > self.r2pos[open_wedge])
+        local = ctx.position_in_batch(cu, cv)
+        closed = (local > 0) & (base + local > self.r2pos[open_wedge])
         if not closed.any():
             return
         idx = np.nonzero(open_wedge)[0][closed]
@@ -256,83 +271,3 @@ class VectorizedTriangleCounter:
         self.tb[idx] = tri[:, 1]
         self.tc[idx] = tri[:, 2]
         self.tset[idx] = True
-
-
-class _BatchContext:
-    """Per-batch indexes shared by steps 2 and 3.
-
-    Precomputes, from the batch arrays ``bu``/``bv``:
-
-    - per-edge running endpoint degrees (``deg_at_edge_u/v``), i.e. the
-      paper's ``deg`` table at each EVENTA;
-    - the (vertex, occurrence) -> edge-index decoder for EVENTB;
-    - the sorted edge-key index for closing-edge (table ``Q``) lookups.
-    """
-
-    def __init__(self, bu: np.ndarray, bv: np.ndarray, base: int) -> None:
-        self.bu = bu
-        self.bv = bv
-        self.base = base  # edges seen before this batch
-        w = bu.shape[0]
-
-        # Endpoint event array: events 2j (u of edge j) and 2j+1 (v of edge j).
-        events = np.empty(2 * w, dtype=np.int64)
-        events[0::2] = bu
-        events[1::2] = bv
-        order = np.argsort(events, kind="stable")
-        sorted_events = events[order]
-        # Rank of each event within its vertex group = running degree.
-        is_start = np.ones(2 * w, dtype=bool)
-        is_start[1:] = sorted_events[1:] != sorted_events[:-1]
-        group_start_pos = np.maximum.accumulate(
-            np.where(is_start, np.arange(2 * w), 0)
-        )
-        rank = np.arange(2 * w) - group_start_pos + 1
-        occ = np.empty(2 * w, dtype=np.int64)
-        occ[order] = rank
-        self.deg_at_edge_u = occ[0::2]
-        self.deg_at_edge_v = occ[1::2]
-
-        # Final batch degrees, and the EVENTB decoder tables.
-        self._uniq_verts = sorted_events[is_start]
-        self._group_starts = np.nonzero(is_start)[0]
-        self._event_order = order
-        counts = np.append(self._group_starts[1:], 2 * w) - self._group_starts
-        self._uniq_counts = counts
-
-        # Sorted edge keys for closing-edge lookups.
-        keys = (bu << np.int64(32)) | bv
-        self._key_order = np.argsort(keys, kind="stable")
-        self._sorted_keys = keys[self._key_order]
-
-    def final_degree(self, verts: np.ndarray) -> np.ndarray:
-        """``degB(v)`` for each query vertex (0 when absent; -1 maps to 0)."""
-        pos = np.searchsorted(self._uniq_verts, verts)
-        pos_clipped = np.minimum(pos, self._uniq_verts.shape[0] - 1)
-        found = self._uniq_verts[pos_clipped] == verts
-        return np.where(found, self._uniq_counts[pos_clipped], 0)
-
-    def event_edge_index(self, verts: np.ndarray, d: np.ndarray) -> np.ndarray:
-        """Edge index of EVENTB ``(v, d)``: the d-th batch edge touching v.
-
-        Callers guarantee ``1 <= d <= degB(v)`` (Algorithm 3 only
-        produces in-range subscriptions), so every lookup hits.
-        """
-        g = np.searchsorted(self._uniq_verts, verts)
-        event_pos = self._group_starts[g] + d - 1
-        event_id = self._event_order[event_pos]
-        return event_id // 2
-
-    def position_of_edge(self, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
-        """Global stream position of edge ``(cu, cv)`` in this batch.
-
-        Returns 0 for edges not present in the batch.
-        """
-        keys = (cu << np.int64(32)) | cv
-        pos = np.searchsorted(self._sorted_keys, keys)
-        if self._sorted_keys.shape[0] == 0:
-            return np.zeros(keys.shape[0], dtype=np.int64)
-        pos_clipped = np.minimum(pos, self._sorted_keys.shape[0] - 1)
-        found = self._sorted_keys[pos_clipped] == keys
-        j = self._key_order[pos_clipped]
-        return np.where(found, self.base + j + 1, 0)

@@ -26,8 +26,14 @@ Quick taste::
     print(report.render())
 """
 
+from .batch import BatchContext, EdgeBatch
 from .pipeline import EstimatorReport, Pipeline, PipelineReport, derive_seed
-from .protocol import BatchedEstimator, CheckpointableEstimator, StreamingEstimator
+from .protocol import (
+    BatchedEstimator,
+    CheckpointableEstimator,
+    PreparedEstimator,
+    StreamingEstimator,
+)
 from .registry import (
     ENGINES,
     ESTIMATORS,
@@ -49,8 +55,10 @@ from . import estimators as _estimators  # noqa: F401  (registers the specs)
 __all__ = [
     "ENGINES",
     "ESTIMATORS",
+    "BatchContext",
     "BatchedEstimator",
     "CheckpointableEstimator",
+    "EdgeBatch",
     "EdgeSource",
     "EstimatorReport",
     "EstimatorSpec",
@@ -59,6 +67,7 @@ __all__ = [
     "MemorySource",
     "Pipeline",
     "PipelineReport",
+    "PreparedEstimator",
     "Registry",
     "StreamingEstimator",
     "as_source",

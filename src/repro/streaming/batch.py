@@ -1,0 +1,342 @@
+"""Columnar edge batches: the unit that flows from sources to estimators.
+
+The paper's throughput experiments are all about edges/second, and at
+Python scale the per-edge constant factor -- tuple allocation, per-batch
+``np.asarray`` calls, repeated validation -- dominates the array math.
+:class:`EdgeBatch` eliminates that overhead structurally: a batch is a
+canonicalized, validated ``(w, 2)`` int64 array, built **once** when the
+stream is read, and every consumer shares it.
+
+Two cached views serve the two kinds of consumers:
+
+- vectorized engines read the ``u`` / ``v`` columns directly and share
+  the :class:`BatchContext` per-batch index (built lazily, exactly once,
+  no matter how many estimators a
+  :class:`~repro.streaming.pipeline.Pipeline` fans out to);
+- per-edge Python engines iterate the batch, which materializes the
+  plain ``(u, v)`` tuple list once (:meth:`EdgeBatch.tuples`) and reuses
+  it for every such consumer.
+
+:class:`BatchContext` is the per-batch index formerly private to
+:mod:`repro.core.vectorized` (``_BatchContext``), hoisted here so the
+streaming layer can build it once per batch and hand it to every
+fan-out estimator. All positions it reports are *local* (1-based within
+the batch); engines add their own stream offset, so one context is
+valid for every consumer regardless of its ``edges_seen``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["EdgeBatch", "BatchContext", "VERTEX_LIMIT", "rebatch_arrays"]
+
+#: Vertex ids must fit in 31 bits so an edge packs into one int64 key.
+VERTEX_LIMIT = np.int64(1) << 31
+
+
+class EdgeBatch(Sequence):
+    """A canonicalized, validated ``(w, 2)`` int64 batch of stream edges.
+
+    Construct with :meth:`from_edges` (validates and canonicalizes any
+    edge sequence or array); the plain constructor trusts its input --
+    it is for sources and engines that already hold canonical arrays
+    (slices of a validated stream, arrays shipped between processes).
+
+    Behaves as a ``Sequence`` of canonical ``(u, v)`` tuples, so every
+    per-edge consumer (exact counters, clique/window estimators,
+    baselines) iterates it unchanged; the tuple list is materialized
+    lazily, once, and shared by all of them.
+    """
+
+    __slots__ = ("array", "_tuples", "_context")
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = array
+        self._tuples: list[tuple[int, int]] | None = None
+        self._context: BatchContext | None = None
+
+    @classmethod
+    def from_edges(cls, edges) -> "EdgeBatch":
+        """Validate and canonicalize any edge collection into a batch.
+
+        Accepts an existing :class:`EdgeBatch` (returned as-is), an
+        ``(w, 2)`` array, or any sequence of ``(u, v)`` pairs. Raises
+        :class:`~repro.errors.InvalidParameterError` on self-loops, on
+        vertex ids outside ``[0, 2^31)``, or on a non-``(w, 2)`` shape
+        (the same contract the vectorized engine always enforced).
+        """
+        if isinstance(edges, EdgeBatch):
+            return edges
+        arr = np.asarray(edges, dtype=np.int64)
+        if arr.size == 0:
+            return cls(np.empty((0, 2), dtype=np.int64))
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise InvalidParameterError("batch must be an (w, 2) array of edges")
+        if (arr < 0).any() or (arr >= VERTEX_LIMIT).any():
+            raise InvalidParameterError("vertex ids must be in [0, 2^31)")
+        u, v = arr[:, 0], arr[:, 1]
+        if (u == v).any():
+            raise InvalidParameterError("self-loops are not allowed")
+        if (u < v).all():
+            return cls(arr)  # already canonical: keep zero-copy
+        out = np.empty_like(arr)
+        np.minimum(u, v, out=out[:, 0])
+        np.maximum(u, v, out=out[:, 1])
+        return cls(out)
+
+    # ------------------------------------------------------------------
+    # columnar views
+    # ------------------------------------------------------------------
+    @property
+    def u(self) -> np.ndarray:
+        """The smaller endpoints (the canonical ``min`` column)."""
+        return self.array[:, 0]
+
+    @property
+    def v(self) -> np.ndarray:
+        """The larger endpoints (the canonical ``max`` column)."""
+        return self.array[:, 1]
+
+    @property
+    def context(self) -> "BatchContext":
+        """The shared per-batch index, built lazily exactly once."""
+        if self._context is None:
+            self._context = BatchContext(self.u, self.v)
+        return self._context
+
+    # ------------------------------------------------------------------
+    # sequence-of-tuples behaviour (the per-edge consumer surface)
+    # ------------------------------------------------------------------
+    def tuples(self) -> list[tuple[int, int]]:
+        """The batch as plain ``(u, v)`` tuples (materialized once)."""
+        if self._tuples is None:
+            self._tuples = list(map(tuple, self.array.tolist()))
+        return self._tuples
+
+    def __len__(self) -> int:
+        return self.array.shape[0]
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.tuples())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EdgeBatch(self.array[index])
+        u, v = self.array[index]
+        return (int(u), int(v))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EdgeBatch):
+            return np.array_equal(self.array, other.array)
+        if isinstance(other, Sequence) and not isinstance(other, (str, bytes)):
+            return self.tuples() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable array payload
+
+    def __repr__(self) -> str:
+        return f"EdgeBatch(<{len(self)} edges>)"
+
+    def batches(self, batch_size: int) -> Iterator["EdgeBatch"]:
+        """Yield consecutive zero-copy slices of ``batch_size`` edges."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, len(self), batch_size):
+            yield EdgeBatch(self.array[start : start + batch_size])
+
+
+def rebatch_arrays(
+    arrays: Iterator[np.ndarray] | Sequence[np.ndarray], batch_size: int
+) -> Iterator[np.ndarray]:
+    """Regroup a stream of irregular ``(n, 2)`` arrays into exact batches.
+
+    Chunked parsers produce arrays whose sizes depend on text-block
+    boundaries; estimators need deterministic batch boundaries
+    (``ceil(m / batch_size)`` batches, all but the last exactly
+    ``batch_size``) so a file-fed run consumes its RNG identically to a
+    memory-fed one. Only ``O(batch + chunk)`` edges are held at a time.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    buffer: list[np.ndarray] = []
+    buffered = 0
+    for arr in arrays:
+        if not arr.shape[0]:
+            continue
+        buffer.append(arr)
+        buffered += arr.shape[0]
+        if buffered < batch_size:
+            continue
+        merged = np.concatenate(buffer) if len(buffer) > 1 else buffer[0]
+        start = 0
+        while merged.shape[0] - start >= batch_size:
+            yield merged[start : start + batch_size]
+            start += batch_size
+        rest = merged[start:]
+        buffer = [rest] if rest.shape[0] else []
+        buffered = rest.shape[0]
+    if buffered:
+        yield np.concatenate(buffer) if len(buffer) > 1 else buffer[0]
+
+
+class BatchContext:
+    """Per-batch indexes shared by every estimator consuming the batch.
+
+    Precomputes, from the canonical column arrays ``bu`` / ``bv``:
+
+    - per-edge running endpoint degrees (``deg_at_edge_u/v``), i.e. the
+      paper's ``deg`` table at each EVENTA;
+    - the (vertex, occurrence) -> edge-index decoder for EVENTB
+      subscriptions (table ``P``);
+    - the sorted edge-key index for closing-edge (table ``Q``) lookups.
+
+    The context is position-free: lookups report 1-based positions
+    *within the batch* and callers add their own stream offset, so one
+    context serves every fan-out estimator regardless of how many edges
+    each has seen.
+
+    Implementation notes. The stable (vertex, time) event sort is done
+    as a single ``np.sort`` over packed ``(value << bits) | index`` keys
+    -- considerably faster than a stable ``argsort`` -- and the same
+    trick orders the edge keys whenever the ids are small enough to
+    share an int64 with the index bits (stable ``argsort`` fallback
+    otherwise). When the vertex-id space is compact, degree and
+    group-start lookups use dense gather tables instead of per-query
+    binary search.
+    """
+
+    __slots__ = (
+        "bu",
+        "bv",
+        "deg_at_edge_u",
+        "deg_at_edge_v",
+        "_uniq_verts",
+        "_group_starts",
+        "_uniq_counts",
+        "_event_order",
+        "_key_order",
+        "_sorted_keys",
+        "_deg_table",
+        "_gs_table",
+        "_table_hi",
+    )
+
+    #: Use dense lookup tables when ``max_id`` is at most this factor of
+    #: the batch size (bounds table memory to a few times the batch).
+    _DENSE_FACTOR = 8
+    _DENSE_MIN = 65_536
+
+    def __init__(self, bu: np.ndarray, bv: np.ndarray) -> None:
+        self.bu = bu
+        self.bv = bv
+        w = bu.shape[0]
+        n = 2 * w
+
+        # Endpoint event array: events 2j (u of edge j) and 2j+1 (v of
+        # edge j). Sorting packed (vertex << bits) | event keys gives the
+        # stable (vertex, time) order and the inverse permutation in one
+        # quicksort: the low bits *are* the original event index.
+        events = np.empty(n, dtype=np.int64)
+        events[0::2] = bu
+        events[1::2] = bv
+        shift = np.int64(max(1, int(max(n - 1, 1)).bit_length()))
+        packed = (events << shift) | np.arange(n, dtype=np.int64)
+        packed.sort()
+        order = packed & ((np.int64(1) << shift) - 1)
+        sorted_events = packed >> shift
+
+        is_start = np.ones(n, dtype=bool)
+        if n:
+            is_start[1:] = sorted_events[1:] != sorted_events[:-1]
+        group_starts = np.flatnonzero(is_start)
+        counts = np.diff(np.append(group_starts, n))
+        # Rank of each event within its vertex group = running degree.
+        rank = np.arange(n, dtype=np.int64) - np.repeat(group_starts, counts) + 1
+        occ = np.empty(n, dtype=np.int64)
+        occ[order] = rank
+        self.deg_at_edge_u = occ[0::2]
+        self.deg_at_edge_v = occ[1::2]
+
+        self._uniq_verts = sorted_events[is_start]
+        self._group_starts = group_starts
+        self._uniq_counts = counts
+        self._event_order = order
+
+        # Dense degree / group-start tables (index = vertex id + 1, with
+        # zero sentinels at both ends so -1 and too-large queries read 0).
+        max_id = int(self._uniq_verts[-1]) if w else -1
+        if 0 <= max_id <= max(self._DENSE_MIN, self._DENSE_FACTOR * n):
+            self._deg_table = np.zeros(max_id + 3, dtype=np.int64)
+            self._gs_table = np.zeros(max_id + 3, dtype=np.int64)
+            self._deg_table[self._uniq_verts + 1] = counts
+            self._gs_table[self._uniq_verts + 1] = group_starts
+            self._table_hi = max_id + 2
+        else:
+            self._deg_table = None
+            self._gs_table = None
+            self._table_hi = 0
+
+        # Sorted edge keys for closing-edge lookups. The packed-index
+        # sort applies whenever (u, v, index) fits one int64; the order
+        # (and hence every lookup result) is identical to the stable
+        # argsort it replaces.
+        keys = (bu << np.int64(32)) | bv
+        kbits = int(max(w - 1, 1)).bit_length()
+        ubits = int(bu.max()).bit_length() if w else 0
+        vbits = int(bv.max()).bit_length() if w else 0
+        if w and ubits + vbits + kbits <= 63:
+            kshift = np.int64(kbits)
+            pk = (((bu << np.int64(vbits)) | bv) << kshift) | np.arange(
+                w, dtype=np.int64
+            )
+            pk.sort()
+            self._key_order = pk & ((np.int64(1) << kshift) - 1)
+            self._sorted_keys = keys[self._key_order]
+        else:
+            self._key_order = np.argsort(keys, kind="stable")
+            self._sorted_keys = keys[self._key_order]
+
+    def final_degree(self, verts: np.ndarray) -> np.ndarray:
+        """``degB(v)`` for each query vertex (0 when absent; -1 maps to 0)."""
+        if self._deg_table is not None:
+            return self._deg_table[np.clip(verts + 1, 0, self._table_hi)]
+        if self._uniq_verts.shape[0] == 0:
+            return np.zeros(verts.shape[0], dtype=np.int64)
+        pos = np.searchsorted(self._uniq_verts, verts)
+        pos_clipped = np.minimum(pos, self._uniq_verts.shape[0] - 1)
+        found = self._uniq_verts[pos_clipped] == verts
+        return np.where(found, self._uniq_counts[pos_clipped], 0)
+
+    def event_edge_index(self, verts: np.ndarray, d: np.ndarray) -> np.ndarray:
+        """Edge index of EVENTB ``(v, d)``: the d-th batch edge touching v.
+
+        Callers guarantee ``1 <= d <= degB(v)`` (Algorithm 3 only
+        produces in-range subscriptions), so every lookup hits.
+        """
+        if self._gs_table is not None:
+            event_pos = self._gs_table[verts + 1] + d - 1
+        else:
+            g = np.searchsorted(self._uniq_verts, verts)
+            event_pos = self._group_starts[g] + d - 1
+        return self._event_order[event_pos] // 2
+
+    def position_in_batch(self, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
+        """1-based batch position of each edge ``(cu, cv)``; 0 if absent.
+
+        Duplicate edges resolve to their first occurrence (the stable
+        order). The empty-batch case is guarded *before* the binary
+        search, so the lookup is total.
+        """
+        keys = (cu << np.int64(32)) | cv
+        w = self._sorted_keys.shape[0]
+        if w == 0:
+            return np.zeros(keys.shape[0], dtype=np.int64)
+        pos = np.searchsorted(self._sorted_keys, keys)
+        pos_clipped = np.minimum(pos, w - 1)
+        found = self._sorted_keys[pos_clipped] == keys
+        return np.where(found, self._key_order[pos_clipped] + 1, 0)

@@ -16,12 +16,16 @@ protocols are structural: nothing needs to inherit from them.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Any, Iterable, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .batch import EdgeBatch
 
 __all__ = [
     "StreamingEstimator",
     "BatchedEstimator",
     "CheckpointableEstimator",
+    "PreparedEstimator",
 ]
 
 Edge = tuple[int, int]
@@ -37,6 +41,25 @@ class StreamingEstimator(Protocol):
 
     def estimate(self) -> float:
         """The current aggregated estimate."""
+        ...
+
+
+@runtime_checkable
+class PreparedEstimator(StreamingEstimator, Protocol):
+    """A :class:`StreamingEstimator` with a columnar fast path.
+
+    ``update_prepared`` receives a validated, canonicalized
+    :class:`~repro.streaming.batch.EdgeBatch` whose per-batch index
+    (``batch.context``) is built at most once and shared by every
+    estimator in a :class:`~repro.streaming.pipeline.Pipeline` fan-out,
+    so implementors skip conversion, validation, and index construction
+    entirely. Must consume randomness identically to ``update_batch``
+    on the same edges: the two entry points are interchangeable under a
+    fixed seed (the equivalence the test suite asserts).
+    """
+
+    def update_prepared(self, batch: "EdgeBatch") -> None:
+        """Observe a prepared columnar batch of stream edges."""
         ...
 
 

@@ -14,6 +14,14 @@ Two registries back the pluggable surfaces of the package:
   :class:`~repro.streaming.pipeline.Pipeline` fan-out runner and the
   CLI's ``pipeline`` subcommand instantiate by name.
 
+Registered objects need nothing beyond the
+:class:`~repro.streaming.protocol.StreamingEstimator` surface; those
+that also implement
+:class:`~repro.streaming.protocol.PreparedEstimator`'s
+``update_prepared`` automatically get the pipeline's columnar fast
+path (shared :class:`~repro.streaming.batch.EdgeBatch` + per-batch
+index, built once per batch for the whole fan-out).
+
 Both registries raise :class:`~repro.errors.InvalidParameterError` with
 the list of known names on a miss, so a CLI typo produces an actionable
 message.

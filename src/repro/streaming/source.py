@@ -2,28 +2,41 @@
 
 The paper's model is a one-pass adjacency stream, so no consumer should
 ever need the whole edge list in memory. An :class:`EdgeSource` yields
-the stream as fixed-size batches, lazily:
+the stream as fixed-size batches, lazily -- and, since the columnar
+refactor, as :class:`~repro.streaming.batch.EdgeBatch` objects:
+validated, canonicalized ``(w, 2)`` int64 arrays that every estimator
+in a fan-out shares (one conversion and one per-batch index per batch,
+no matter how many consumers).
 
-- :class:`FileSource` -- reads a SNAP-style edge-list file batch by
-  batch with streaming dedup by default (pass ``deduplicate=False``
-  for constant memory on already-simple inputs), replayable because
+- :class:`FileSource` -- reads a SNAP-style edge-list file with the
+  chunked columnar parser (:func:`repro.graph.io.iter_edge_array_chunks`),
+  with vectorized streaming dedup by default (pass ``deduplicate=False``
+  for constant memory on already-simple inputs); replayable because
   every pass re-opens the file;
-- :class:`MemorySource` -- wraps an in-memory sequence or
-  :class:`~repro.graph.stream.EdgeStream` (replayable, zero-copy
-  slicing);
+- :class:`MemorySource` -- wraps an in-memory sequence, array, or
+  :class:`~repro.graph.stream.EdgeStream`, coerced to one columnar
+  array once and sliced into zero-copy batches (replayable);
 - :class:`IterableSource` -- wraps a generator or other one-shot
-  iterable; a second pass raises
-  :class:`~repro.errors.SourceExhaustedError`.
+  iterable, coercing each batch to columnar form as it is drawn; a
+  second pass raises :class:`~repro.errors.SourceExhaustedError`.
 
-:func:`as_source` coerces whatever a caller holds (path, stream,
-sequence, generator, or an existing source) into an :class:`EdgeSource`,
-which is what the CLI, the :class:`~repro.streaming.pipeline.Pipeline`
-runner, the experiment harness, and the parallel counter all consume.
+:func:`as_source` coerces whatever a caller holds (path, stream, array,
+sequence, generator, ``EdgeBatch``, or an existing source) into an
+:class:`EdgeSource`, which is what the CLI, the
+:class:`~repro.streaming.pipeline.Pipeline` runner, the experiment
+harness, and the parallel counter all consume.
 
 Batch boundaries are deterministic (``ceil(m / batch_size)`` batches,
 all but the last of exactly ``batch_size`` edges), so estimators driven
 from a file and from the equivalent in-memory list consume their RNG
 identically and produce bit-identical results under a fixed seed.
+
+For the in-memory sources, inputs the columnar form cannot represent
+(self-loops destined for a tolerant per-edge consumer, ids outside
+``[0, 2^31)``, exotic objects) fall back to the plain tuple-batch
+path, preserving the historical behaviour. :class:`FileSource` is
+columnar only: its files must keep vertex ids in ``[0, 2^31)`` (the
+engines' packed-key domain, which every SNAP graph satisfies).
 """
 
 from __future__ import annotations
@@ -32,10 +45,13 @@ import os
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator, Sequence
 
-from ..errors import SourceExhaustedError
+import numpy as np
+
+from ..errors import InvalidParameterError, SourceExhaustedError
 from ..graph.edge import Edge
-from ..graph.io import dedup_edges, iter_edge_list
+from ..graph.io import dedup_edge_arrays, iter_edge_array_chunks
 from ..graph.stream import EdgeStream, batched
+from .batch import EdgeBatch, rebatch_arrays
 
 __all__ = [
     "EdgeSource",
@@ -45,6 +61,10 @@ __all__ = [
     "as_source",
     "batched_iter",
 ]
+
+#: Exceptions that mean "this input has no columnar form" -- the source
+#: then serves plain tuple batches exactly as it did pre-refactor.
+_COERCE_ERRORS = (InvalidParameterError, ValueError, TypeError, OverflowError)
 
 
 def batched_iter(edges: Iterable[Edge], batch_size: int) -> Iterator[list[Edge]]:
@@ -74,7 +94,12 @@ class EdgeSource(ABC):
 
     @abstractmethod
     def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
-        """Yield the stream as consecutive batches of ``batch_size``."""
+        """Yield the stream as consecutive batches of ``batch_size``.
+
+        Batches are :class:`~repro.streaming.batch.EdgeBatch` objects
+        whenever the input admits the columnar form (plain tuple lists
+        otherwise); both behave as sequences of ``(u, v)`` tuples.
+        """
 
     def __iter__(self) -> Iterator[Edge]:
         """Iterate edge by edge (a batch size of one pass)."""
@@ -85,19 +110,25 @@ class EdgeSource(ABC):
 class FileSource(EdgeSource):
     """Lazily stream a whitespace-separated ``u v`` edge-list file.
 
+    Parsing is columnar: the file is read in ~1 MiB text blocks, each
+    block converted to an int64 array in bulk, self-loops filtered and
+    edges canonicalized with array operations, and the chunks re-cut
+    into exact ``batch_size`` :class:`~repro.streaming.batch.EdgeBatch`
+    slices. ``#`` comments and blank lines are skipped, as in SNAP
+    files; vertex ids must lie in ``[0, 2^31)``.
+
     Parameters
     ----------
     path:
-        The file to read. ``#`` comments, blank lines, and self-loops
-        are skipped; edges are canonicalized (see
-        :func:`repro.graph.io.iter_edge_list`).
+        The file to read.
     deduplicate:
         When ``True`` (default, matching :func:`repro.graph.io.read_edge_list`
         and the CLI), drop repeated edges on the fly so the stream is a
         simple graph's, as the paper assumes -- SNAP files often list
-        both directions of each undirected edge. The membership set
-        costs O(distinct edges) memory, so pass ``False`` for
-        constant-memory streaming of inputs that are already simple.
+        both directions of each undirected edge. Dedup is vectorized
+        over packed int64 edge keys and costs O(distinct edges) memory,
+        so pass ``False`` for constant-memory streaming of inputs that
+        are already simple.
     """
 
     def __init__(self, path: str | os.PathLike, *, deduplicate: bool = True) -> None:
@@ -106,24 +137,54 @@ class FileSource(EdgeSource):
 
     def edges(self) -> Iterator[Edge]:
         """Lazily yield the (optionally deduplicated) edge stream."""
-        edges = iter_edge_list(self.path)
-        return dedup_edges(edges) if self.deduplicate else edges
+        for batch in self.batches(65_536):
+            yield from batch
 
-    def batches(self, batch_size: int) -> Iterator[list[Edge]]:
-        return batched_iter(self.edges(), batch_size)
+    def batches(self, batch_size: int) -> Iterator[EdgeBatch]:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        chunks = iter_edge_array_chunks(self.path)
+        if self.deduplicate:
+            chunks = dedup_edge_arrays(chunks)
+        return (EdgeBatch(arr) for arr in rebatch_arrays(chunks, batch_size))
 
     def __repr__(self) -> str:
         return f"FileSource({self.path!r}, deduplicate={self.deduplicate})"
 
 
 class MemorySource(EdgeSource):
-    """Wrap an in-memory edge sequence (list, tuple, or ``EdgeStream``)."""
+    """Wrap an in-memory edge collection (sequence, array, ``EdgeStream``).
 
-    def __init__(self, edges: Sequence[Edge] | EdgeStream) -> None:
+    The collection is coerced to one columnar
+    :class:`~repro.streaming.batch.EdgeBatch` on first use (validated
+    and canonicalized exactly once); batches are zero-copy slices of
+    that array. Inputs without a columnar form are served as plain
+    tuple slices instead.
+    """
+
+    def __init__(self, edges: Sequence[Edge] | EdgeStream | np.ndarray | EdgeBatch) -> None:
         self._edges = edges
+        self._columnar: EdgeBatch | None = None
+        self._coerced = False
+
+    def _whole(self) -> EdgeBatch | None:
+        """The full stream as one EdgeBatch, or None if not coercible."""
+        if not self._coerced:
+            self._coerced = True
+            raw = self._edges
+            if isinstance(raw, EdgeStream):
+                raw = raw.edges
+            try:
+                self._columnar = EdgeBatch.from_edges(raw)
+            except _COERCE_ERRORS:
+                self._columnar = None
+        return self._columnar
 
     def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
-        return batched(self._edges, batch_size)
+        whole = self._whole()
+        if whole is None:
+            return batched(self._edges, batch_size)
+        return whole.batches(batch_size)
 
     def __len__(self) -> int:
         return len(self._edges)
@@ -136,8 +197,10 @@ class IterableSource(EdgeSource):
     """Wrap a one-shot edge iterable (generator, file object, socket...).
 
     The source never materializes the stream: memory is bounded by one
-    batch regardless of (possibly unbounded) stream length. It can be
-    consumed exactly once.
+    batch regardless of (possibly unbounded) stream length. Each drawn
+    batch is coerced to an :class:`~repro.streaming.batch.EdgeBatch`
+    once (shared by every consumer downstream). It can be consumed
+    exactly once.
     """
 
     replayable = False
@@ -145,14 +208,22 @@ class IterableSource(EdgeSource):
     def __init__(self, edges: Iterable[Edge]) -> None:
         self._edges: Iterator[Edge] | None = iter(edges)
 
-    def batches(self, batch_size: int) -> Iterator[list[Edge]]:
+    def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
         if self._edges is None:
             raise SourceExhaustedError(
                 "this IterableSource has already been consumed; wrap a "
                 "FileSource or MemorySource for replayable streams"
             )
         edges, self._edges = self._edges, None
-        return batched_iter(edges, batch_size)
+
+        def _columnar_batches() -> Iterator[Sequence[Edge]]:
+            for chunk in batched_iter(edges, batch_size):
+                try:
+                    yield EdgeBatch.from_edges(chunk)
+                except _COERCE_ERRORS:
+                    yield chunk
+
+        return _columnar_batches()
 
     def __repr__(self) -> str:
         state = "exhausted" if self._edges is None else "fresh"
@@ -163,7 +234,8 @@ def as_source(obj) -> EdgeSource:
     """Coerce ``obj`` into an :class:`EdgeSource`.
 
     Accepts an existing source (returned as-is), a path (``str`` /
-    ``os.PathLike`` -> :class:`FileSource`), an ``EdgeStream`` or any
+    ``os.PathLike`` -> :class:`FileSource`), an ``(m, 2)`` array or
+    :class:`~repro.streaming.batch.EdgeBatch`, an ``EdgeStream`` or any
     sequence (-> :class:`MemorySource`), or any other iterable
     (-> one-shot :class:`IterableSource`).
     """
@@ -171,11 +243,11 @@ def as_source(obj) -> EdgeSource:
         return obj
     if isinstance(obj, (str, os.PathLike)):
         return FileSource(obj)
-    if isinstance(obj, (EdgeStream, Sequence)):
+    if isinstance(obj, (EdgeBatch, np.ndarray, EdgeStream, Sequence)):
         return MemorySource(obj)
     if isinstance(obj, Iterable):
         return IterableSource(obj)
     raise TypeError(
         f"cannot build an EdgeSource from {type(obj).__name__!r}; expected a "
-        "path, sequence, EdgeStream, iterable, or EdgeSource"
+        "path, sequence, array, EdgeStream, iterable, or EdgeSource"
     )

@@ -119,45 +119,49 @@ class TestMemoryAccounting:
 
 
 class TestBatchContextHelpers:
-    def test_position_of_edge_lookup(self):
-        from repro.core.vectorized import _BatchContext
+    """The per-batch index (hoisted to repro.streaming.batch): all
+    positions it reports are local 1-based batch positions; engines add
+    their own stream offset."""
+
+    def test_position_in_batch_lookup(self):
+        from repro.streaming.batch import BatchContext
 
         bu = np.array([0, 2, 4], dtype=np.int64)
         bv = np.array([1, 3, 5], dtype=np.int64)
-        ctx = _BatchContext(bu, bv, base=10)
-        pos = ctx.position_of_edge(
+        ctx = BatchContext(bu, bv)
+        pos = ctx.position_in_batch(
             np.array([0, 4, 6], dtype=np.int64), np.array([1, 5, 7], dtype=np.int64)
         )
-        assert list(pos) == [11, 13, 0]
+        assert list(pos) == [1, 3, 0]
 
     def test_final_degree_lookup(self):
-        from repro.core.vectorized import _BatchContext
+        from repro.streaming.batch import BatchContext
 
         bu = np.array([0, 0, 2], dtype=np.int64)
         bv = np.array([1, 2, 3], dtype=np.int64)
-        ctx = _BatchContext(bu, bv, base=0)
+        ctx = BatchContext(bu, bv)
         deg = ctx.final_degree(np.array([0, 2, 9, -1], dtype=np.int64))
         assert list(deg) == [2, 2, 0, 0]
 
     def test_event_edge_index_decoding(self):
-        from repro.core.vectorized import _BatchContext
+        from repro.streaming.batch import BatchContext
 
         # Edges: (0,1), (0,2), (0,3): vertex 0's occurrences are edges 0,1,2.
         bu = np.array([0, 0, 0], dtype=np.int64)
         bv = np.array([1, 2, 3], dtype=np.int64)
-        ctx = _BatchContext(bu, bv, base=0)
+        ctx = BatchContext(bu, bv)
         j = ctx.event_edge_index(
             np.array([0, 0, 0], dtype=np.int64), np.array([1, 2, 3], dtype=np.int64)
         )
         assert list(j) == [0, 1, 2]
 
     def test_running_degrees(self):
-        from repro.core.vectorized import _BatchContext
+        from repro.streaming.batch import BatchContext
 
         # Figure 2's batch: KL, JK, IK, IJ, IL with I=0, J=1, K=2, L=3.
         bu = np.array([2, 1, 0, 0, 0], dtype=np.int64)
         bv = np.array([3, 2, 2, 1, 3], dtype=np.int64)
-        ctx = _BatchContext(bu, bv, base=0)
+        ctx = BatchContext(bu, bv)
         # deg of first endpoint after each edge (paper's Figure 2 circles).
         assert list(ctx.deg_at_edge_u) == [1, 1, 1, 2, 3]
         assert list(ctx.deg_at_edge_v) == [1, 2, 3, 2, 2]
