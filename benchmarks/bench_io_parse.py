@@ -2,11 +2,16 @@
 
 The columnar parser (``repro.graph.io.iter_edge_array_chunks`` +
 ``dedup_edge_arrays``) replaces per-line tuple allocation and a Python
-set of tuples with bulk tokenization, vectorized canonicalization, and
-packed-int64-key dedup. This benchmark generates a SNAP-style file
-(doubled directions, comments, occasional self-loops) and measures both
-parsers with the dedup on/off split, asserting they agree edge-for-edge
-and printing Medges/s for each configuration.
+set of tuples with chunked ``np.loadtxt`` parsing, vectorized
+canonicalization, and packed-int64-key dedup. This benchmark generates
+a SNAP-style file (doubled directions, comments, occasional self-loops)
+and measures both parsers with the dedup on/off split, asserting they
+agree edge-for-edge and printing Medges/s for each configuration.
+
+It also keeps a copy of the *retired* ``np.fromstring``-based block
+parser purely as a performance reference: the loadtxt path replaced a
+deprecated API, and ``test_loadtxt_path_not_slower_than_fromstring``
+confirms the replacement did not cost throughput.
 
 Run directly for the numbers::
 
@@ -14,11 +19,14 @@ Run directly for the numbers::
 """
 
 import time
+import warnings
 
+import numpy as np
 import pytest
 
 from repro.generators import holme_kim
 from repro.graph.io import (
+    _canonical_rows,
     dedup_edge_arrays,
     dedup_edges,
     iter_edge_array_chunks,
@@ -113,3 +121,84 @@ def test_columnar_parser_benchmark_hook(snap_file, benchmark):
         lambda: _columnar_parse_count(path, True), rounds=3, iterations=1
     )
     assert count > 0
+
+
+# ---------------------------------------------------------------------------
+# Retired np.fromstring block parser, kept as a performance reference
+# ---------------------------------------------------------------------------
+
+def _legacy_parse_lines(lines):
+    kept = [s for line in lines if (s := line.strip()) and not s.startswith("#")]
+    if not kept:
+        return np.empty((0, 2), dtype=np.int64)
+    flat = np.fromstring("\n".join(kept), dtype=np.int64, sep=" ")
+    if flat.size == 2 * len(kept):
+        return _canonical_rows(flat.reshape(-1, 2))
+    rows = [(int(p[0]), int(p[1])) for p in (s.split() for s in kept)]
+    return _canonical_rows(np.array(rows, dtype=np.int64).reshape(-1, 2))
+
+
+def _legacy_parse_block(block):
+    if (
+        "#" not in block
+        and "\r" not in block
+        and "\n\n" not in block
+        and not block.startswith("\n")
+    ):
+        flat = np.fromstring(block, dtype=np.int64, sep=" ")
+        if flat.size == 2 * (block.count("\n") + 1):
+            return _canonical_rows(flat.reshape(-1, 2))
+    return _legacy_parse_lines(block.split("\n"))
+
+
+def _legacy_fromstring_chunks(path, chunk_chars=1 << 20):
+    """The pre-loadtxt columnar parser, verbatim (deprecated API inside)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with open(path, "r", encoding="utf-8") as handle:
+            tail = ""
+            while True:
+                block = handle.read(chunk_chars)
+                if not block:
+                    break
+                block = tail + block
+                cut = block.rfind("\n")
+                if cut < 0:
+                    tail = block
+                    continue
+                tail = block[cut + 1 :]
+                arr = _legacy_parse_block(block[:cut])
+                if arr.shape[0]:
+                    yield arr
+            if tail:
+                arr = _legacy_parse_lines([tail])
+                if arr.shape[0]:
+                    yield arr
+
+
+def _legacy_parse_count(path, deduplicate):
+    chunks = _legacy_fromstring_chunks(path)
+    if deduplicate:
+        chunks = dedup_edge_arrays(chunks)
+    return sum(arr.shape[0] for arr in chunks)
+
+
+def test_loadtxt_path_not_slower_than_fromstring(snap_file):
+    """The supported ``np.loadtxt`` parser must not regress the retired
+    ``np.fromstring`` fast path it replaced (same edges, same order)."""
+    path, _ = snap_file
+
+    legacy = [tuple(r) for a in _legacy_fromstring_chunks(path) for r in a.tolist()]
+    current = _columnar_parse_tuples(path, False)
+    assert current == legacy
+
+    legacy_thr = _medges_per_s(_legacy_parse_count, path, False)
+    current_thr = _medges_per_s(_columnar_parse_count, path, False)
+    print(
+        f"\n[bench_io_parse] fromstring (retired) {legacy_thr:.2f} Medges/s "
+        f"vs loadtxt {current_thr:.2f} Medges/s "
+        f"({current_thr / legacy_thr:.2f}x)"
+    )
+    # "No slower" with headroom for machine noise: the two paths measure
+    # within a few percent of each other on quiet hardware.
+    assert current_thr > 0.8 * legacy_thr

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from ..errors import EmptyStreamError
+import numpy as np
+
+from ..errors import EmptyStreamError, InvalidParameterError
 from ..graph.edge import canonical_edge
 
 __all__ = ["ExactStreamingCounter"]
@@ -52,6 +54,62 @@ class ExactStreamingCounter:
         if self.wedges == 0:
             raise EmptyStreamError("no wedges observed yet")
         return 3.0 * self.triangles / self.wedges
+
+    # ------------------------------------------------------------------
+    # checkpoint/ship surface
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot: the adjacency as a canonical edge array plus counts."""
+        edges = np.array(
+            sorted(
+                (u, v)
+                for u, nbrs in self._adj.items()
+                for v in nbrs
+                if u < v
+            ),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        return {
+            "edges": edges,
+            "edges_seen": self.edges_seen,
+            "triangles": self.triangles,
+            "wedges": self.wedges,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        missing = [
+            k
+            for k in ("edges", "edges_seen", "triangles", "wedges")
+            if k not in state
+        ]
+        if missing:
+            raise InvalidParameterError(f"state dict missing fields: {missing}")
+        adj: dict[int, set[int]] = {}
+        for u, v in np.asarray(state["edges"], dtype=np.int64).tolist():
+            adj.setdefault(u, set()).add(v)
+            adj.setdefault(v, set()).add(u)
+        self._adj = adj
+        self.edges_seen = int(state["edges_seen"])
+        self.triangles = int(state["triangles"])
+        self.wedges = int(state["wedges"])
+
+    def merge(self, other: "ExactStreamingCounter") -> None:
+        """Merging exact counters over the same stream is a no-op.
+
+        Exact counting is deterministic, so two counters that observed
+        the same stream hold identical state; a disagreement means they
+        did not, which is an error.
+        """
+        if (
+            other.edges_seen != self.edges_seen
+            or other.triangles != self.triangles
+            or other.wedges != self.wedges
+        ):
+            raise InvalidParameterError(
+                "cannot merge exact counters with diverging state "
+                f"(edges {other.edges_seen} vs {self.edges_seen})"
+            )
 
     def max_degree(self) -> int:
         """Maximum degree observed so far."""

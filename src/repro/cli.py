@@ -19,12 +19,17 @@ estimator state no matter how long the stream is. ``pipeline``
 fans one stream pass out to any set of estimators from the registry
 (``--estimator`` choices below); ``--engine`` choices likewise come
 from the engine registry, so out-of-tree registrations appear
-automatically.
+automatically. ``pipeline`` also carries the production knobs:
+``--workers`` shards every estimator pool across processes over one
+stream read, and ``--checkpoint`` / ``--checkpoint-every`` /
+``--resume`` snapshot and restore estimator state so a long run can be
+killed and continued bit-identically.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from collections.abc import Sequence
@@ -35,8 +40,8 @@ from .baselines.exact_stream import ExactStreamingCounter
 from .core.transitivity import TransitivityEstimator
 from .core.triangle_count import TriangleCounter
 from .core.triangle_sample import TriangleSampler
-from .errors import ReproError
-from .streaming import ENGINES, ESTIMATORS, FileSource, Pipeline
+from .errors import InvalidParameterError, ReproError
+from .streaming import ENGINES, ESTIMATORS, FileSource, Pipeline, ShardedPipeline
 
 __all__ = ["main"]
 
@@ -142,10 +147,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     names = args.estimator or ["count", "transitivity", "exact"]
+    if args.workers > 1:
+        if args.checkpoint or args.resume:
+            raise InvalidParameterError(
+                "--checkpoint/--resume are single-process features; "
+                "run them without --workers"
+            )
+        sharded = ShardedPipeline(
+            names,
+            workers=args.workers,
+            num_estimators=args.estimators,
+            seed=args.seed,
+        )
+        report = sharded.run(_source(args), batch_size=args.batch_size)
+        print(report.render())
+        return 0
     pipeline = Pipeline.from_registry(
         names, num_estimators=args.estimators, seed=args.seed
     )
-    report = pipeline.run(_source(args), batch_size=args.batch_size)
+    if args.resume:
+        pipeline.resume(args.resume)
+    checkpoint_signal = None
+    if args.checkpoint and hasattr(signal, "SIGUSR1"):
+        # kill -USR1 <pid> snapshots at the next batch boundary.
+        checkpoint_signal = signal.SIGUSR1
+    report = pipeline.run(
+        _source(args),
+        batch_size=args.batch_size,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_signal=checkpoint_signal,
+    )
     print(report.render())
     return 0
 
@@ -195,6 +227,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="pool size for every estimator (default: per-estimator)",
+    )
+    p_pipe.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="shard every estimator pool across this many worker "
+        "processes over one stream read (default: 1, in-process)",
+    )
+    p_pipe.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="snapshot estimator state into DIR: always at stream end, "
+        "every --checkpoint-every batches, and on SIGUSR1",
+    )
+    p_pipe.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="with --checkpoint: also snapshot every K batches",
+    )
+    p_pipe.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume from a checkpoint DIR (same estimators, same input, "
+        "same --batch-size) and continue bit-identically",
     )
     p_pipe.set_defaults(func=_cmd_pipeline)
 

@@ -1,18 +1,16 @@
-"""Checkpointing and merging of vectorized estimator state.
+"""Checkpointing and merging of vectorized estimator state (legacy API).
 
-Two practical capabilities the paper's deployment story needs:
-
-- **checkpoint/restore** -- the estimator state is the *entire* message
-  a streaming node must persist or ship (it is literally the message
-  Alice sends Bob in the Theorem 3.13 protocol). ``to_state_dict`` /
-  ``from_state_dict`` round-trip every array of a
-  :class:`~repro.core.vectorized.VectorizedTriangleCounter`.
-- **merge** -- estimators are independent, so pools built over the
-  *same* stream on different cores/machines combine by concatenation;
-  this is what makes the algorithm embarrassingly parallel in the
-  estimator dimension (cf. the parallel follow-up work the paper's
-  conclusion cites). :func:`merge_counters` checks stream-position
-  agreement and concatenates.
+These helpers predate the generic
+:class:`~repro.streaming.protocol.CheckpointableEstimator` protocol and
+survive as thin wrappers over it for the one class they always served,
+:class:`~repro.core.vectorized.VectorizedTriangleCounter`. New code
+should use the protocol methods directly (``state_dict`` /
+``load_state_dict`` / ``merge`` on any registered estimator) and the
+versioned on-disk format in :mod:`repro.streaming.checkpoint`;
+pipeline-level snapshots go through
+:meth:`~repro.streaming.pipeline.Pipeline.checkpoint` /
+:meth:`~repro.streaming.pipeline.Pipeline.resume`, and multicore
+sharding through :class:`~repro.streaming.sharded.ShardedPipeline`.
 """
 
 from __future__ import annotations
@@ -20,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InvalidParameterError
-from .vectorized import STATE_FIELDS as _ARRAY_FIELDS
 from .vectorized import VectorizedTriangleCounter
 
 __all__ = ["to_state_dict", "from_state_dict", "merge_counters"]
@@ -29,57 +26,49 @@ __all__ = ["to_state_dict", "from_state_dict", "merge_counters"]
 def to_state_dict(counter: VectorizedTriangleCounter) -> dict:
     """Serialize a counter's estimator state to plain numpy arrays.
 
-    The random generator state is *not* captured: a restored counter
-    continues with a fresh generator (pass ``seed`` to
-    :func:`from_state_dict`), which preserves correctness -- reservoir
-    decisions are memoryless -- but not bit-exact replay.
+    Equivalent to ``counter.state_dict()``; the generator state rides
+    along under ``"rng"`` so a restore can be bit-exact.
     """
     return counter.state_dict()
 
 
-def from_state_dict(state: dict, *, seed: int | None = None) -> VectorizedTriangleCounter:
-    """Rebuild a counter from :func:`to_state_dict` output."""
-    missing = [k for k in (*_ARRAY_FIELDS, "edges_seen") if k not in state]
-    if missing:
-        raise InvalidParameterError(f"state dict missing fields: {missing}")
-    num = int(np.asarray(state["r1u"]).shape[0])
-    counter = VectorizedTriangleCounter(num, seed=seed)
-    for name in _ARRAY_FIELDS:
-        arr = np.asarray(state[name])
-        if arr.shape[0] != num:
-            raise InvalidParameterError(
-                f"field {name} has {arr.shape[0]} entries, expected {num}"
-            )
-        getattr(counter, name)[:] = arr
-    counter.edges_seen = int(state["edges_seen"])
+def from_state_dict(
+    state: dict, *, seed: int | np.random.SeedSequence | None = None
+) -> VectorizedTriangleCounter:
+    """Rebuild a counter from :func:`to_state_dict` output.
+
+    With ``seed=None`` (default) and a state that carries the generator
+    snapshot, the restored counter continues bit-identically to the
+    original. Passing an explicit ``seed`` discards the snapshot's
+    generator and restarts from that seed instead (the historical
+    behaviour, still correct because reservoir decisions are
+    memoryless).
+    """
+    counter = VectorizedTriangleCounter(1, seed=seed)
+    if seed is not None and "rng" in state:
+        state = {k: v for k, v in state.items() if k != "rng"}
+    counter.load_state_dict(state)
     return counter
 
 
 def merge_counters(
-    counters: list[VectorizedTriangleCounter], *, seed: int | None = None
+    counters: list[VectorizedTriangleCounter],
+    *,
+    seed: int | np.random.SeedSequence | None = None,
 ) -> VectorizedTriangleCounter:
     """Concatenate estimator pools that observed the same stream.
 
     All inputs must agree on ``edges_seen``; the merged counter holds
-    the union of estimators and can keep streaming (with a fresh
-    generator under ``seed``).
+    the union of estimators and can keep streaming with a fresh
+    generator under ``seed`` (derive a dedicated seed for it -- e.g. an
+    extra ``SeedSequence.spawn`` child -- rather than reusing a seed
+    some input pool already consumed).
     """
     if not counters:
         raise InvalidParameterError("need at least one counter to merge")
-    m = counters[0].edges_seen
-    for c in counters[1:]:
-        if c.edges_seen != m:
-            raise InvalidParameterError(
-                "cannot merge counters that observed different streams "
-                f"({c.edges_seen} edges vs {m})"
-            )
-    total = sum(c.num_estimators for c in counters)
-    merged = VectorizedTriangleCounter(total, seed=seed)
-    offset = 0
-    for c in counters:
-        n = c.num_estimators
-        for name in _ARRAY_FIELDS:
-            getattr(merged, name)[offset : offset + n] = getattr(c, name)
-        offset += n
-    merged.edges_seen = m
+    merged = VectorizedTriangleCounter(1, seed=seed)
+    first = {k: v for k, v in counters[0].state_dict().items() if k != "rng"}
+    merged.load_state_dict(first)
+    for counter in counters[1:]:
+        merged.merge(counter)
     return merged

@@ -189,6 +189,38 @@ class PatternSampler:
                 tag = j
         self._captured[e] = tag
 
+    # -- checkpoint/ship surface -----------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of all levels plus the rng state."""
+        return {
+            "pattern": list(self.pattern),
+            "edges_seen": self.edges_seen,
+            "g": [None if g is None else [g[0], g[1]] for g in self._g],
+            "pos": list(self._pos),
+            "c": list(self._c),
+            "captured": [
+                [e[0], e[1], tag] for e, tag in self._captured.items()
+            ],
+            "rng": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        pattern = tuple(int(s) for s in state["pattern"])
+        if not pattern or pattern[0] != 2 or any(s not in (1, 2) for s in pattern):
+            raise InvalidParameterError(f"invalid pattern in state: {pattern}")
+        self.pattern = pattern
+        self.size = sum(pattern)
+        self.edges_seen = int(state["edges_seen"])
+        self._g = [None if g is None else (int(g[0]), int(g[1])) for g in state["g"]]
+        self._pos = [int(p) for p in state["pos"]]
+        self._c = [int(c) for c in state["c"]]
+        self._captured = {
+            (int(u), int(v)): int(tag) for u, v, tag in state["captured"]
+        }
+        if state.get("rng") is not None:
+            self._rng.setstate(state["rng"])
+
     # -- queries ---------------------------------------------------------
     def held_clique(self) -> tuple[int, ...] | None:
         """The sampled ``K_size``'s vertices, or ``None`` if incomplete."""
@@ -259,6 +291,59 @@ class CliqueCounter:
     def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
         for edge in batch:
             self.update(edge)
+
+    def state_dict(self) -> dict:
+        """Snapshot: one entry per pattern pool, in pattern order."""
+        return {
+            "size": self.size,
+            "edges_seen": self.edges_seen,
+            "pools": [
+                {
+                    "pattern": list(pattern),
+                    "samplers": [s.state_dict() for s in self._pools[pattern]],
+                }
+                for pattern in self.patterns
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Adopts the snapshot's clique size and pool sizes wholesale.
+        """
+        size = int(state["size"])
+        patterns = clique_patterns(size)
+        pools_state = state["pools"]
+        if [tuple(p["pattern"]) for p in pools_state] != patterns:
+            raise InvalidParameterError(
+                f"state pools do not match the patterns of K_{size}"
+            )
+        self.size = size
+        self.patterns = patterns
+        self._pools = {}
+        for entry in pools_state:
+            pattern = tuple(entry["pattern"])
+            pool = []
+            for sampler_state in entry["samplers"]:
+                sampler = PatternSampler(pattern)
+                sampler.load_state_dict(sampler_state)
+                pool.append(sampler)
+            self._pools[pattern] = pool
+        self.edges_seen = int(state["edges_seen"])
+
+    def merge(self, other: "CliqueCounter") -> None:
+        """Absorb ``other``'s per-pattern pools (same stream observed)."""
+        if other.size != self.size:
+            raise InvalidParameterError(
+                f"cannot merge K_{other.size} into K_{self.size} counter"
+            )
+        if other.edges_seen != self.edges_seen:
+            raise InvalidParameterError(
+                "cannot merge counters that observed different streams "
+                f"({other.edges_seen} edges vs {self.edges_seen})"
+            )
+        for pattern in self.patterns:
+            self._pools[pattern].extend(other._pools[pattern])
 
     def pattern_estimate(self, pattern: Pattern) -> float:
         """Mean estimate of one pattern's pool."""

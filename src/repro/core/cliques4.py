@@ -46,6 +46,11 @@ def _edge_within(e: Edge, vertices: frozenset[int] | set[int]) -> bool:
     return e[0] in vertices and e[1] in vertices
 
 
+def _edge_or_none(value) -> Edge | None:
+    """Rebuild an optional edge from its JSON round-tripped form."""
+    return None if value is None else (int(value[0]), int(value[1]))
+
+
 def _edge_adjacent_to(e: Edge, vertices: frozenset[int] | set[int]) -> bool:
     return e[0] in vertices or e[1] in vertices
 
@@ -121,6 +126,36 @@ class FourCliqueSamplerTypeI:
             four = wedge | set(self.r3)
             if _edge_within(e, four):
                 self._captured.add(e)
+
+    # -- checkpoint/ship surface ----------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot including the rng state."""
+        return {
+            "edges_seen": self.edges_seen,
+            "r1": None if self.r1 is None else list(self.r1),
+            "r2": None if self.r2 is None else list(self.r2),
+            "r3": None if self.r3 is None else list(self.r3),
+            "c1": self.c1,
+            "c2": self.c2,
+            "closing": None if self._closing is None else list(self._closing),
+            "closing_seen": self._closing_seen,
+            "captured": [list(e) for e in sorted(self._captured)],
+            "rng": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.edges_seen = int(state["edges_seen"])
+        self.r1 = _edge_or_none(state["r1"])
+        self.r2 = _edge_or_none(state["r2"])
+        self.r3 = _edge_or_none(state["r3"])
+        self.c1 = int(state["c1"])
+        self.c2 = int(state["c2"])
+        self._closing = _edge_or_none(state["closing"])
+        self._closing_seen = bool(state["closing_seen"])
+        self._captured = {(int(u), int(v)) for u, v in state["captured"]}
+        if state.get("rng") is not None:
+            self._rng.setstate(state["rng"])
 
     # -- queries --------------------------------------------------------
     def clique_vertices(self) -> tuple[int, int, int, int] | None:
@@ -202,6 +237,30 @@ class FourCliqueSamplerTypeII:
         vertices = set(self.e1) | set(self.e2)  # type: ignore[arg-type]
         return tuple(sorted(vertices))  # type: ignore[return-value]
 
+    # -- checkpoint/ship surface ----------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot including the rng state."""
+        return {
+            "edges_seen": self.edges_seen,
+            "e1": None if self.e1 is None else list(self.e1),
+            "pos1": self.pos1,
+            "e2": None if self.e2 is None else list(self.e2),
+            "pos2": self.pos2,
+            "captured": [list(e) for e in sorted(self._captured)],
+            "rng": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.edges_seen = int(state["edges_seen"])
+        self.e1 = _edge_or_none(state["e1"])
+        self.pos1 = int(state["pos1"])
+        self.e2 = _edge_or_none(state["e2"])
+        self.pos2 = int(state["pos2"])
+        self._captured = {(int(u), int(v)) for u, v in state["captured"]}
+        if state.get("rng") is not None:
+            self._rng.setstate(state["rng"])
+
     def estimate(self) -> float:
         """The unbiased Type II estimate ``Y = m^2`` (Lemma 5.4)."""
         if self.held_clique() is None:
@@ -250,6 +309,43 @@ class CliqueCounter4:
     def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
         for edge in batch:
             self.update(edge)
+
+    def state_dict(self) -> dict:
+        """Snapshot: both sampler pools, in pool order."""
+        return {
+            "edges_seen": self.edges_seen,
+            "type1": [s.state_dict() for s in self._type1],
+            "type2": [s.state_dict() for s in self._type2],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Adopts the snapshot's pool sizes wholesale.
+        """
+        type1 = []
+        for sampler_state in state["type1"]:
+            sampler = FourCliqueSamplerTypeI()
+            sampler.load_state_dict(sampler_state)
+            type1.append(sampler)
+        type2 = []
+        for sampler_state in state["type2"]:
+            sampler = FourCliqueSamplerTypeII()
+            sampler.load_state_dict(sampler_state)
+            type2.append(sampler)
+        self._type1 = type1
+        self._type2 = type2
+        self.edges_seen = int(state["edges_seen"])
+
+    def merge(self, other: "CliqueCounter4") -> None:
+        """Absorb ``other``'s sampler pools (same stream observed)."""
+        if other.edges_seen != self.edges_seen:
+            raise InvalidParameterError(
+                "cannot merge counters that observed different streams "
+                f"({other.edges_seen} edges vs {self.edges_seen})"
+            )
+        self._type1.extend(other._type1)
+        self._type2.extend(other._type2)
 
     def type1_estimates(self) -> list[float]:
         return [s.estimate() for s in self._type1]

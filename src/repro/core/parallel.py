@@ -102,24 +102,45 @@ def _put_alive(queue, item, proc, index: int) -> None:
                 ) from None
 
 
+#: Consecutive empty polls tolerated for a worker that exited with code
+#: 0 before its result surfaces (a queue feeder may still be flushing).
+_CLEAN_EXIT_GRACE_POLLS = 3
+
+
 def _collect_results(out_queue, procs) -> list:
-    """Gather one result per worker, raising if any died silently."""
+    """Gather one result per worker, raising if any died silently.
+
+    *Any* dead worker that has not reported is treated as crashed --
+    including exitcode 0. A worker can exit "cleanly" without posting
+    its result (an ``os._exit(0)`` deep in a library, a failed queue
+    feeder), and waiting only on nonzero exit codes would leave this
+    loop polling forever. Zero-exit workers get a few grace polls
+    first, because a result written just before exit can still be in
+    the queue's feeder pipe.
+    """
     indexed: list = []
+    misses: dict[int, int] = {}
     while len(indexed) < len(procs):
         try:
             indexed.append(out_queue.get(timeout=1.0))
+            continue
         except queue_module.Empty:
-            reported = {i for i, _ in indexed}
-            for i, proc in enumerate(procs):
-                if (
-                    i not in reported
-                    and not proc.is_alive()
-                    and proc.exitcode != 0
-                ):
-                    raise WorkerCrashedError(
-                        f"worker {i} died (exitcode {proc.exitcode}) "
-                        "without reporting a result"
-                    ) from None
+            pass
+        reported = {i for i, _ in indexed}
+        for i, proc in enumerate(procs):
+            if i in reported or proc.is_alive():
+                continue
+            if proc.exitcode != 0:
+                raise WorkerCrashedError(
+                    f"worker {i} died (exitcode {proc.exitcode}) "
+                    "without reporting a result"
+                ) from None
+            misses[i] = misses.get(i, 0) + 1
+            if misses[i] >= _CLEAN_EXIT_GRACE_POLLS:
+                raise WorkerCrashedError(
+                    f"worker {i} exited cleanly (exitcode 0) without "
+                    "reporting a result"
+                ) from None
     return indexed
 
 
@@ -152,8 +173,9 @@ class ParallelTriangleCounter:
         self._merged: VectorizedTriangleCounter | None = None
 
     def _shard_sizes(self) -> list[int]:
-        base, extra = divmod(self.num_estimators, self.workers)
-        return [base + (1 if i < extra else 0) for i in range(self.workers)]
+        from ..streaming.sharded import shard_sizes
+
+        return shard_sizes(self.num_estimators, self.workers)
 
     def count(self, edges, *, batch_size: int = 65_536) -> float:
         """Process the whole stream across workers; return the estimate.
@@ -164,7 +186,12 @@ class ParallelTriangleCounter:
         exactly once either way).
         """
         shards = self._shard_sizes()
-        seed_seqs = np.random.SeedSequence(self.seed).spawn(self.workers)
+        # workers + 1 children: one per worker pool plus a dedicated
+        # child for the merged counter's fresh generator. Reusing the
+        # root seed for the merged state would correlate its future
+        # draws with the sequences the workers were spawned from.
+        seed_seqs = np.random.SeedSequence(self.seed).spawn(self.workers + 1)
+        merged_seed_seq = seed_seqs[-1]
         source = as_source(edges)
 
         if self.workers == 1:
@@ -222,7 +249,7 @@ class ParallelTriangleCounter:
                 states.append(payload)
 
         counters = [from_state_dict(s) for s in states]
-        self._merged = merge_counters(counters, seed=self.seed)
+        self._merged = merge_counters(counters, seed=merged_seed_seq)
         return self._merged.estimate()
 
     @property

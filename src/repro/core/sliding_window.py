@@ -66,6 +66,34 @@ class _ChainLink:
             shared = self.edge[0] if self.edge[0] not in (a, b) else self.edge[1]
             self.t = tuple(sorted((a, b, shared)))  # type: ignore[assignment]
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of this chain element."""
+        return {
+            "edge": list(self.edge),
+            "pos": self.pos,
+            "rho": self.rho,
+            "r2": None if self.r2 is None else list(self.r2),
+            "c": self.c,
+            "t": None if self.t is None else list(self.t),
+            "closing": None if self.closing is None else list(self.closing),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "_ChainLink":
+        link = cls(
+            (int(state["edge"][0]), int(state["edge"][1])),
+            int(state["pos"]),
+            float(state["rho"]),
+        )
+        r2 = state["r2"]
+        link.r2 = None if r2 is None else (int(r2[0]), int(r2[1]))
+        link.c = int(state["c"])
+        t = state["t"]
+        link.t = None if t is None else tuple(int(x) for x in t)
+        closing = state["closing"]
+        link.closing = None if closing is None else (int(closing[0]), int(closing[1]))
+        return link
+
 
 class ChainedWindowSampler:
     """One sliding-window neighborhood-sampling estimator.
@@ -105,6 +133,29 @@ class ChainedWindowSampler:
         while self._chain and self._chain[-1].rho >= rho:
             self._chain.pop()
         self._chain.append(_ChainLink(e, pos, rho))
+
+    # -- checkpoint/ship surface ------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: the chain plus the rng state."""
+        return {
+            "window": self.window,
+            "edges_seen": self.edges_seen,
+            "chain": [link.state_dict() for link in self._chain],
+            "rng": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        window = int(state["window"])
+        if window <= 0:
+            raise InvalidParameterError(f"window must be positive, got {window}")
+        self.window = window
+        self.edges_seen = int(state["edges_seen"])
+        self._chain = deque(
+            _ChainLink.from_state_dict(link) for link in state["chain"]
+        )
+        if state.get("rng") is not None:
+            self._rng.setstate(state["rng"])
 
     # -- queries ---------------------------------------------------------
     def window_size(self) -> int:
@@ -167,6 +218,43 @@ class SlidingWindowTriangleCounter:
     def update_batch(self, batch: Sequence[tuple[int, int]]) -> None:
         for edge in batch:
             self.update(edge)
+
+    def state_dict(self) -> dict:
+        """Snapshot: every chained sampler, in pool order."""
+        return {
+            "window": self.window,
+            "edges_seen": self.edges_seen,
+            "samplers": [s.state_dict() for s in self._samplers],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Adopts the snapshot's window length and pool size wholesale.
+        """
+        samplers = []
+        for sampler_state in state["samplers"]:
+            sampler = ChainedWindowSampler(int(state["window"]))
+            sampler.load_state_dict(sampler_state)
+            samplers.append(sampler)
+        if not samplers:
+            raise InvalidParameterError("state dict holds no samplers")
+        self._samplers = samplers
+        self.window = int(state["window"])
+        self.edges_seen = int(state["edges_seen"])
+
+    def merge(self, other: "SlidingWindowTriangleCounter") -> None:
+        """Absorb ``other``'s sampler pool (same stream, same window)."""
+        if other.window != self.window:
+            raise InvalidParameterError(
+                f"cannot merge window {other.window} into window {self.window}"
+            )
+        if other.edges_seen != self.edges_seen:
+            raise InvalidParameterError(
+                "cannot merge counters that observed different streams "
+                f"({other.edges_seen} edges vs {self.edges_seen})"
+            )
+        self._samplers.extend(other._samplers)
 
     def estimates(self) -> list[float]:
         """Per-estimator window triangle estimates."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 from ..graph.edge import canonical_edge
 from ..rng import RandomSource, spawn_sources
@@ -73,6 +75,37 @@ class TimedWindowSampler:
         while self._chain and self._chain[0].pos < alive_from:
             self._chain.popleft()
 
+    def state_dict(self) -> dict:
+        """Snapshot: the chain, in-window timestamps, and rng state.
+
+        Timestamps are stored as a float64 array (they can number up to
+        the window size), so the on-disk checkpoint keeps them in the
+        npz member rather than the JSON manifest.
+        """
+        return {
+            "horizon": self.horizon,
+            "edges_seen": self.edges_seen,
+            "now": self.now,
+            "chain": [link.state_dict() for link in self._chain],
+            "timestamps": np.asarray(self._timestamps, dtype=np.float64),
+            "rng": self._rng.getstate(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        horizon = float(state["horizon"])
+        if horizon <= 0:
+            raise InvalidParameterError(f"horizon must be positive, got {horizon}")
+        self.horizon = horizon
+        self.edges_seen = int(state["edges_seen"])
+        self.now = float(state["now"])
+        self._chain = deque(
+            _ChainLink.from_state_dict(link) for link in state["chain"]
+        )
+        self._timestamps = deque(float(t) for t in state["timestamps"])
+        if state.get("rng") is not None:
+            self._rng.setstate(state["rng"])
+
     def window_size(self) -> int:
         """Number of edges currently inside the horizon."""
         return len(self._timestamps)
@@ -125,3 +158,40 @@ class TimedWindowTriangleCounter:
     def estimate(self) -> float:
         values = [s.triangle_estimate() for s in self._samplers]
         return sum(values) / len(values)
+
+    def state_dict(self) -> dict:
+        """Snapshot: every timed sampler, in pool order."""
+        return {
+            "horizon": self.horizon,
+            "edges_seen": self.edges_seen,
+            "samplers": [s.state_dict() for s in self._samplers],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Adopts the snapshot's horizon and pool size wholesale.
+        """
+        samplers = []
+        for sampler_state in state["samplers"]:
+            sampler = TimedWindowSampler(float(state["horizon"]))
+            sampler.load_state_dict(sampler_state)
+            samplers.append(sampler)
+        if not samplers:
+            raise InvalidParameterError("state dict holds no samplers")
+        self._samplers = samplers
+        self.horizon = float(state["horizon"])
+        self.edges_seen = int(state["edges_seen"])
+
+    def merge(self, other: "TimedWindowTriangleCounter") -> None:
+        """Absorb ``other``'s sampler pool (same stream, same horizon)."""
+        if other.horizon != self.horizon:
+            raise InvalidParameterError(
+                f"cannot merge horizon {other.horizon} into {self.horizon}"
+            )
+        if other.edges_seen != self.edges_seen:
+            raise InvalidParameterError(
+                "cannot merge counters that observed different streams "
+                f"({other.edges_seen} edges vs {self.edges_seen})"
+            )
+        self._samplers.extend(other._samplers)

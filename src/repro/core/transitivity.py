@@ -62,6 +62,18 @@ class WedgeCounter:
         """The averaged wedge-count estimate ``zeta'``."""
         return aggregate_mean(self.estimates())
 
+    def state_dict(self) -> dict:
+        """The engine's snapshot (checkpoint/ship surface)."""
+        return self._engine.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore an engine snapshot in place."""
+        self._engine.load_state_dict(state)
+
+    def merge(self, other: "WedgeCounter") -> None:
+        """Absorb ``other``'s estimator pool (same stream observed)."""
+        self._engine.merge(other._engine)
+
 
 class TransitivityEstimator:
     """(eps, delta)-approximate transitivity coefficient (Theorem 3.12).
@@ -115,6 +127,27 @@ class TransitivityEstimator:
         """Columnar fast path: both pools share the prepared batch."""
         self._triangles.update_prepared(batch)
         self._wedges.update_prepared(batch)
+
+    def state_dict(self) -> dict:
+        """Both pools' snapshots (checkpoint/ship surface)."""
+        return {
+            "triangles": self._triangles.state_dict(),
+            "wedges": self._wedges.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        if "triangles" not in state or "wedges" not in state:
+            raise InvalidParameterError(
+                "state dict missing fields: need 'triangles' and 'wedges'"
+            )
+        self._triangles.load_state_dict(state["triangles"])
+        self._wedges.load_state_dict(state["wedges"])
+
+    def merge(self, other: "TransitivityEstimator") -> None:
+        """Absorb ``other``'s two pools (same stream observed)."""
+        self._triangles.merge(other._triangles)
+        self._wedges.merge(other._wedges)
 
     def triangle_estimate(self) -> float:
         """The pool's triangle count estimate ``tau'``."""

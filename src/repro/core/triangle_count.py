@@ -238,12 +238,24 @@ class TriangleCounter:
         :class:`~repro.streaming.protocol.CheckpointableEstimator`
         protocol (the vectorized one does) support this.
         """
-        engine = self._engine
-        if not hasattr(engine, "state_dict"):
+        return self._checkpointable("state_dict")()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore an engine snapshot in place (see :meth:`state_dict`)."""
+        self._checkpointable("load_state_dict")(state)
+
+    def merge(self, other: "TriangleCounter") -> None:
+        """Absorb ``other``'s estimator pool (same stream observed)."""
+        engine = other._engine if isinstance(other, TriangleCounter) else other
+        self._checkpointable("merge")(engine)
+
+    def _checkpointable(self, method: str):
+        op = getattr(self._engine, method, None)
+        if op is None:
             raise InvalidParameterError(
-                f"engine {self._engine_name!r} does not support state_dict()"
+                f"engine {self._engine_name!r} does not support {method}()"
             )
-        return engine.state_dict()
+        return op
 
     # ------------------------------------------------------------------
     # queries

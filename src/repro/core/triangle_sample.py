@@ -95,6 +95,57 @@ class TriangleSampler:
                 self._degrees[v] = self._degrees.get(v, 0) + 1
 
     # ------------------------------------------------------------------
+    # checkpoint/ship surface
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot: engine state, rejection rng, and tracked degrees."""
+        state = {
+            "engine": self._engine.state_dict(),
+            "rng": self._rng.bit_generator.state,
+            "max_degree": self._fixed_delta,
+        }
+        if self._degrees is None:
+            state["degree_vertices"] = None
+        else:
+            verts = np.fromiter(self._degrees.keys(), dtype=np.int64, count=len(self._degrees))
+            counts = np.fromiter(self._degrees.values(), dtype=np.int64, count=len(self._degrees))
+            state["degree_vertices"] = verts
+            state["degree_counts"] = counts
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        if "engine" not in state:
+            raise InvalidParameterError("state dict missing fields: ['engine']")
+        self._engine.load_state_dict(state["engine"])
+        rng_state = state.get("rng")
+        if rng_state is not None:
+            self._rng = np.random.default_rng()
+            self._rng.bit_generator.state = rng_state
+        fixed = state.get("max_degree")
+        self._fixed_delta = None if fixed is None else int(fixed)
+        verts = state.get("degree_vertices")
+        if verts is None:
+            self._degrees = None if self._fixed_delta is not None else {}
+        else:
+            counts = state["degree_counts"]
+            self._degrees = dict(
+                zip(np.asarray(verts).tolist(), np.asarray(counts).tolist())
+            )
+
+    def merge(self, other: "TriangleSampler") -> None:
+        """Absorb ``other``'s sampler pool (same stream observed).
+
+        Both samplers tracked the same stream, so the degree state is
+        identical by construction; the merged sampler keeps this one's.
+        """
+        if (self._fixed_delta is None) != (other._fixed_delta is None):
+            raise InvalidParameterError(
+                "cannot merge samplers with different max_degree tracking modes"
+            )
+        self._engine.merge(other._engine)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def current_max_degree(self) -> int:

@@ -159,14 +159,62 @@ class VectorizedTriangleCounter:
         """Serializable snapshot of the estimator state.
 
         The :class:`~repro.streaming.protocol.CheckpointableEstimator`
-        surface; see :mod:`repro.core.checkpoint` for restore/merge.
-        The generator state is *not* captured: reservoir decisions are
-        memoryless, so a restored counter continues correctly (though
-        not bit-identically) with a fresh generator.
+        surface; see :mod:`repro.streaming.checkpoint` for the on-disk
+        format. The generator state rides along under ``"rng"`` so
+        :meth:`load_state_dict` resumes the random stream bit-exactly
+        (reservoir decisions are memoryless, so consumers that drop the
+        key -- e.g. a restore under a fresh seed -- remain correct,
+        just not bit-identical).
         """
         state = {name: getattr(self, name).copy() for name in STATE_FIELDS}
         state["edges_seen"] = self.edges_seen
+        state["rng"] = self._rng.bit_generator.state
         return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Adopts the snapshot's pool size wholesale (the arrays are
+        replaced, not copied into); when the snapshot carries a
+        ``"rng"`` entry the generator state is restored too, making a
+        resumed run bit-identical to an uninterrupted one.
+        """
+        missing = [k for k in (*STATE_FIELDS, "edges_seen") if k not in state]
+        if missing:
+            raise InvalidParameterError(f"state dict missing fields: {missing}")
+        r = int(np.asarray(state["r1u"]).shape[0])
+        for name in STATE_FIELDS:
+            arr = np.asarray(state[name])
+            if arr.shape[0] != r:
+                raise InvalidParameterError(
+                    f"field {name} has {arr.shape[0]} entries, expected {r}"
+                )
+            template = getattr(self, name)
+            setattr(self, name, arr.astype(template.dtype, copy=True))
+        self.edges_seen = int(state["edges_seen"])
+        rng_state = state.get("rng")
+        if rng_state is not None:
+            self._rng = np.random.default_rng()
+            self._rng.bit_generator.state = rng_state
+
+    def merge(self, other: "VectorizedTriangleCounter") -> None:
+        """Absorb ``other``'s estimator pool (same stream observed).
+
+        Estimators are independent, so pools built over the same stream
+        on different cores combine by concatenation; the merged counter
+        keeps this counter's generator and can continue streaming.
+        """
+        if other.edges_seen != self.edges_seen:
+            raise InvalidParameterError(
+                "cannot merge counters that observed different streams "
+                f"({other.edges_seen} edges vs {self.edges_seen})"
+            )
+        for name in STATE_FIELDS:
+            setattr(
+                self,
+                name,
+                np.concatenate([getattr(self, name), getattr(other, name)]),
+            )
 
     def state_nbytes(self) -> int:
         """Total bytes of estimator state (the paper's memory table, 4.3)."""

@@ -9,11 +9,14 @@ streaming setup.
 Two parsers are provided. :func:`iter_edge_list` is the per-line tuple
 parser (lazy, one edge at a time). :func:`iter_edge_array_chunks` is
 the columnar parser behind :class:`repro.streaming.FileSource` and
-:func:`read_edge_list`: it reads the file in ~1 MiB text blocks, splits
-and converts each block to an ``(n, 2)`` int64 array in bulk, and
-filters self-loops / canonicalizes with vectorized operations -- the
-same edges in the same order, several times faster than the line loop
-(``benchmarks/bench_io_parse.py`` measures both). Its companion
+:func:`read_edge_list`: it pulls ~1 MiB worth of rows at a time through
+:func:`numpy.loadtxt` (C-backed since numpy 1.23, with native comment
+and blank-line handling -- the supported successor to the deprecated
+``np.fromstring`` text mode this module used to build on) and filters
+self-loops / canonicalizes with vectorized operations -- the same edges
+in the same order, several times faster than the line loop
+(``benchmarks/bench_io_parse.py`` measures both and checks the loadtxt
+path did not regress the old fast path). Its companion
 :func:`dedup_edge_arrays` deduplicates chunk streams with packed
 ``(u << 32) | v`` int64 keys instead of a Python set of tuples.
 """
@@ -21,6 +24,7 @@ same edges in the same order, several times faster than the line loop
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Iterable, Iterator
 
 import numpy as np
@@ -38,7 +42,8 @@ __all__ = [
 ]
 
 _VERTEX_LIMIT = np.int64(1) << 31  # ids must pack two-per-int64 key
-_CHUNK_CHARS = 1 << 20  # text block size for the columnar parser
+_CHUNK_CHARS = 1 << 20  # target text volume per parsed chunk
+_ROW_CHARS = 12  # ~"12345 67890\n": sizes loadtxt chunks from chunk_chars
 
 
 def dedup_edges(edges: Iterable[Edge]) -> Iterator[Edge]:
@@ -74,54 +79,6 @@ def iter_edge_list(path: str | os.PathLike) -> Iterator[Edge]:
             yield canonical_edge(u, v)
 
 
-def _parse_block(block: str) -> np.ndarray:
-    """Parse one text block into a canonical ``(n, 2)`` int64 array.
-
-    Fast path: when the block plainly holds two integers per line (no
-    comments, no blank lines), the whole block is tokenized and
-    converted in one C-level ``np.fromstring`` call; the token count is
-    cross-checked against the line count so any structural surprise
-    (extra columns, short lines) drops to the careful per-line path.
-
-    Known limitation: a block mixing short (<2 token) lines with long
-    ones whose token counts happen to sum to exactly two per line
-    passes the cross-check and parses pair-by-pair. Such files were
-    always malformed -- the per-line parser raises ``IndexError`` on
-    the first short line -- so the divergence is crash-vs-misparse on
-    corrupt input, never a wrong answer on a well-formed file.
-    """
-    if (
-        "#" not in block
-        and "\r" not in block
-        and "\n\n" not in block
-        and not block.startswith("\n")
-    ):
-        try:
-            flat = np.fromstring(block, dtype=np.int64, sep=" ")
-        except ValueError:
-            flat = None
-        if flat is not None and flat.size == 2 * (block.count("\n") + 1):
-            return _canonical_rows(flat.reshape(-1, 2))
-    return _parse_lines(block.split("\n"))
-
-
-def _parse_lines(lines: list[str]) -> np.ndarray:
-    """Parse text lines (comments, blanks, extra columns allowed)."""
-    kept = [s for line in lines if (s := line.strip()) and not s.startswith("#")]
-    if not kept:
-        return np.empty((0, 2), dtype=np.int64)
-    try:
-        flat = np.fromstring("\n".join(kept), dtype=np.int64, sep=" ")
-    except ValueError:
-        flat = None
-    if flat is not None and flat.size == 2 * len(kept):
-        return _canonical_rows(flat.reshape(-1, 2))
-    # Lines carry extra columns (weights, timestamps): take the
-    # first two fields of each, as the per-line parser does.
-    rows = [(int(p[0]), int(p[1])) for p in (s.split() for s in kept)]
-    return _canonical_rows(np.array(rows, dtype=np.int64).reshape(-1, 2))
-
-
 def _canonical_rows(arr: np.ndarray) -> np.ndarray:
     """Vectorized self-loop filter + canonicalization + id validation."""
     if (arr < 0).any() or (arr >= _VERTEX_LIMIT).any():
@@ -143,30 +100,80 @@ def iter_edge_array_chunks(
 
     The columnar counterpart of :func:`iter_edge_list`: same skipping of
     comments, blank lines, and self-loops, same canonical ``u < v``
-    rows, same order -- but parsed a ~1 MiB text block at a time with
-    bulk tokenization and array conversion. Memory is bounded by one
-    block regardless of file size. Vertex ids must lie in ``[0, 2^31)``
-    (the engines' packed-key domain).
+    rows, same order -- but parsed ~1 MiB worth of rows at a time with
+    :func:`numpy.loadtxt` pulling straight from the file handle (its
+    C tokenizer handles comments and blank lines natively). Memory is
+    bounded by one chunk regardless of file size. Vertex ids must lie
+    in ``[0, 2^31)`` (the engines' packed-key domain).
+
+    Rows with extra columns (weights, timestamps) take their first two
+    fields, as the per-line parser does; files whose rows are *ragged*
+    make ``loadtxt`` balk, so the parser falls back to a careful
+    per-line pass that resumes exactly after the rows already emitted.
     """
+    max_rows = max(1, chunk_chars // _ROW_CHARS)
+    consumed = 0  # data rows yielded so far, pre self-loop filter
     with open(path, "r", encoding="utf-8") as handle:
-        tail = ""
         while True:
-            block = handle.read(chunk_chars)
-            if not block:
-                break
-            block = tail + block
-            cut = block.rfind("\n")
-            if cut < 0:
-                tail = block
+            try:
+                with warnings.catch_warnings():
+                    # loadtxt warns on empty input (our EOF probe) and
+                    # on comment lines not counting toward max_rows.
+                    warnings.simplefilter("ignore", UserWarning)
+                    arr = np.loadtxt(
+                        handle,
+                        dtype=np.int64,
+                        comments="#",
+                        ndmin=2,
+                        max_rows=max_rows,
+                    )
+            except ValueError:
+                # Ragged rows (varying column counts): re-parse the
+                # remainder line by line, skipping what was emitted.
+                yield from _ragged_row_chunks(path, consumed, max_rows)
+                return
+            if arr.size == 0:
+                return
+            if arr.shape[1] < 2:
+                raise InvalidParameterError(
+                    f"edge-list rows need at least two fields, got {arr.shape[1]}"
+                )
+            consumed += arr.shape[0]
+            out = _canonical_rows(arr[:, :2])
+            if out.shape[0]:
+                yield out
+
+
+def _ragged_row_chunks(
+    path: str | os.PathLike, skip_rows: int, max_rows: int
+) -> Iterator[np.ndarray]:
+    """Careful per-line parse for ragged files: first two fields per row.
+
+    ``skip_rows`` data rows (comment/blank lines excluded -- the same
+    rows :func:`numpy.loadtxt` counts) were already emitted by the fast
+    path and are skipped so the combined stream has every edge once.
+    """
+    rows: list[tuple[int, int]] = []
+    data_rows = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
                 continue
-            tail = block[cut + 1 :]
-            arr = _parse_block(block[:cut])
-            if arr.shape[0]:
-                yield arr
-        if tail:
-            arr = _parse_lines([tail])
-            if arr.shape[0]:
-                yield arr
+            data_rows += 1
+            if data_rows <= skip_rows:
+                continue
+            parts = stripped.split()
+            rows.append((int(parts[0]), int(parts[1])))
+            if len(rows) >= max_rows:
+                arr = _canonical_rows(np.array(rows, dtype=np.int64).reshape(-1, 2))
+                rows = []
+                if arr.shape[0]:
+                    yield arr
+    if rows:
+        arr = _canonical_rows(np.array(rows, dtype=np.int64).reshape(-1, 2))
+        if arr.shape[0]:
+            yield arr
 
 
 def dedup_edge_arrays(chunks: Iterable[np.ndarray]) -> Iterator[np.ndarray]:

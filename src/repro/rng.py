@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Sequence
 
 from .errors import InvalidParameterError
 
@@ -94,6 +95,30 @@ class RandomSource:
         while keeping the whole experiment reproducible from one seed.
         """
         return RandomSource(self._rng.getrandbits(64))
+
+    def getstate(self) -> list:
+        """The generator state as a JSON-serializable value.
+
+        The checkpoint surface: restoring it with :meth:`setstate`
+        resumes the random stream bit-exactly, which is what makes a
+        resumed estimator replay identical to an uninterrupted run.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return [version, list(internal), gauss_next]
+
+    def setstate(self, state: Sequence) -> None:
+        """Restore a state captured by :meth:`getstate`.
+
+        Accepts the JSON round-tripped form (lists where the underlying
+        :mod:`random` API uses tuples).
+        """
+        try:
+            version, internal, gauss_next = state
+            self._rng.setstate((version, tuple(internal), gauss_next))
+        except (TypeError, ValueError) as exc:
+            raise InvalidParameterError(
+                f"not a RandomSource state: {exc}"
+            ) from None
 
 
 def spawn_sources(seed: int | None, count: int) -> list[RandomSource]:

@@ -11,7 +11,15 @@ This subpackage is the architectural backbone for one-pass processing:
   triangle-counter engines and pipeline estimators;
 - :mod:`repro.streaming.pipeline` -- :class:`Pipeline`, which drives
   any number of registered estimators over one stream read with
-  per-estimator timing and a structured report;
+  per-estimator timing and a structured report, plus mid-stream
+  checkpoint/resume;
+- :mod:`repro.streaming.checkpoint` -- the versioned on-disk form of
+  estimator state (npz + JSON manifest) behind
+  :meth:`Pipeline.checkpoint` / :meth:`Pipeline.resume`;
+- :mod:`repro.streaming.sharded` -- :class:`ShardedPipeline`, the
+  multiprocess fan-out that shards every estimator pool across workers
+  over one stream read and merges states through the
+  :class:`CheckpointableEstimator` protocol;
 - :mod:`repro.streaming.estimators` -- the registered specs for every
   algorithm in the package (imported below for its registration side
   effect).
@@ -27,6 +35,14 @@ Quick taste::
 """
 
 from .batch import BatchContext, EdgeBatch
+from .checkpoint import (
+    Checkpoint,
+    fingerprints_compatible,
+    load_checkpoint,
+    save_checkpoint,
+    source_fingerprint,
+    verify_resume_source,
+)
 from .pipeline import EstimatorReport, Pipeline, PipelineReport, derive_seed
 from .protocol import (
     BatchedEstimator,
@@ -42,6 +58,7 @@ from .registry import (
     register_engine,
     register_estimator,
 )
+from .sharded import ShardedPipeline, derive_shard_seed, shard_sizes
 from .source import (
     EdgeSource,
     FileSource,
@@ -57,6 +74,7 @@ __all__ = [
     "ESTIMATORS",
     "BatchContext",
     "BatchedEstimator",
+    "Checkpoint",
     "CheckpointableEstimator",
     "EdgeBatch",
     "EdgeSource",
@@ -69,10 +87,18 @@ __all__ = [
     "PipelineReport",
     "PreparedEstimator",
     "Registry",
+    "ShardedPipeline",
     "StreamingEstimator",
     "as_source",
     "batched_iter",
     "derive_seed",
+    "derive_shard_seed",
+    "fingerprints_compatible",
+    "load_checkpoint",
     "register_engine",
     "register_estimator",
+    "save_checkpoint",
+    "shard_sizes",
+    "source_fingerprint",
+    "verify_resume_source",
 ]

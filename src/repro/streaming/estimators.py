@@ -209,6 +209,15 @@ class _ArrivalTimedWindowCounter:
     def window_size(self) -> int:
         return self._counter.window_size()
 
+    def state_dict(self) -> dict:
+        return self._counter.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self._counter.load_state_dict(state)
+
+    def merge(self, other: "_ArrivalTimedWindowCounter") -> None:
+        self._counter.merge(other._counter)
+
 
 @register_estimator(
     "timed-window",

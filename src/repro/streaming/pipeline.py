@@ -20,6 +20,7 @@ suite asserts.
 
 from __future__ import annotations
 
+import signal as signal_module
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -29,6 +30,13 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from .batch import EdgeBatch
+from .checkpoint import (
+    Checkpoint,
+    fingerprints_compatible,
+    load_checkpoint,
+    save_checkpoint,
+    source_fingerprint,
+)
 from .registry import ESTIMATORS, _default_report
 from .source import _COERCE_ERRORS, EdgeSource, as_source
 
@@ -145,6 +153,15 @@ class Pipeline:
             raise InvalidParameterError(f"duplicate estimator names: {names}")
         self._pairs = pairs
         self._reporters = dict(reporters or {})
+        self._resume: Checkpoint | None = None
+        self._resume_path: Any = None
+        self._resume_poisoned = False
+        self._progress: dict[str, Any] = {
+            "edges_seen": 0,
+            "batches": 0,
+            "batch_size": 0,
+            "fingerprint": None,
+        }
 
     @classmethod
     def from_registry(
@@ -191,7 +208,98 @@ class Pipeline:
                 return est
         raise KeyError(name)
 
-    def run(self, source, *, batch_size: int = 65_536) -> PipelineReport:
+    # ------------------------------------------------------------------
+    # durable checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self, path) -> None:
+        """Snapshot every estimator's state to the ``path`` directory.
+
+        The on-disk format (npz + JSON manifest, versioned) is
+        :mod:`repro.streaming.checkpoint`'s; the manifest records the
+        stream progress of the last/current :meth:`run` so a fresh
+        pipeline can :meth:`resume` and continue where this one stood.
+        Every estimator must implement
+        :class:`~repro.streaming.protocol.CheckpointableEstimator`.
+        """
+        states = {}
+        for name, estimator in self._pairs:
+            op = getattr(estimator, "state_dict", None)
+            if op is None:
+                raise InvalidParameterError(
+                    f"estimator {name!r} does not support state_dict(); "
+                    "it cannot be checkpointed"
+                )
+            states[name] = op()
+        save_checkpoint(
+            path,
+            states,
+            edges_seen=self._progress["edges_seen"],
+            batches=self._progress["batches"],
+            batch_size=self._progress["batch_size"],
+            fingerprint=self._progress["fingerprint"],
+        )
+
+    def resume(self, path) -> "Pipeline":
+        """Restore a :meth:`checkpoint` into this pipeline's estimators.
+
+        The pipeline must have been built with the same estimator names
+        (e.g. the same :meth:`from_registry` call); each estimator
+        adopts its checkpointed state -- including the generator state.
+        The next :meth:`run` automatically skips the ``edges_seen``
+        edges the checkpoint already consumed (the source must replay
+        the same stream; a recorded fingerprint is verified against it)
+        and must use the checkpoint's ``batch_size``.
+
+        Bit-identity: the continuation reproduces the uninterrupted run
+        exactly when the checkpoint position is a multiple of
+        ``batch_size`` -- true for every periodic/signal snapshot (they
+        land on batch boundaries) and for end-of-stream snapshots of
+        streams whose length is a batch multiple. Resuming an
+        *unaligned* end-of-stream snapshot over a grown stream is still
+        statistically correct (reservoir decisions are memoryless), but
+        the first continuation batch is shorter than the uninterrupted
+        run's, so the vectorized engines' per-batch draws differ.
+        Returns ``self`` for chaining.
+        """
+        ckpt = load_checkpoint(path)
+        mine = set(self.names)
+        theirs = set(ckpt.states)
+        if mine != theirs:
+            raise InvalidParameterError(
+                f"checkpoint estimators {sorted(theirs)} do not match "
+                f"this pipeline's {sorted(mine)}"
+            )
+        for name, estimator in self._pairs:
+            op = getattr(estimator, "load_state_dict", None)
+            if op is None:
+                raise InvalidParameterError(
+                    f"estimator {name!r} does not support load_state_dict(); "
+                    "it cannot be resumed"
+                )
+            op(ckpt.states[name])
+        self._resume = ckpt
+        self._resume_path = path
+        self._resume_poisoned = False
+        self._progress = {
+            "edges_seen": ckpt.edges_seen,
+            "batches": ckpt.batches,
+            "batch_size": ckpt.batch_size,
+            "fingerprint": ckpt.fingerprint,
+        }
+        return self
+
+    # ------------------------------------------------------------------
+    # the stream pass
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source,
+        *,
+        batch_size: int = 65_536,
+        checkpoint_path=None,
+        checkpoint_every: int | None = None,
+        checkpoint_signal: int | None = None,
+    ) -> PipelineReport:
         """One pass over ``source``, feeding every estimator each batch.
 
         ``source`` is anything :func:`~repro.streaming.source.as_source`
@@ -205,8 +313,86 @@ class Pipeline:
         around each update call; stream reading plus batch preparation
         is reported separately as ``io_seconds`` (the paper's Table 3
         I/O split).
+
+        Durability hooks:
+
+        - ``checkpoint_path`` -- directory to snapshot estimator state
+          into (see :meth:`checkpoint`). A snapshot is always written
+          when the stream completes; with ``checkpoint_every=k`` one is
+          also written every ``k`` batches, and with
+          ``checkpoint_signal`` (e.g. ``signal.SIGUSR1``) on demand at
+          the next batch boundary after the signal arrives.
+        - after :meth:`resume`, the run skips the edges the checkpoint
+          already consumed and continues bit-identically (same
+          ``batch_size`` required); edge/batch totals in the report
+          cover the whole logical stream, not just the continuation.
         """
+        if checkpoint_every is not None:
+            if checkpoint_path is None:
+                raise InvalidParameterError(
+                    "checkpoint_every requires checkpoint_path"
+                )
+            if checkpoint_every < 1:
+                raise InvalidParameterError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+        if self._resume_poisoned:
+            raise InvalidParameterError(
+                "a previous resumed run failed and its checkpoint could not "
+                "be reloaded; call resume() again before running"
+            )
         src: EdgeSource = as_source(source)
+        resume = self._resume
+        remaining = 0
+        base_edges = 0
+        base_batches = 0
+        fingerprint = None
+        if resume is not None:
+            if resume.batch_size and resume.batch_size != batch_size:
+                raise InvalidParameterError(
+                    f"checkpoint was taken with batch_size={resume.batch_size}; "
+                    f"resuming with {batch_size} would not replay the stream "
+                    "bit-consistently"
+                )
+            # One fingerprint pass serves both the compatibility check
+            # (hashed over the checkpoint's recorded head window, so a
+            # file that grew since the snapshot still verifies) and the
+            # progress record for subsequent snapshots -- keeping the
+            # original window also lets checkpoints chain across
+            # repeated grow-and-resume cycles.
+            saved = resume.fingerprint
+            head_bytes = (
+                saved.get("head_bytes")
+                if saved is not None and saved.get("kind") == "file"
+                else None
+            )
+            fingerprint = source_fingerprint(src, head_bytes=head_bytes)
+            if not fingerprints_compatible(saved, fingerprint):
+                raise InvalidParameterError(
+                    "checkpoint was taken over a different stream than the "
+                    "one being resumed (fingerprint mismatch)"
+                )
+            remaining = resume.edges_seen
+            base_edges = resume.edges_seen
+            base_batches = resume.batches
+        elif checkpoint_path is not None:
+            fingerprint = source_fingerprint(src)
+        self._progress = {
+            "edges_seen": base_edges,
+            "batches": base_batches,
+            "batch_size": batch_size,
+            "fingerprint": fingerprint,
+        }
+        if checkpoint_path is not None:
+            # Snapshot before the stream pass. This both covers the
+            # window before the first periodic snapshot and validates
+            # that every estimator can actually be checkpointed --
+            # hasattr would not: delegating wrappers (TriangleCounter
+            # over a non-checkpointable engine) expose state_dict and
+            # raise only when it runs, which must not happen hours into
+            # the stream.
+            self.checkpoint(checkpoint_path)
+
         fast_paths = [
             getattr(estimator, "update_prepared", None)
             for _, estimator in self._pairs
@@ -222,36 +408,55 @@ class Pipeline:
         edges = 0
         batches = 0
         io_seconds = 0.0
+        signal_seen = [False]
+        restore_handler = None
+        if checkpoint_path is not None and checkpoint_signal is not None:
+            def _on_signal(signum, frame):  # pragma: no cover - timing
+                signal_seen[0] = True
+
+            try:
+                previous = signal_module.signal(checkpoint_signal, _on_signal)
+                restore_handler = (checkpoint_signal, previous)
+            except ValueError:
+                # Not the main thread: on-demand snapshots unavailable,
+                # periodic/final ones still work.
+                restore_handler = None
+        counters = {"edges": 0, "batches": 0, "io_seconds": 0.0}
         start = time.perf_counter()
-        stream = iter(src.batches(batch_size))
-        while True:
-            t0 = time.perf_counter()
-            batch = next(stream, None)
-            if batch is None:
-                io_seconds += time.perf_counter() - t0
-                break
-            if isinstance(batch, EdgeBatch):
-                prepared = batch
-            else:
-                try:
-                    prepared = EdgeBatch.from_edges(batch)
-                except _COERCE_ERRORS:
-                    prepared = None
-            if prepared is not None and want_context:
-                prepared.context  # noqa: B018 -- build the shared index once
-            io_seconds += time.perf_counter() - t0
-            batches += 1
-            edges += len(batch)
-            for (name, estimator), fast in zip(self._pairs, fast_paths):
-                t1 = time.perf_counter()
-                if fast is not None and prepared is not None:
-                    fast(prepared)
-                else:
-                    estimator.update_batch(batch if prepared is None else prepared)
-                timings[name] += time.perf_counter() - t1
+        try:
+            self._stream_pass(
+                src,
+                batch_size,
+                remaining,
+                base_edges,
+                base_batches,
+                fast_paths,
+                want_context,
+                timings,
+                checkpoint_path,
+                checkpoint_every,
+                signal_seen,
+                restore_handler,
+                counters,
+            )
+        except BaseException:
+            if resume is not None:
+                # The pipeline's estimators are somewhere past the
+                # checkpoint; silently retrying from here would
+                # double-count the stream. Put the pipeline back in its
+                # resumable state so a corrected run() call is safe.
+                self._reload_after_failed_resume()
+            raise
+        self._resume = None
+        edges = counters["edges"]
+        batches = counters["batches"]
+        io_seconds = counters["io_seconds"]
         total = time.perf_counter() - start
         report = PipelineReport(
-            edges=edges, batches=batches, seconds=total, io_seconds=io_seconds
+            edges=base_edges + edges,
+            batches=base_batches + batches,
+            seconds=total,
+            io_seconds=io_seconds,
         )
         for name, estimator in self._pairs:
             reporter = self._reporters.get(name)
@@ -267,6 +472,102 @@ class Pipeline:
                 )
             )
         return report
+
+    def _reload_after_failed_resume(self) -> None:
+        """Restore the resumable state after a failed resumed pass.
+
+        Best effort: if the checkpoint itself cannot be reloaded, the
+        pipeline is poisoned instead, so the next :meth:`run` raises
+        rather than silently replaying the stream over half-advanced
+        estimators.
+        """
+        try:
+            self.resume(self._resume_path)
+        except Exception:
+            self._resume = None
+            self._resume_poisoned = True
+
+    def _stream_pass(
+        self,
+        src,
+        batch_size,
+        remaining,
+        base_edges,
+        base_batches,
+        fast_paths,
+        want_context,
+        timings,
+        checkpoint_path,
+        checkpoint_every,
+        signal_seen,
+        restore_handler,
+        counters,
+    ) -> None:
+        """The fallible middle of :meth:`run`: stream, update, snapshot."""
+        edges = 0
+        batches = 0
+        try:
+            stream = iter(src.batches(batch_size))
+            while True:
+                t0 = time.perf_counter()
+                batch = next(stream, None)
+                if batch is None:
+                    counters["io_seconds"] += time.perf_counter() - t0
+                    break
+                if remaining:
+                    # Replaying a resumed stream: checkpoints land on
+                    # batch boundaries, so whole batches are skipped
+                    # (the partial slice only triggers on boundary
+                    # drift, e.g. a final short batch).
+                    w = len(batch)
+                    if w <= remaining:
+                        remaining -= w
+                        counters["io_seconds"] += time.perf_counter() - t0
+                        continue
+                    if isinstance(batch, EdgeBatch):
+                        batch = EdgeBatch(batch.array[remaining:])
+                    else:
+                        batch = list(batch)[remaining:]
+                    remaining = 0
+                if isinstance(batch, EdgeBatch):
+                    prepared = batch
+                else:
+                    try:
+                        prepared = EdgeBatch.from_edges(batch)
+                    except _COERCE_ERRORS:
+                        prepared = None
+                if prepared is not None and want_context:
+                    prepared.context  # noqa: B018 -- build the shared index once
+                counters["io_seconds"] += time.perf_counter() - t0
+                batches += 1
+                edges += len(batch)
+                counters["edges"] = edges
+                counters["batches"] = batches
+                for (name, estimator), fast in zip(self._pairs, fast_paths):
+                    t1 = time.perf_counter()
+                    if fast is not None and prepared is not None:
+                        fast(prepared)
+                    else:
+                        estimator.update_batch(batch if prepared is None else prepared)
+                    timings[name] += time.perf_counter() - t1
+                self._progress["edges_seen"] = base_edges + edges
+                self._progress["batches"] = base_batches + batches
+                if checkpoint_path is not None and (
+                    signal_seen[0]
+                    or (checkpoint_every and batches % checkpoint_every == 0)
+                ):
+                    signal_seen[0] = False
+                    self.checkpoint(checkpoint_path)
+        finally:
+            if restore_handler is not None:
+                signal_module.signal(*restore_handler)
+        if remaining:
+            raise InvalidParameterError(
+                f"stream ended {remaining} edges before the checkpoint's "
+                "position; it is not the stream that was checkpointed"
+            )
+        if checkpoint_path is not None:
+            self.checkpoint(checkpoint_path)
 
 
 def _fmt(value: Any) -> str:

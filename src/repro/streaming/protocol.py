@@ -78,9 +78,32 @@ class CheckpointableEstimator(StreamingEstimator, Protocol):
 
     The state dict is the entire message a streaming node must persist
     or send (it is literally Alice's message in the Theorem 3.13
-    protocol); see :mod:`repro.core.checkpoint` for restore and merge.
+    protocol). Three operations make the contract useful in production:
+
+    - ``state_dict`` -- a snapshot built from numpy arrays and
+      JSON-serializable values (:mod:`repro.streaming.checkpoint` turns
+      it into the versioned npz + manifest on-disk format). The snapshot
+      includes the generator state, so restoring it resumes the random
+      stream bit-exactly.
+    - ``load_state_dict`` -- restore a snapshot in place, adopting the
+      snapshot's pool size and configuration wholesale; the estimator
+      then continues streaming exactly where the snapshot left off.
+    - ``merge`` -- absorb another estimator of the same kind that
+      observed the *same* stream (equal ``edges_seen``). Estimators are
+      independent, so pools combine by concatenation -- the contract
+      that makes the algorithms embarrassingly parallel in the
+      estimator dimension and powers
+      :class:`~repro.streaming.sharded.ShardedPipeline`.
     """
 
     def state_dict(self) -> dict[str, Any]:
         """Serializable snapshot of the estimator state."""
+        ...
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` in place."""
+        ...
+
+    def merge(self, other: Any) -> None:
+        """Absorb ``other``'s estimator pool (same stream, same kind)."""
         ...

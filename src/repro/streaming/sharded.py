@@ -1,0 +1,443 @@
+"""Multicore sharding for *any* registered estimator pool.
+
+The estimator dimension of every algorithm in the paper is
+embarrassingly parallel: each estimator observes the whole stream
+independently, so a pool of ``r`` splits into ``k`` shards that run on
+separate cores over the same edges and merge by concatenation at the
+end (the contract :class:`~repro.streaming.protocol.CheckpointableEstimator`
+makes first-class -- the same "independent sub-estimators over one
+stream" structure Pagh-Tsourakakis colorful sharding exploits).
+
+:class:`ShardedPipeline` generalizes the counter-only
+:class:`~repro.core.parallel.ParallelTriangleCounter` to the whole
+estimator registry: the parent reads the stream **once** through an
+:class:`~repro.streaming.source.EdgeSource` and fans each columnar
+batch out to every worker's bounded queue; each worker runs its shard
+of every requested estimator (built by name from
+:data:`~repro.streaming.registry.ESTIMATORS`) and ships the state
+dicts back; the parent restores them through ``load_state_dict`` and
+concatenates through ``merge``, producing estimators that answer
+queries exactly as a single-process pool of the same total size would.
+
+Seed semantics: worker ``w``'s shard of estimator ``name`` is seeded
+from ``SeedSequence([seed, crc32(name), SHARD_DOMAIN, w + 1])`` (see
+:func:`derive_shard_seed`) -- deterministic, collision-resistant, and
+independent across estimators, workers, and the single-process
+fan-out's own seed derivation. A sharded run is
+therefore reproducible under a fixed seed and *statistically*
+equivalent to -- though not bit-identical with -- the single-process
+fan-out, whose per-estimator seeds come from
+:func:`~repro.streaming.pipeline.derive_seed`. Estimators whose pool is
+smaller than the worker count (e.g. the deterministic ``exact``
+baseline with its pool of one) simply run on fewer workers.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .batch import EdgeBatch
+from .pipeline import EstimatorReport, PipelineReport
+from .registry import ESTIMATORS, _default_report
+from .source import as_source
+
+__all__ = ["ShardedPipeline", "derive_shard_seed", "shard_sizes"]
+
+#: Batches in flight per worker queue (see ``core.parallel``).
+_QUEUE_DEPTH = 4
+
+#: Domain-separation key for shard seeds. SeedSequence zero-pads its
+#: entropy, so ``[seed, crc, 0]`` would collide with the single-process
+#: ``derive_seed``'s ``[seed, crc]`` -- worker 0's shard would run the
+#: exact random stream of the full single-process pool. The marker (and
+#: 1-based worker index) keeps the sharded domain disjoint.
+_SHARD_DOMAIN = 0x53484152  # "SHAR"
+
+
+def shard_sizes(total: int, workers: int) -> list[int]:
+    """Split a pool of ``total`` estimators as evenly as possible."""
+    if total < 1:
+        raise InvalidParameterError(f"pool size must be >= 1, got {total}")
+    if workers < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    base, extra = divmod(total, workers)
+    return [base + (1 if i < extra else 0) for i in range(workers)]
+
+
+def derive_shard_seed(seed: int | None, name: str, worker: int) -> int | None:
+    """The seed for worker ``worker``'s shard of estimator ``name``.
+
+    ``None`` stays ``None`` (OS entropy per worker). Otherwise the seed
+    is drawn through :class:`numpy.random.SeedSequence` keyed on the
+    root seed, the estimator name's CRC-32, a shard-domain marker, and
+    the worker index -- the sharded analogue of
+    :func:`~repro.streaming.pipeline.derive_seed`, so shards of one
+    estimator never run correlated reservoirs, neither do shards of
+    different estimators, and no shard shares a stream with the
+    single-process fan-out's pools.
+    """
+    if seed is None:
+        return None
+    entropy = np.random.SeedSequence(
+        [seed, zlib.crc32(name.encode("utf-8")), _SHARD_DOMAIN, worker + 1]
+    )
+    return int(entropy.generate_state(1, np.uint32)[0])
+
+
+def _build_estimators(specs: Sequence[Mapping[str, Any]]) -> list[tuple[str, Any]]:
+    """Instantiate one worker's shard of every assigned estimator."""
+    pairs = []
+    for spec in specs:
+        registered = ESTIMATORS.get(spec["name"])
+        estimator = registered.create(
+            spec["num_estimators"], spec["seed"], **spec["options"]
+        )
+        pairs.append((spec["name"], estimator))
+    return pairs
+
+
+def _consume(
+    pairs: Sequence[tuple[str, Any]], batches: Iterable
+) -> tuple[int, int, dict[str, float]]:
+    """Feed ``batches`` to every estimator (the worker-side stream loop).
+
+    The same dispatch as :meth:`~repro.streaming.pipeline.Pipeline.run`
+    -- shared prepared batch, shared per-batch index, per-estimator
+    timings -- minus reporting: workers ship state, never results, so
+    reporters that consume randomness (e.g. the sampler's release draw)
+    only ever run on the merged estimators in the parent.
+    """
+    fast_paths = [getattr(est, "update_prepared", None) for _, est in pairs]
+    want_context = any(
+        fast is not None and getattr(est, "uses_batch_context", True)
+        for (_, est), fast in zip(pairs, fast_paths)
+    )
+    timings = {name: 0.0 for name, _ in pairs}
+    edges = 0
+    batch_count = 0
+    for batch in batches:
+        if isinstance(batch, np.ndarray):
+            batch = EdgeBatch(batch)
+        prepared = batch if isinstance(batch, EdgeBatch) else None
+        if prepared is not None and want_context:
+            prepared.context  # noqa: B018 -- build the shared index once
+        edges += len(batch)
+        batch_count += 1
+        for (name, estimator), fast in zip(pairs, fast_paths):
+            t0 = time.perf_counter()
+            if fast is not None and prepared is not None:
+                fast(prepared)
+            else:
+                estimator.update_batch(batch)
+            timings[name] += time.perf_counter() - t0
+    return edges, batch_count, timings
+
+
+class _QueueFeed:
+    """Iterate queue payloads until the ``None`` sentinel.
+
+    Tracks whether the sentinel has been consumed, so the worker's
+    error path knows whether the bounded input queue still needs
+    draining -- draining an already-finished queue would block forever
+    on an exception raised *after* the stream (e.g. in ``state_dict``).
+    """
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+        self.finished = False
+
+    def __iter__(self):
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self.finished = True
+                return
+            yield item
+
+    def drain(self) -> None:
+        if self.finished:
+            return
+        while self._queue.get() is not None:
+            pass
+        self.finished = True
+
+
+def _worker_loop(in_queue, out_queue, index: int, specs) -> None:
+    """Process one worker's shards; ship back ``{name: state_dict}``.
+
+    Mirrors ``core.parallel._worker_loop``: on an exception the input
+    queue is drained to its sentinel first (the parent writes to
+    bounded queues), and the error ships back in the state's place.
+    """
+    import pickle
+    import traceback
+
+    feed = _QueueFeed(in_queue)
+    try:
+        pairs = _build_estimators(specs)
+        _, _, timings = _consume(pairs, feed)
+        states = {name: est.state_dict() for name, est in pairs}
+        result = ("ok", states, timings)
+    except Exception as exc:
+        feed.drain()
+        try:
+            pickle.dumps(exc)
+            result = ("error", exc, None)
+        except Exception:  # pragma: no cover - unpicklable exception
+            result = ("error", RuntimeError(traceback.format_exc()), None)
+    out_queue.put((index, result))
+
+
+class ShardedPipeline:
+    """Fan one stream read out to sharded pools across worker processes.
+
+    Parameters
+    ----------
+    names:
+        Estimator names from :data:`~repro.streaming.registry.ESTIMATORS`
+        (the same choices as ``Pipeline.from_registry`` and the CLI).
+    workers:
+        Worker processes; each runs ``~r/workers`` estimators of every
+        pool (estimators whose pool is smaller run on fewer workers).
+    num_estimators:
+        Total pool size per estimator; ``None`` uses each spec's
+        default -- the same totals a single-process fan-out would use.
+    seed:
+        Root seed; shards draw :func:`derive_shard_seed` children.
+    options:
+        Per-name factory keyword overrides, as in
+        :meth:`~repro.streaming.pipeline.Pipeline.from_registry`.
+    """
+
+    def __init__(
+        self,
+        names: Iterable[str],
+        *,
+        workers: int = 2,
+        num_estimators: int | None = None,
+        seed: int | None = None,
+        options: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> None:
+        self.names = list(names)
+        if not self.names:
+            raise InvalidParameterError("pipeline needs at least one estimator")
+        if len(set(self.names)) != len(self.names):
+            raise InvalidParameterError(f"duplicate estimator names: {self.names}")
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        for name in self.names:
+            ESTIMATORS.get(name)  # fail fast on unknown names
+        self.workers = workers
+        self.num_estimators = num_estimators
+        self.seed = seed
+        self._options = {k: dict(v) for k, v in (options or {}).items()}
+        self._merged: list[tuple[str, Any]] | None = None
+
+    # ------------------------------------------------------------------
+    # plan
+    # ------------------------------------------------------------------
+    def _pool_size(self, name: str) -> int:
+        default = ESTIMATORS.get(name).default_estimators
+        if default == 1:
+            # A spec with a declared pool of one (the deterministic
+            # exact baseline) gains nothing from sharding: running
+            # copies on several workers would just duplicate work.
+            return 1
+        if self.num_estimators is not None:
+            return self.num_estimators
+        return default
+
+    def worker_specs(self) -> list[list[dict[str, Any]]]:
+        """The per-worker build plan: which shard of which pool, seeded how.
+
+        Exposed so tests (and curious operators) can reproduce a
+        sharded run in a single process and verify the merge is
+        bit-identical to the multiprocess execution.
+        """
+        shards = {
+            name: shard_sizes(self._pool_size(name), self.workers)
+            for name in self.names
+        }
+        return [
+            [
+                {
+                    "name": name,
+                    "num_estimators": shards[name][w],
+                    "seed": derive_shard_seed(self.seed, name, w),
+                    "options": dict(self._options.get(name, {})),
+                }
+                for name in self.names
+                if shards[name][w] > 0
+            ]
+            for w in range(self.workers)
+        ]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, source, *, batch_size: int = 65_536) -> PipelineReport:
+        """Shard every pool across the workers over one stream read.
+
+        ``source`` is anything :func:`~repro.streaming.source.as_source`
+        accepts; the parent reads it exactly once. Returns the same
+        :class:`~repro.streaming.pipeline.PipelineReport` a
+        single-process run produces (per-estimator ``seconds`` is the
+        maximum across workers -- the parallel wall-clock share).
+        """
+        specs = self.worker_specs()
+        # Fail fast on estimators that cannot ship state back: a probe
+        # instance is cheap, and discovering the problem inside a
+        # worker would otherwise surface as a shipped-back error after
+        # the whole stream was read. state_dict is *called*, not
+        # hasattr-checked: delegating wrappers (TriangleCounter over a
+        # non-checkpointable engine) expose the method and raise only
+        # when it runs.
+        for name in self.names:
+            probe = ESTIMATORS.get(name).create(
+                1, None, **self._options.get(name, {})
+            )
+            for method in ("state_dict", "load_state_dict", "merge"):
+                if not hasattr(probe, method):
+                    raise InvalidParameterError(
+                        f"estimator {name!r} does not support {method}(); "
+                        "it cannot be sharded across workers"
+                    )
+            try:
+                probe.state_dict()
+            except InvalidParameterError as exc:
+                raise InvalidParameterError(
+                    f"estimator {name!r} cannot be sharded across workers: "
+                    f"{exc}"
+                ) from exc
+        start = time.perf_counter()
+        if self.workers == 1:
+            pairs = _build_estimators(specs[0])
+            edges, batches, timings = _consume(
+                pairs, as_source(source).batches(batch_size)
+            )
+            merged_pairs = pairs
+            merged_timings = timings
+        else:
+            edges, batches, worker_states, worker_timings = self._run_workers(
+                specs, source, batch_size
+            )
+            merged_pairs = self._merge_states(worker_states)
+            merged_timings = {
+                name: max(
+                    (t.get(name, 0.0) for t in worker_timings), default=0.0
+                )
+                for name in self.names
+            }
+        self._merged = merged_pairs
+        total = time.perf_counter() - start
+        report = PipelineReport(
+            edges=edges, batches=batches, seconds=total, io_seconds=0.0
+        )
+        for name, estimator in merged_pairs:
+            reporter = (
+                ESTIMATORS.get(name).report if name in ESTIMATORS else _default_report
+            )
+            report.estimators.append(
+                EstimatorReport(
+                    name=name,
+                    seconds=merged_timings.get(name, 0.0),
+                    results=reporter(estimator),
+                )
+            )
+        return report
+
+    def _run_workers(self, specs, source, batch_size):
+        """The multiprocess path: bounded queues, one stream read."""
+        import multiprocessing
+        import queue as queue_module
+
+        from ..core.parallel import _collect_results, _put_alive
+
+        ctx = multiprocessing.get_context()
+        in_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)]
+        out_queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker_loop,
+                args=(in_queues[i], out_queue, i, specs[i]),
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        for proc in procs:
+            proc.start()
+        edges = 0
+        batches = 0
+        try:
+            try:
+                for batch in as_source(source).batches(batch_size):
+                    payload = (
+                        batch.array if isinstance(batch, EdgeBatch) else list(batch)
+                    )
+                    edges += len(batch)
+                    batches += 1
+                    for i, queue in enumerate(in_queues):
+                        _put_alive(queue, payload, procs[i], i)
+            finally:
+                # Always send the sentinel, even when the source raises
+                # mid-stream -- workers block on get otherwise.
+                for queue in in_queues:
+                    try:
+                        queue.put(None, timeout=5.0)
+                    except queue_module.Full:  # pragma: no cover
+                        pass
+            indexed = _collect_results(out_queue, procs)
+        finally:
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+        worker_states: list[dict] = []
+        worker_timings: list[dict] = []
+        for _, result in sorted(indexed):
+            status, payload, timings = result
+            if status == "error":
+                raise payload
+            worker_states.append(payload)
+            worker_timings.append(timings)
+        return edges, batches, worker_states, worker_timings
+
+    def _merge_states(self, worker_states: list[dict]) -> list[tuple[str, Any]]:
+        """Restore worker shards and concatenate them per estimator."""
+        merged_pairs = []
+        for name in self.names:
+            registered = ESTIMATORS.get(name)
+            options = dict(self._options.get(name, {}))
+            merged = None
+            for states in worker_states:
+                if name not in states:
+                    continue  # this worker held no shard of the pool
+                shard = registered.create(1, None, **options)
+                shard.load_state_dict(states[name])
+                if merged is None:
+                    merged = shard
+                else:
+                    merged.merge(shard)
+            if merged is None:  # pragma: no cover - defensive
+                raise InvalidParameterError(
+                    f"no worker returned state for estimator {name!r}"
+                )
+            merged_pairs.append((name, merged))
+        return merged_pairs
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def estimator(self, name: str) -> Any:
+        """The merged estimator after :meth:`run` (for further queries)."""
+        if self._merged is None:
+            raise InvalidParameterError("call run() first")
+        for pair_name, estimator in self._merged:
+            if pair_name == name:
+                return estimator
+        raise KeyError(name)

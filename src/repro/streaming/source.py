@@ -143,6 +143,11 @@ class FileSource(EdgeSource):
     def batches(self, batch_size: int) -> Iterator[EdgeBatch]:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        # Fail fast on a missing/unreadable path: the parser below is a
+        # generator, so without this probe the FileNotFoundError would
+        # surface only at the first next() deep inside a pipeline run.
+        with open(self.path, "rb"):
+            pass
         chunks = iter_edge_array_chunks(self.path)
         if self.deduplicate:
             chunks = dedup_edge_arrays(chunks)

@@ -3,13 +3,55 @@
 from __future__ import annotations
 
 import math
+import signal
 import statistics
+import threading
 
 import pytest
 
 from repro.exact import count_triangles
 from repro.generators import erdos_renyi, holme_kim
 from repro.graph import EdgeStream
+
+
+# ---------------------------------------------------------------------------
+# Hard per-test timeouts. The parallel/checkpoint tests guard against
+# hang regressions (a worker dying silently used to wedge the parent
+# forever), so a hang must FAIL the test, not stall the suite. CI
+# installs pytest-timeout, which owns the `timeout` marker there; this
+# fallback honors the same marker via SIGALRM when the plugin is absent
+# (e.g. a bare local environment).
+# ---------------------------------------------------------------------------
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it exceeds the wall-clock budget",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if (
+        marker is None
+        or item.config.pluginmanager.hasplugin("timeout")  # pytest-timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+    seconds = float(marker.args[0] if marker.args else marker.kwargs.get("seconds", 60))
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded its {seconds:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ---------------------------------------------------------------------------

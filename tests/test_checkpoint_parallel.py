@@ -161,3 +161,121 @@ class TestParallel:
             iter(edges), 8_000, workers=2, seed=5, batch_size=256
         )
         assert abs(estimate - tau) / tau < 0.5
+
+
+class _FakeDeadProc:
+    """Stands in for a worker that died without posting a result."""
+
+    def __init__(self, exitcode):
+        self.exitcode = exitcode
+
+    def is_alive(self):
+        return False
+
+
+class TestSilentWorkerDeath:
+    """Regression tests for the _collect_results hang: a worker that
+    dies before posting must raise, whatever its exit code."""
+
+    @pytest.mark.timeout(30)
+    def test_clean_exit_without_result_raises_instead_of_hanging(self):
+        """exitcode 0 + no result used to spin on out_queue.get forever."""
+        import multiprocessing
+
+        from repro.core.parallel import _collect_results
+        from repro.errors import WorkerCrashedError
+
+        out_queue = multiprocessing.get_context().Queue()
+        with pytest.raises(WorkerCrashedError, match="exitcode 0"):
+            _collect_results(out_queue, [_FakeDeadProc(exitcode=0)])
+
+    @pytest.mark.timeout(30)
+    def test_nonzero_exit_without_result_raises(self):
+        import multiprocessing
+
+        from repro.core.parallel import _collect_results
+        from repro.errors import WorkerCrashedError
+
+        out_queue = multiprocessing.get_context().Queue()
+        with pytest.raises(WorkerCrashedError, match="exitcode -9"):
+            _collect_results(out_queue, [_FakeDeadProc(exitcode=-9)])
+
+    @pytest.mark.timeout(30)
+    def test_posted_result_wins_over_dead_process(self):
+        """A worker that posted and then exited is not a crash: the
+        grace polls give its queue write time to surface."""
+        import multiprocessing
+
+        from repro.core.parallel import _collect_results
+
+        out_queue = multiprocessing.get_context().Queue()
+        out_queue.put((0, ("ok", {})))
+        assert _collect_results(out_queue, [_FakeDeadProc(exitcode=0)]) == [
+            (0, ("ok", {}))
+        ]
+
+    @pytest.mark.timeout(60)
+    def test_end_to_end_clean_exit_worker_detected(
+        self, small_er_graph, monkeypatch
+    ):
+        """A full count() whose worker exits cleanly without reporting
+        must fail with WorkerCrashedError, not stall."""
+        import multiprocessing
+
+        from repro.core import parallel
+        from repro.errors import WorkerCrashedError
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("monkeypatched worker body needs fork inheritance")
+
+        def silent_worker(in_queue, out_queue, index, num, seed_seq):
+            while in_queue.get() is not None:
+                pass  # drain, then exit 0 without posting
+
+        monkeypatch.setattr(parallel, "_worker_loop", silent_worker)
+        edges, _ = small_er_graph
+        counter = ParallelTriangleCounter(100, workers=2, seed=0)
+        with pytest.raises(WorkerCrashedError):
+            counter.count(edges[:100], batch_size=64)
+
+
+class TestMergedSeedDerivation:
+    """Regression tests for the merged counter reusing the root seed."""
+
+    def test_merged_rng_uses_dedicated_spawn_child(self, small_er_graph):
+        edges, _ = small_er_graph
+        counter = ParallelTriangleCounter(64, workers=2, seed=5)
+        counter.count(edges, batch_size=512)
+        children = np.random.SeedSequence(5).spawn(3)
+        expected = np.random.default_rng(children[-1])
+        assert (
+            counter.merged._rng.bit_generator.state
+            == expected.bit_generator.state
+        )
+
+    def test_merged_rng_not_root_and_not_a_worker_stream(self, small_er_graph):
+        """The old code seeded the merged counter with the raw root
+        seed: its future draws were the exact sequence the worker
+        SeedSequences were spawned from."""
+        edges, _ = small_er_graph
+        counter = ParallelTriangleCounter(64, workers=2, seed=5)
+        counter.count(edges, batch_size=512)
+        merged_draws = counter.merged._rng.integers(0, 1 << 62, 8).tolist()
+        root_draws = np.random.default_rng(5).integers(0, 1 << 62, 8).tolist()
+        assert merged_draws != root_draws
+        for child in np.random.SeedSequence(5).spawn(2):
+            worker_draws = (
+                np.random.default_rng(child).integers(0, 1 << 62, 8).tolist()
+            )
+            assert merged_draws != worker_draws
+
+    def test_worker_seeds_unchanged_by_the_extra_child(self, small_er_graph):
+        """spawn(workers + 1) extends spawn(workers): the first children
+        are identical, so fixed-seed results are stable across the fix."""
+        first_two = [
+            s.generate_state(2).tolist() for s in np.random.SeedSequence(5).spawn(2)
+        ]
+        first_of_three = [
+            s.generate_state(2).tolist() for s in np.random.SeedSequence(5).spawn(3)
+        ][:2]
+        assert first_two == first_of_three

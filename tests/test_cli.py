@@ -88,6 +88,52 @@ class TestPipeline:
         with pytest.raises(SystemExit):
             main(["pipeline", "--input", graph_file, "--estimator", "nope"])
 
+    def test_checkpoint_and_resume_round_trip(self, graph_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck")
+        code = main(
+            ["pipeline", "--input", graph_file, "--estimators", "500",
+             "--estimator", "count", "--estimator", "exact",
+             "--batch-size", "64", "--checkpoint", ckpt,
+             "--checkpoint-every", "2"]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        code = main(
+            ["pipeline", "--input", graph_file, "--estimators", "500",
+             "--estimator", "count", "--estimator", "exact",
+             "--batch-size", "64", "--resume", ckpt]
+        )
+        assert code == 0
+        resumed = capsys.readouterr().out
+        # the resumed run replays nothing but reports the same results
+        assert first.splitlines()[0] == resumed.splitlines()[0]  # edge totals
+
+        def results_only(text, key):
+            lines = [l for l in text.splitlines() if key in l]
+            return [l.rsplit(" [", 1)[0] for l in lines]  # drop timings
+
+        assert results_only(first, "exact:") == results_only(resumed, "exact:")
+        assert results_only(first, "count:") == results_only(resumed, "count:")
+
+    def test_workers_flag_runs_sharded(self, graph_file, capsys):
+        code = main(
+            ["pipeline", "--input", graph_file, "--estimators", "200",
+             "--estimator", "count", "--estimator", "exact",
+             "--workers", "2", "--batch-size", "256"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "count:" in out
+        assert "exact:" in out
+
+    def test_workers_with_checkpoint_rejected(self, graph_file, tmp_path, capsys):
+        code = main(
+            ["pipeline", "--input", graph_file, "--workers", "2",
+             "--checkpoint", str(tmp_path / "ck")]
+        )
+        assert code == 1
+        assert "single-process" in capsys.readouterr().err
+
 
 class TestDedup:
     def test_doubled_snap_file_deduped_by_default(self, tmp_path, capsys):

@@ -1,7 +1,9 @@
 """Tests for edge-list file I/O."""
 
+import pytest
+
 from repro.graph import read_edge_list, write_edge_list
-from repro.graph.io import iter_edge_list
+from repro.graph.io import iter_edge_array_chunks, iter_edge_list
 
 
 class TestRoundTrip:
@@ -45,3 +47,46 @@ class TestRoundTrip:
         path = tmp_path / "g.edges"
         path.write_text("0 1 1995\n1 2 1996\n")
         assert read_edge_list(path) == [(0, 1), (1, 2)]
+
+    def test_ragged_columns_take_first_two_fields(self, tmp_path):
+        """Rows with *varying* column counts defeat the bulk tokenizer;
+        the careful fallback must parse them identically (first two
+        fields) and resume exactly after the rows the fast path already
+        emitted."""
+        path = tmp_path / "g.edges"
+        lines = [f"{i} {i + 1}" for i in range(200)]
+        lines[150] = "150 151 3.5 extra"  # ragged mid-file
+        lines.append("200 201 1996")
+        path.write_text("\n".join(lines) + "\n")
+        expected = [(i, i + 1) for i in range(201)]
+        assert read_edge_list(path) == expected
+        # chunked parse crosses the ragged row across chunk boundaries
+        chunked = [
+            tuple(row)
+            for arr in iter_edge_array_chunks(path, chunk_chars=256)
+            for row in arr.tolist()
+        ]
+        assert chunked == expected
+
+    def test_ragged_fallback_skips_comments_consistently(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# header\n0 1\n\n1 2\n2 3 weight extra\n# tail\n3 4\n")
+        assert read_edge_list(path) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_single_column_rejected(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0\n1\n")
+        with pytest.raises(Exception):
+            read_edge_list(path)
+
+    def test_tiny_chunks_cover_whole_file(self, tmp_path):
+        path = tmp_path / "g.edges"
+        edges = [(i, i + 1) for i in range(57)]
+        write_edge_list(path, edges)
+        for chunk_chars in (1, 16, 64):
+            parsed = [
+                tuple(row)
+                for arr in iter_edge_array_chunks(path, chunk_chars=chunk_chars)
+                for row in arr.tolist()
+            ]
+            assert parsed == edges

@@ -45,6 +45,27 @@ class TestSources:
         source = FileSource(graph_file)
         assert list(source.batches(100)) == list(source.batches(100))
 
+    def test_file_source_missing_path_fails_at_batches_call(self, tmp_path):
+        """The error must fire when batches() is called, not at the
+        first next() deep inside a pipeline run."""
+        source = FileSource(tmp_path / "nope.edges")  # constructing is fine
+        with pytest.raises(FileNotFoundError):
+            source.batches(64)
+
+    def test_file_source_unreadable_path_fails_at_batches_call(self, tmp_path):
+        import os
+
+        path = tmp_path / "locked.edges"
+        write_edge_list(path, [(0, 1)])
+        os.chmod(path, 0o000)
+        try:
+            if os.access(path, os.R_OK):  # running as root: chmod is moot
+                pytest.skip("cannot make a file unreadable for this user")
+            with pytest.raises(PermissionError):
+                FileSource(path).batches(64)
+        finally:
+            os.chmod(path, 0o644)
+
     def test_file_source_streaming_dedup_is_the_default(self, tmp_path):
         path = tmp_path / "dups.edges"
         write_edge_list(path, [(0, 1), (1, 2), (1, 0), (0, 1), (2, 3)])
