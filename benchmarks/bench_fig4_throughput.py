@@ -19,10 +19,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.runners import run_figure4
+from repro.experiments.runners import run_figure4, run_pipeline_throughput
 
 R_VALUES = (1_024, 16_384, 131_072)
 DATASETS = ("amazon_like", "youtube_like", "livejournal_like", "orkut_like")
+
+#: Configuration of the shared-driver baseline (the no-snapshot path of
+#: the driver behind Pipeline.run/snapshots); the regression gate
+#: re-measures with exactly these settings.
+PIPELINE_RUN_CONFIG = {"dataset": "amazon_like", "num_estimators": 1_024, "batch_size": 8_192}
 
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
@@ -32,12 +37,16 @@ def _write_artifact(out: dict) -> None:
         row[0]: {f"r={r}": row[2 + i] for i, r in enumerate(R_VALUES)}
         for row in out["rows"]
     }
+    pipeline_run = run_pipeline_throughput(
+        **PIPELINE_RUN_CONFIG, trials=3, verbose=False
+    )
     payload = {
         "benchmark": "fig4_throughput",
         "engine": "vectorized",
         "unit": "Medges/s",
         "r_values": list(R_VALUES),
         "throughput": throughputs,
+        "pipeline_run": pipeline_run,
     }
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

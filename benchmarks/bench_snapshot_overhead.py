@@ -1,0 +1,109 @@
+"""Microbenchmark: what does observing the stream cost?
+
+``Pipeline.run`` and ``Pipeline.snapshots`` share one driver, so the
+only cost of live observation is building the ``PipelineSnapshot``
+objects themselves (reporter calls + dataclass assembly) every
+``every`` batches. This benchmark measures a plain ``run`` against
+draining ``snapshots`` at several cadences over the same stream and
+prints the overhead, asserting that
+
+1. a sparse cadence (``every=64``) costs essentially nothing (< 50%
+   overhead, generously -- typical is a few percent), and
+2. the final snapshot's results are identical to ``run``'s report --
+   observation must not change the stream.
+
+Run directly for the numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_snapshot_overhead.py -q -s
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.datasets import load_dataset
+from repro.streaming import Pipeline
+
+DATASET = "amazon_like"
+ESTIMATORS = ("count", "transitivity")
+NUM_ESTIMATORS = 1_024
+BATCH_SIZE = 1_024
+TRIALS = 3
+EVERY = (1, 8, 64)
+
+
+def _edges():
+    return load_dataset(DATASET).stream(order="random", seed=0)
+
+
+def _pipeline():
+    return Pipeline.from_registry(
+        ESTIMATORS, num_estimators=NUM_ESTIMATORS, seed=0
+    )
+
+
+def _median(values):
+    values = sorted(values)
+    return values[len(values) // 2]
+
+
+@pytest.fixture(scope="module")
+def timings():
+    edges = list(_edges())
+    run_times, run_report = [], None
+    for _ in range(TRIALS):
+        pipeline = _pipeline()
+        start = time.perf_counter()
+        run_report = pipeline.run(edges, batch_size=BATCH_SIZE)
+        run_times.append(time.perf_counter() - start)
+    snap_times, finals, counts = {}, {}, {}
+    for every in EVERY:
+        times = []
+        for _ in range(TRIALS):
+            pipeline = _pipeline()
+            start = time.perf_counter()
+            last = None
+            count = 0
+            for last in pipeline.snapshots(
+                edges, batch_size=BATCH_SIZE, every=every
+            ):
+                count += 1
+            times.append(time.perf_counter() - start)
+            finals[every], counts[every] = last, count
+        snap_times[every] = times
+    return {
+        "run": run_times,
+        "run_report": run_report,
+        "snap": snap_times,
+        "finals": finals,
+        "counts": counts,
+    }
+
+
+def test_snapshot_overhead(timings):
+    base = _median(timings["run"])
+    print(f"\n{DATASET}, r={NUM_ESTIMATORS}, batch={BATCH_SIZE}: "
+          f"run {base * 1e3:.1f} ms")
+    for every, times in timings["snap"].items():
+        t = _median(times)
+        print(
+            f"  snapshots(every={every:>2}) {t * 1e3:.1f} ms "
+            f"({timings['counts'][every]} snapshots, "
+            f"overhead {100 * (t - base) / base:+.1f}%)"
+        )
+    sparse = _median(timings["snap"][EVERY[-1]])
+    assert sparse < 1.5 * base, (
+        f"sparse snapshot cadence should be nearly free: "
+        f"{sparse:.4f}s vs run {base:.4f}s"
+    )
+
+
+def test_final_snapshot_matches_run(timings):
+    run_report = timings["run_report"]
+    for every, final in timings["finals"].items():
+        assert final.final
+        for report in run_report.estimators:
+            assert final[report.name].results == report.results, (
+                f"every={every}: observation changed the stream for "
+                f"{report.name}"
+            )

@@ -1,10 +1,16 @@
 """CI smoke gate: fail when streaming throughput regresses badly.
 
-Runs the Figure 4 benchmark on the smallest committed configuration
-(the smallest dataset at the smallest ``r``) and compares against the
-repo's committed ``BENCH_throughput.json``. A measurement below 50% of
-the committed value fails the build -- generous enough for CI hardware
-variance, tight enough to catch a hot-path regression.
+Two gates, both compared against the repo's committed
+``BENCH_throughput.json``, both failing below 50% of the committed
+value -- generous enough for CI hardware variance, tight enough to
+catch a hot-path regression:
+
+1. the Figure 4 benchmark on the smallest committed configuration
+   (the smallest dataset at the smallest ``r``): the vectorized
+   engine's raw throughput;
+2. a full ``Pipeline.run`` pass over the same dataset: the no-snapshot
+   mode of the driver shared by ``run`` and ``snapshots``, so a
+   refactor of that driver cannot silently slow the plain path down.
 
     PYTHONPATH=src python benchmarks/check_throughput_regression.py
 """
@@ -13,10 +19,27 @@ import json
 import sys
 from pathlib import Path
 
-from repro.experiments.runners import run_figure4
+from repro.experiments.runners import run_figure4, run_pipeline_throughput
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 FLOOR_FRACTION = 0.5
+
+
+def _gate(label: str, measured: float, baseline: float) -> bool:
+    floor = FLOOR_FRACTION * baseline
+    print(
+        f"[throughput-gate] {label}: measured {measured:.3f} Medges/s, "
+        f"committed {baseline:.3f}, floor {floor:.3f}"
+    )
+    if measured < floor:
+        print(
+            f"[throughput-gate] FAIL ({label}): throughput regressed more "
+            f"than {100 * (1 - FLOOR_FRACTION):.0f}% against the committed "
+            "BENCH_throughput.json",
+            file=sys.stderr,
+        )
+        return False
+    return True
 
 
 def main() -> int:
@@ -28,20 +51,29 @@ def main() -> int:
     baseline = committed["throughput"][dataset][f"r={r}"]
 
     out = run_figure4(r_values=(r,), datasets=(dataset,), trials=3, verbose=False)
-    measured = out["rows"][0][2]
-    floor = FLOOR_FRACTION * baseline
+    ok = _gate(f"{dataset} @ r={r}", out["rows"][0][2], baseline)
 
-    print(
-        f"[throughput-gate] {dataset} @ r={r}: measured {measured:.3f} Medges/s, "
-        f"committed {baseline:.3f}, floor {floor:.3f}"
-    )
-    if measured < floor:
-        print(
-            "[throughput-gate] FAIL: throughput regressed more than "
-            f"{100 * (1 - FLOOR_FRACTION):.0f}% against the committed "
-            "BENCH_throughput.json",
-            file=sys.stderr,
+    driver = committed.get("pipeline_run")
+    if driver is None:
+        # Artifact predates the shared-driver gate; the next benchmark
+        # run rewrites it with the pipeline_run baseline included.
+        print("[throughput-gate] no committed pipeline_run baseline; skipping")
+    else:
+        measured = run_pipeline_throughput(
+            dataset=driver["dataset"],
+            estimator_names=tuple(driver["estimators"]),
+            num_estimators=driver["num_estimators"],
+            batch_size=driver["batch_size"],
+            trials=3,
+            verbose=False,
         )
+        ok = _gate(
+            f"pipeline driver on {driver['dataset']}",
+            measured["medges_per_s"],
+            driver["medges_per_s"],
+        ) and ok
+
+    if not ok:
         return 1
     print("[throughput-gate] OK")
     return 0

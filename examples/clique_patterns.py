@@ -8,6 +8,8 @@ discovery-pattern decomposition that drives the general construction.
 Run:  python examples/clique_patterns.py
 """
 
+from example_utils import scaled
+
 from repro import CliqueCounter, CliqueCounter4, exact_clique_count
 from repro.core.cliques import clique_patterns
 from repro.graph import EdgeStream
@@ -25,9 +27,9 @@ def main() -> None:
     print(f"\nErdos-Renyi n=60 m=700: exact 4-cliques = {true4}")
 
     estimates = []
-    for seed in range(30):
+    for seed in range(scaled(30, minimum=5)):
         stream = EdgeStream(edges, validate=False).shuffled(seed)
-        counter = CliqueCounter4(400, seed=seed)
+        counter = CliqueCounter4(scaled(400, minimum=50), seed=seed)
         counter.update_batch(list(stream))
         estimates.append(counter.estimate())
     mean4 = sum(estimates) / len(estimates)
@@ -45,29 +47,32 @@ def main() -> None:
     print(f"\nK12: exact 5-cliques = {true5}")
 
     estimates5 = []
-    for seed in range(50):
+    trials5 = scaled(50, minimum=5)
+    for seed in range(trials5):
         stream = EdgeStream(edges5, validate=False).shuffled(seed)
-        counter = CliqueCounter(5, 500, seed=seed)
+        counter = CliqueCounter(5, scaled(500, minimum=50), seed=seed)
         counter.update_batch(list(stream))
         estimates5.append(counter.estimate())
     mean5 = sum(estimates5) / len(estimates5)
-    print(f"pattern-sampler mean estimate over 50 stream orders: {mean5:.1f} "
+    print(f"pattern-sampler mean estimate over {trials5} stream orders: {mean5:.1f} "
           f"({abs(mean5 - true5) / max(true5, 1):.1%} off; individual runs are "
           f"high-variance -- the estimate is unbiased, not low-spread)")
 
-    held = CliqueCounter(5, 4000, seed=123)
+    pool5 = scaled(4000, minimum=400)
+    held = CliqueCounter(5, pool5, seed=123)
     held.update_batch(edges5)
     cliques = held.held_cliques()
-    print(f"5-cliques held by one 4000-sampler pool: {cliques[:5]}"
+    print(f"5-cliques held by one {pool5}-sampler pool: {cliques[:5]}"
           + (" ..." if len(cliques) > 5 else ""))
 
     # planted_clique remains the go-to workload for 4-clique pools:
     edges4 = planted_clique(45, 7, 350, seed=9)
     true4b = exact_clique_count(edges4, 4)
-    counter4 = CliqueCounter4(3000, seed=7)
+    pool4 = scaled(3000, minimum=300)
+    counter4 = CliqueCounter4(pool4, seed=7)
     counter4.update_batch(edges4)
     print(f"\nplanted K7 in noise: exact 4-cliques = {true4b}, "
-          f"one 3000-sampler estimate = {counter4.estimate():.1f}")
+          f"one {pool4}-sampler estimate = {counter4.estimate():.1f}")
 
 
 if __name__ == "__main__":

@@ -19,6 +19,8 @@ Run:  python examples/distributed_counting.py
 
 import tempfile
 
+from example_utils import scaled
+
 from repro import EdgeStream, exact_triangle_count
 from repro.core.checkpoint import from_state_dict, merge_counters, to_state_dict
 from repro.core.parallel import count_triangles_parallel
@@ -28,13 +30,13 @@ from repro.streaming import Pipeline, ShardedPipeline
 
 
 def main() -> None:
-    edges = list(EdgeStream(holme_kim(2500, 4, 0.55, seed=77), validate=False).shuffled(3))
+    edges = list(EdgeStream(holme_kim(scaled(2500, minimum=300), 4, 0.55, seed=77), validate=False).shuffled(3))
     true_tau = exact_triangle_count(edges)
     half = len(edges) // 2
     print(f"stream: {len(edges)} edges, true triangles = {true_tau}")
 
     # --- node A: stream, checkpoint halfway, restore, continue --------
-    node_a = VectorizedTriangleCounter(20_000, seed=1)
+    node_a = VectorizedTriangleCounter(scaled(20_000), seed=1)
     node_a.update_batch(edges[:half])
     checkpoint = to_state_dict(node_a)
     array_bytes = sum(
@@ -46,7 +48,7 @@ def main() -> None:
     node_a.update_batch(edges[half:])
 
     # --- node B: independent pool over the same stream ----------------
-    node_b = VectorizedTriangleCounter(20_000, seed=2)
+    node_b = VectorizedTriangleCounter(scaled(20_000), seed=2)
     node_b.update_batch(edges)
 
     # --- merge: one pooled estimate ------------------------------------
@@ -57,13 +59,13 @@ def main() -> None:
               f"error={abs(est - true_tau) / true_tau:6.2%}")
 
     # --- multiprocessing front-end -------------------------------------
-    est = count_triangles_parallel(edges, 40_000, workers=2, seed=5)
+    est = count_triangles_parallel(edges, scaled(40_000), workers=2, seed=5)
     print(f"parallel (2 workers, r=40k): estimate={est:.1f}  "
           f"error={abs(est - true_tau) / true_tau:.2%}")
 
     # --- generalized: shard a whole fan-out across workers -------------
     sharded = ShardedPipeline(
-        ["count", "transitivity"], workers=2, num_estimators=20_000, seed=5
+        ["count", "transitivity"], workers=2, num_estimators=scaled(20_000), seed=5
     )
     report = sharded.run(edges, batch_size=4_096)
     tau_hat = report["count"].results["triangles"]
@@ -74,12 +76,12 @@ def main() -> None:
     cut = 4_096  # a batch boundary, so the resumed replay is bit-exact
     with tempfile.TemporaryDirectory() as ckpt:
         first = Pipeline.from_registry(
-            ["count", "transitivity"], num_estimators=20_000, seed=5
+            ["count", "transitivity"], num_estimators=scaled(20_000), seed=5
         )
         # a one-shot stream that dries up early stands in for the kill
         first.run(iter(edges[:cut]), batch_size=4_096, checkpoint_path=ckpt)
         resumed = Pipeline.from_registry(
-            ["count", "transitivity"], num_estimators=20_000, seed=5
+            ["count", "transitivity"], num_estimators=scaled(20_000), seed=5
         ).resume(ckpt)
         # feeding the same full stream: the first `cut` edges are
         # skipped automatically, the rest continue bit-identically

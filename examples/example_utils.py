@@ -1,0 +1,17 @@
+"""Shared helpers for the example scripts.
+
+The examples default to sizes that make their printed effects visible
+on a laptop. CI runs them as a smoke job at a fraction of that size so
+API refactors cannot silently break them: the ``REPRO_EXAMPLE_SCALE``
+environment variable multiplies every size routed through
+:func:`scaled` (e.g. ``REPRO_EXAMPLE_SCALE=0.1`` runs ~10x smaller).
+"""
+
+import os
+
+_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """``n`` scaled by ``REPRO_EXAMPLE_SCALE``, floored at ``minimum``."""
+    return max(minimum, int(n * _SCALE))

@@ -2,48 +2,85 @@
 
 Simulates a live interaction stream whose community structure changes:
 a quiet phase of mostly random edges, then a burst of dense community
-activity (triangle-heavy), then quiet again. A sliding-window counter
-tracks the triangle count of the most recent ``w`` edges and visibly
-reacts to the burst, while the exact windowed counter provides the
-reference trajectory.
+activity (triangle-heavy), then quiet again. The monitoring itself runs
+on the real live surface -- :meth:`repro.streaming.Pipeline.snapshots`
+yields a :class:`~repro.streaming.PipelineSnapshot` every few batches
+*while the stream is still flowing*, exactly what ``repro watch`` does
+over a growing file -- with a sliding-window counter tracking the
+triangle count of the most recent ``w`` edges next to the exact
+windowed counter plugged in as a custom estimator.
 
 Run:  python examples/live_stream_monitoring.py
 """
+
+import math
+
+from example_utils import scaled
 
 from repro import RandomSource, SlidingWindowTriangleCounter
 from repro.exact.sliding import WindowedExactCounter
 from repro.experiments.figures import ascii_plot
 from repro.generators import clique_union_regular, erdos_renyi
+from repro.streaming import Pipeline
 
 
 def build_phased_stream(seed: int = 5) -> list[tuple[int, int]]:
     """Quiet random edges, a triangle-dense burst, quiet again."""
     rng = RandomSource(seed)
-    quiet_a = erdos_renyi(400, 1500, seed=rng.rand_int(0, 2**30))
-    burst = clique_union_regular(120, 8, 50, seed=rng.rand_int(0, 2**30))
+    n, m = scaled(400, minimum=50), scaled(1500, minimum=150)
+    quiet_a = erdos_renyi(n, m, seed=rng.rand_int(0, 2**30))
+    burst = clique_union_regular(
+        scaled(120, minimum=24), 8, scaled(50, minimum=10),
+        seed=rng.rand_int(0, 2**30),
+    )
     burst = [(u + 1000, v + 1000) for u, v in burst]  # fresh vertex range
-    quiet_b = erdos_renyi(400, 1500, seed=rng.rand_int(0, 2**30))
+    quiet_b = erdos_renyi(n, m, seed=rng.rand_int(0, 2**30))
     quiet_b = [(u + 3000, v + 3000) for u, v in quiet_b]
     return quiet_a + burst + quiet_b
 
 
+class ExactWindow:
+    """The exact windowed counter as a pipeline estimator (reference)."""
+
+    def __init__(self, window: int) -> None:
+        self._counter = WindowedExactCounter(window)
+        self._count = 0
+
+    def update_batch(self, batch) -> None:
+        for edge in batch:
+            self._count = self._counter.push(edge)
+
+    def estimate(self) -> float:
+        return float(self._count)
+
+
 def main() -> None:
-    window = 800
+    window = scaled(800, minimum=100)
     stream = build_phased_stream()
     print(f"stream: {len(stream)} edges, window w = {window}")
 
-    counter = SlidingWindowTriangleCounter(800, window, seed=1)
-    exact = WindowedExactCounter(window)
+    # The live query surface: one pipeline, one stream pass, a snapshot
+    # every other batch. The sliding-window spec comes from the
+    # registry; the exact reference is a hand-built estimator with its
+    # own reporter -- the same Pipeline surface accepts both.
+    counter = SlidingWindowTriangleCounter(scaled(800, minimum=100), window, seed=1)
+    pipeline = Pipeline(
+        {"window-estimate": counter, "window-exact": ExactWindow(window)},
+        reporters={
+            "window-estimate": lambda c: {"window_triangles": c.estimate()},
+            "window-exact": lambda c: {"window_triangles": c.estimate()},
+        },
+    )
 
-    sample_every = 100
     xs, est_series, true_series = [], [], []
-    for i, edge in enumerate(stream, start=1):
-        counter.update(edge)
-        true_count = exact.push(edge)
-        if i % sample_every == 0:
-            xs.append(i)
-            est_series.append(counter.estimate())
-            true_series.append(float(true_count))
+    batch_size = scaled(100, minimum=20)
+    for snapshot in pipeline.snapshots(stream, batch_size=batch_size, every=2):
+        if snapshot.final:
+            print(f"\nfinal: {snapshot.render_line()}")
+            continue
+        xs.append(snapshot.edges)
+        est_series.append(snapshot["window-estimate"].results["window_triangles"])
+        true_series.append(snapshot["window-exact"].results["window_triangles"])
 
     print(
         ascii_plot(
@@ -54,7 +91,7 @@ def main() -> None:
         )
     )
     print(f"\nmean chain length: {counter.mean_chain_length():.2f} "
-          f"(theory: ~ln w = {__import__('math').log(window):.2f})")
+          f"(theory: ~ln w = {math.log(window):.2f})")
 
     peak_true = max(true_series)
     peak_at = xs[true_series.index(peak_true)]

@@ -14,6 +14,8 @@ decodes any requested bit from a triangle-count query. The demo shows
 Run:  python examples/lower_bound_demo.py
 """
 
+from example_utils import scaled
+
 from repro import RandomSource, TriangleCounter
 from repro.baselines import ExactStreamingCounter
 from repro.theory import alice_graph_edges, run_index_protocol
@@ -21,7 +23,7 @@ from repro.theory import alice_graph_edges, run_index_protocol
 
 def main() -> None:
     rng = RandomSource(99)
-    bits = [rng.rand_int(0, 1) for _ in range(64)]
+    bits = [rng.rand_int(0, 1) for _ in range(scaled(64, minimum=16))]
     print(f"Alice's bit vector ({len(bits)} bits): "
           + "".join(map(str, bits[:32])) + "...")
 

@@ -8,6 +8,8 @@ sizing and the memory the estimator state occupies.
 Run:  python examples/quickstart.py
 """
 
+from example_utils import scaled
+
 from repro import (
     EdgeStream,
     TriangleCounter,
@@ -20,7 +22,7 @@ from repro.generators import holme_kim
 
 def main() -> None:
     # A 2000-vertex collaboration-style graph: power-law with triangles.
-    edges = holme_kim(2000, 4, 0.5, seed=42)
+    edges = holme_kim(scaled(2000, minimum=200), 4, 0.5, seed=42)
     stream = EdgeStream(edges, validate=False).shuffled(seed=7)
     graph = StaticGraph(edges, strict=False)
 
@@ -39,7 +41,7 @@ def main() -> None:
     print(f"Theorem 3.3 sufficient estimators for (0.2, 0.1): r >= {r_bound:,}")
 
     # In practice a much smaller pool already does well.
-    for r in (1_000, 10_000, 50_000):
+    for r in (scaled(1_000), scaled(10_000), scaled(50_000)):
         counter = TriangleCounter(r, seed=1)
         for batch in stream.batches(8 * r):
             counter.update_batch(batch)

@@ -10,6 +10,8 @@ checks everything against exact offline computation.
 Run:  python examples/social_network_analysis.py
 """
 
+from example_utils import scaled
+
 from repro import (
     EdgeStream,
     TransitivityEstimator,
@@ -24,14 +26,14 @@ from repro.generators import holme_kim
 
 def main() -> None:
     # A social graph: heavy-tailed with strong triadic closure.
-    edges = holme_kim(3000, 5, 0.6, seed=2024)
+    edges = holme_kim(scaled(3000, minimum=300), 5, 0.6, seed=2024)
     stream = list(EdgeStream(edges, validate=False).shuffled(seed=3))
     m = len(stream)
 
     # One pass, three consumers.
-    counter = TriangleCounter(40_000, seed=10)
-    transitivity = TransitivityEstimator(40_000, 5_000, seed=11)
-    sampler = TriangleSampler(20_000, seed=12)
+    counter = TriangleCounter(scaled(40_000), seed=10)
+    transitivity = TransitivityEstimator(scaled(40_000), scaled(5_000), seed=11)
+    sampler = TriangleSampler(scaled(20_000), seed=12)
     batch_size = 16_384
     for start in range(0, m, batch_size):
         batch = stream[start : start + batch_size]

@@ -5,6 +5,7 @@
     python -m repro sample --input graph.edges --estimators 20000 -k 5
     python -m repro pipeline --input graph.edges --estimator count \\
         --estimator transitivity --estimator sample
+    python -m repro watch --input live.edges --every 10 --checkpoint ck/
     python -m repro exact --input graph.edges
     python -m repro stats --input graph.edges
 
@@ -23,12 +24,16 @@ automatically. ``pipeline`` also carries the production knobs:
 ``--workers`` shards every estimator pool across processes over one
 stream read, and ``--checkpoint`` / ``--checkpoint-every`` /
 ``--resume`` snapshot and restore estimator state so a long run can be
-killed and continued bit-identically.
+killed and continued bit-identically. ``watch`` is the live surface:
+it follows a *growing* file (or stdin) and emits a snapshot of every
+estimator's current results each ``--every`` batches while the stream
+keeps flowing, with the same checkpoint/resume knobs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 import time
@@ -41,7 +46,15 @@ from .core.transitivity import TransitivityEstimator
 from .core.triangle_count import TriangleCounter
 from .core.triangle_sample import TriangleSampler
 from .errors import InvalidParameterError, ReproError
-from .streaming import ENGINES, ESTIMATORS, FileSource, Pipeline, ShardedPipeline
+from .streaming import (
+    ENGINES,
+    ESTIMATORS,
+    FileSource,
+    FollowSource,
+    LineSource,
+    Pipeline,
+    ShardedPipeline,
+)
 
 __all__ = ["main"]
 
@@ -142,6 +155,67 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"vertices: {len(degrees):,}")
     print(f"edges: {edges:,}")
     print(f"max degree: {max(degrees.values(), default=0):,}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Follow a growing file (or stdin) and emit live snapshots."""
+    if args.input == "-":
+        if args.resume:
+            raise InvalidParameterError(
+                "--resume needs a replayable input; stdin cannot re-serve "
+                "the edges the checkpoint already consumed. Watch a file."
+            )
+        if args.poll_interval is not None or args.idle_timeout is not None:
+            # stdin has no poll loop (reads block until the producer
+            # writes or closes); silently accepting these would leave a
+            # watcher its user believes will stop on idle hanging forever.
+            raise InvalidParameterError(
+                "--poll-interval/--idle-timeout only apply when following "
+                "a file; stdin ends when the producer closes the pipe"
+            )
+        source = LineSource(sys.stdin, deduplicate=args.dedup)
+    else:
+        source = FollowSource(
+            args.input,
+            deduplicate=args.dedup,
+            poll_interval=0.2 if args.poll_interval is None else args.poll_interval,
+            idle_timeout=args.idle_timeout,
+        )
+    names = args.estimator or ["count", "sliding-window"]
+    pipeline = Pipeline.from_registry(
+        names, num_estimators=args.estimators, seed=args.seed
+    )
+    if args.resume:
+        pipeline.resume(args.resume)
+    checkpoint_signal = None
+    if args.checkpoint and hasattr(signal, "SIGUSR1"):
+        # kill -USR1 <pid> snapshots at the next batch boundary.
+        checkpoint_signal = signal.SIGUSR1
+    snapshots = pipeline.snapshots(
+        source,
+        batch_size=args.batch_size,
+        every=args.every,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_signal=checkpoint_signal,
+    )
+    jsonl = open(args.jsonl, "a", encoding="utf-8") if args.jsonl else None
+    try:
+        for snapshot in snapshots:
+            if jsonl is not None:
+                jsonl.write(json.dumps(snapshot.to_dict()) + "\n")
+                jsonl.flush()
+            else:
+                print(snapshot.render_line(), flush=True)
+    except KeyboardInterrupt:
+        # A watcher is killed, not completed; the last --checkpoint
+        # snapshot (if any) is what --resume continues from.
+        print("watch interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if jsonl is not None:
+            jsonl.close()
     return 0
 
 
@@ -257,6 +331,90 @@ def build_parser() -> argparse.ArgumentParser:
         "same --batch-size) and continue bit-identically",
     )
     p_pipe.set_defaults(func=_cmd_pipeline)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live snapshots over a growing file or stdin",
+        description="Follow an edge-list file as it grows (tail -f "
+        "semantics; pass '-' to read stdin instead) and print a "
+        "snapshot of every estimator's current results every --every "
+        "batches. Windowed estimators pair naturally with this mode. "
+        "With --checkpoint, a killed watcher restarts with --resume "
+        "and continues where it stood.",
+    )
+    p_watch.add_argument(
+        "--input", required=True, help="edge-list file to follow, or '-' for stdin"
+    )
+    p_watch.add_argument("--seed", type=int, default=0, help="random seed")
+    p_watch.add_argument(
+        "--batch-size", type=_positive_int, default=4_096,
+        help="edges per batch (smaller than pipeline's default: live "
+        "latency beats throughput here)",
+    )
+    p_watch.add_argument(
+        "--dedup",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="drop repeated edges across the whole watched stream "
+        "(default OFF for watch: the membership set grows forever on "
+        "an unbounded stream)",
+    )
+    p_watch.add_argument(
+        "--estimator",
+        action="append",
+        choices=ESTIMATORS.names(),
+        metavar="NAME",
+        help="estimator to run (repeatable); choices: "
+        + ", ".join(ESTIMATORS.names())
+        + "; default: count, sliding-window",
+    )
+    p_watch.add_argument(
+        "--estimators",
+        type=int,
+        default=None,
+        help="pool size for every estimator (default: per-estimator)",
+    )
+    p_watch.add_argument(
+        "--every", type=_positive_int, default=1, metavar="K",
+        help="emit a snapshot every K batches (default: 1)",
+    )
+    p_watch.add_argument(
+        "--poll-interval", type=float, default=None, metavar="SECONDS",
+        help="seconds between polls of an idle file (default: 0.2; "
+        "file input only)",
+    )
+    p_watch.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="stop after the file has not grown for this long "
+        "(default: follow forever; file input only)",
+    )
+    p_watch.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="append each snapshot as a JSON line to PATH instead of "
+        "printing to stdout",
+    )
+    p_watch.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="snapshot estimator state into DIR: every "
+        "--checkpoint-every batches, on SIGUSR1, and at stream end",
+    )
+    p_watch.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="with --checkpoint: also snapshot every K batches",
+    )
+    p_watch.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume a killed watcher from its checkpoint DIR (same "
+        "estimators, same file, same --batch-size)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_exact = sub.add_parser("exact", help="exact counts (O(m) memory)")
     _add_common(p_exact)

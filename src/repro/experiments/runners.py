@@ -50,6 +50,8 @@ __all__ = [
     "run_ablation_engines",
     "run_pipeline_fanout",
     "run_sharded_fanout",
+    "run_live_snapshots",
+    "run_pipeline_throughput",
 ]
 
 
@@ -647,6 +649,107 @@ def run_pipeline_fanout(
 
 
 # ---------------------------------------------------------------------------
+# Pipeline-driver throughput: the no-snapshot path of the shared driver
+# ---------------------------------------------------------------------------
+
+def run_pipeline_throughput(
+    *,
+    dataset: str = "amazon_like",
+    estimator_names: Sequence[str] = ("count",),
+    num_estimators: int = 1_024,
+    trials: int = 3,
+    seed: int = 0,
+    batch_size: int = 8_192,
+    verbose: bool = True,
+) -> dict:
+    """Median Medges/s of a full :meth:`Pipeline.run` stream pass.
+
+    :meth:`Pipeline.run` and :meth:`Pipeline.snapshots` share one
+    driver; this measures the *no-snapshot* mode of that driver (the
+    regression gate in ``benchmarks/check_throughput_regression.py``
+    compares it against the committed baseline, so a refactor of the
+    shared driver cannot silently slow the plain run path down).
+    """
+    edges = _dataset_edges(dataset, seed)
+    m = int(edges.shape[0])
+    times = []
+    for trial in range(trials):
+        pipeline = Pipeline.from_registry(
+            estimator_names, num_estimators=num_estimators, seed=seed + trial
+        )
+        report = pipeline.run(edges, batch_size=batch_size)
+        times.append(report.seconds)
+    median = statistics.median(times)
+    result = {
+        "dataset": dataset,
+        "estimators": list(estimator_names),
+        "num_estimators": num_estimators,
+        "batch_size": batch_size,
+        "edges": m,
+        "median_seconds": median,
+        "medges_per_s": round(m / max(median, 1e-9) / 1e6, 3),
+    }
+    if verbose:
+        print(
+            f"pipeline driver on {dataset}: {result['medges_per_s']} Medges/s "
+            f"({m} edges, median of {trials})"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Live snapshots: the estimate trajectory while the stream flows
+# ---------------------------------------------------------------------------
+
+def run_live_snapshots(
+    *,
+    dataset: str = "amazon_like",
+    estimator_names: Sequence[str] = ("count", "exact"),
+    num_estimators: int = 20_000,
+    every: int = 2,
+    seed: int = 0,
+    batch_size: int = 512,
+    verbose: bool = True,
+) -> dict:
+    """Drive :meth:`Pipeline.snapshots` over a dataset and plot the
+    estimate's convergence toward the exact trajectory.
+
+    The paper's estimators are query-at-any-time; this runner makes
+    that visible: one stream pass, a snapshot every ``every`` batches,
+    and the approximate count tracking the exact streaming count as
+    edges accumulate -- the workload ``repro watch`` serves over live
+    files.
+    """
+    data = load_dataset(dataset)
+    pipeline = Pipeline.from_registry(
+        estimator_names, num_estimators=num_estimators, seed=seed
+    )
+    xs: list[float] = []
+    series: dict[str, list[float]] = {name: [] for name in estimator_names}
+    trajectory = []
+    for snapshot in pipeline.snapshots(
+        _dataset_edges(dataset, seed), batch_size=batch_size, every=every
+    ):
+        xs.append(float(snapshot.edges))
+        for name in estimator_names:
+            results = snapshot[name].results
+            value = results.get("triangles", results.get("estimate"))
+            series[name].append(float(value) if value is not None else 0.0)
+        trajectory.append(snapshot.to_dict())
+    if verbose:
+        print(
+            ascii_plot(
+                {name: (xs, ys) for name, ys in series.items()},
+                x_label="edges seen",
+                y_label="triangles",
+                title=f"live snapshots on {dataset} (every {every} batches, "
+                f"true tau={data.truth.triangles})",
+            )
+        )
+    return {"edges": xs, "series": series, "trajectory": trajectory}
+
+
+# ---------------------------------------------------------------------------
 # Sharded execution: the same fan-out split across worker processes
 # ---------------------------------------------------------------------------
 
@@ -733,6 +836,8 @@ _RUNNERS = {
     "ablation-engines": run_ablation_engines,
     "pipeline-fanout": run_pipeline_fanout,
     "sharded-fanout": run_sharded_fanout,
+    "live-snapshots": run_live_snapshots,
+    "pipeline-throughput": run_pipeline_throughput,
 }
 
 

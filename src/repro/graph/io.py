@@ -38,6 +38,7 @@ __all__ = [
     "iter_edge_list",
     "dedup_edges",
     "iter_edge_array_chunks",
+    "dedup_chunk",
     "dedup_edge_arrays",
 ]
 
@@ -94,7 +95,7 @@ def _canonical_rows(arr: np.ndarray) -> np.ndarray:
 
 
 def iter_edge_array_chunks(
-    path: str | os.PathLike, *, chunk_chars: int = _CHUNK_CHARS
+    source, *, chunk_chars: int = _CHUNK_CHARS
 ) -> Iterator[np.ndarray]:
     """Parse an edge-list file into canonical ``(n, 2)`` int64 arrays.
 
@@ -106,74 +107,141 @@ def iter_edge_array_chunks(
     bounded by one chunk regardless of file size. Vertex ids must lie
     in ``[0, 2^31)`` (the engines' packed-key domain).
 
+    ``source`` is a path or an already-open *text* file object (a
+    ``StringIO``, a socket's ``makefile()``, ``sys.stdin``): the
+    streaming sources (:class:`repro.streaming.LineSource`,
+    :class:`repro.streaming.FollowSource`) feed handles they own, and
+    the handle is left open for the caller to manage.
+
     Rows with extra columns (weights, timestamps) take their first two
     fields, as the per-line parser does; files whose rows are *ragged*
     make ``loadtxt`` balk, so the parser falls back to a careful
-    per-line pass that resumes exactly after the rows already emitted.
+    per-line pass that resumes exactly after the rows already emitted
+    (replaying from the path, or by seeking the handle back; a
+    non-seekable handle with ragged rows is an error because its
+    already-consumed text cannot be re-read).
     """
+    if hasattr(source, "read"):
+        yield from _chunks_from_handle(source, chunk_chars, path=None)
+        return
+    with open(source, "r", encoding="utf-8") as handle:
+        yield from _chunks_from_handle(handle, chunk_chars, path=source)
+
+
+def _chunks_from_handle(
+    handle, chunk_chars: int, path: str | os.PathLike | None
+) -> Iterator[np.ndarray]:
+    """The loadtxt chunk loop over an open text handle (see above)."""
     max_rows = max(1, chunk_chars // _ROW_CHARS)
     consumed = 0  # data rows yielded so far, pre self-loop filter
-    with open(path, "r", encoding="utf-8") as handle:
-        while True:
-            try:
-                with warnings.catch_warnings():
-                    # loadtxt warns on empty input (our EOF probe) and
-                    # on comment lines not counting toward max_rows.
-                    warnings.simplefilter("ignore", UserWarning)
-                    arr = np.loadtxt(
-                        handle,
-                        dtype=np.int64,
-                        comments="#",
-                        ndmin=2,
-                        max_rows=max_rows,
-                    )
-            except ValueError:
-                # Ragged rows (varying column counts): re-parse the
-                # remainder line by line, skipping what was emitted.
-                yield from _ragged_row_chunks(path, consumed, max_rows)
-                return
-            if arr.size == 0:
-                return
-            if arr.shape[1] < 2:
-                raise InvalidParameterError(
-                    f"edge-list rows need at least two fields, got {arr.shape[1]}"
+    try:
+        start = handle.tell() if handle.seekable() else None
+    except (OSError, AttributeError):
+        start = None
+    while True:
+        try:
+            with warnings.catch_warnings():
+                # loadtxt warns on empty input (our EOF probe) and
+                # on comment lines not counting toward max_rows.
+                warnings.simplefilter("ignore", UserWarning)
+                arr = np.loadtxt(
+                    handle,
+                    dtype=np.int64,
+                    comments="#",
+                    ndmin=2,
+                    max_rows=max_rows,
                 )
-            consumed += arr.shape[0]
-            out = _canonical_rows(arr[:, :2])
-            if out.shape[0]:
-                yield out
+        except ValueError:
+            # Ragged rows (varying column counts): re-parse the
+            # remainder line by line, skipping what was emitted.
+            if path is not None:
+                with open(path, "r", encoding="utf-8") as reread:
+                    yield from _ragged_row_chunks(reread, consumed, max_rows)
+                return
+            if start is not None:
+                handle.seek(start)
+                yield from _ragged_row_chunks(handle, consumed, max_rows)
+                return
+            raise InvalidParameterError(
+                "edge rows have inconsistent column counts and the input "
+                "handle is not seekable, so the consumed text cannot be "
+                "re-parsed; feed complete uniform rows or a seekable handle"
+            ) from None
+        if arr.size == 0:
+            return
+        if arr.shape[1] < 2:
+            raise InvalidParameterError(
+                f"edge-list rows need at least two fields, got {arr.shape[1]}"
+            )
+        consumed += arr.shape[0]
+        out = _canonical_rows(arr[:, :2])
+        if out.shape[0]:
+            yield out
 
 
 def _ragged_row_chunks(
-    path: str | os.PathLike, skip_rows: int, max_rows: int
+    lines: Iterable[str], skip_rows: int, max_rows: int
 ) -> Iterator[np.ndarray]:
-    """Careful per-line parse for ragged files: first two fields per row.
+    """Careful per-line parse for ragged inputs: first two fields per row.
 
     ``skip_rows`` data rows (comment/blank lines excluded -- the same
     rows :func:`numpy.loadtxt` counts) were already emitted by the fast
     path and are skipped so the combined stream has every edge once.
+    ``lines`` is any iterable of text lines (an open handle positioned
+    at the start of the stream's text).
     """
     rows: list[tuple[int, int]] = []
     data_rows = 0
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            stripped = line.strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            data_rows += 1
-            if data_rows <= skip_rows:
-                continue
-            parts = stripped.split()
-            rows.append((int(parts[0]), int(parts[1])))
-            if len(rows) >= max_rows:
-                arr = _canonical_rows(np.array(rows, dtype=np.int64).reshape(-1, 2))
-                rows = []
-                if arr.shape[0]:
-                    yield arr
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        data_rows += 1
+        if data_rows <= skip_rows:
+            continue
+        parts = stripped.split()
+        rows.append((int(parts[0]), int(parts[1])))
+        if len(rows) >= max_rows:
+            arr = _canonical_rows(np.array(rows, dtype=np.int64).reshape(-1, 2))
+            rows = []
+            if arr.shape[0]:
+                yield arr
     if rows:
         arr = _canonical_rows(np.array(rows, dtype=np.int64).reshape(-1, 2))
         if arr.shape[0]:
             yield arr
+
+
+def dedup_chunk(
+    arr: np.ndarray, seen: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop already-seen edges from one canonical chunk.
+
+    The stateless core of :func:`dedup_edge_arrays`: ``seen`` is the
+    sorted array of packed ``(u << 32) | v`` int64 keys observed so
+    far; the return value is ``(fresh_rows, updated_seen)``. Callers
+    that dedup across *separate* parses of a growing stream (the
+    follow-mode source polls the file repeatedly) thread the key array
+    through themselves.
+    """
+    if not arr.shape[0]:
+        return arr, seen
+    keys = (arr[:, 0] << np.int64(32)) | arr[:, 1]
+    uniq, first = np.unique(keys, return_index=True)
+    if seen.size:
+        pos = np.searchsorted(seen, uniq)
+        pos_clipped = np.minimum(pos, seen.size - 1)
+        fresh = seen[pos_clipped] != uniq
+        uniq, first = uniq[fresh], first[fresh]
+    if not uniq.size:
+        return arr[:0], seen
+    if seen.size:
+        # Both runs are sorted: np.insert at the searchsorted
+        # positions is a linear merge (no re-sort of the seen set).
+        seen = np.insert(seen, np.searchsorted(seen, uniq), uniq)
+    else:
+        seen = uniq
+    return arr[np.sort(first)], seen
 
 
 def dedup_edge_arrays(chunks: Iterable[np.ndarray]) -> Iterator[np.ndarray]:
@@ -188,24 +256,9 @@ def dedup_edge_arrays(chunks: Iterable[np.ndarray]) -> Iterator[np.ndarray]:
     """
     seen = np.empty(0, dtype=np.int64)
     for arr in chunks:
-        if not arr.shape[0]:
-            continue
-        keys = (arr[:, 0] << np.int64(32)) | arr[:, 1]
-        uniq, first = np.unique(keys, return_index=True)
-        if seen.size:
-            pos = np.searchsorted(seen, uniq)
-            pos_clipped = np.minimum(pos, seen.size - 1)
-            fresh = seen[pos_clipped] != uniq
-            uniq, first = uniq[fresh], first[fresh]
-        if not uniq.size:
-            continue
-        if seen.size:
-            # Both runs are sorted: np.insert at the searchsorted
-            # positions is a linear merge (no re-sort of the seen set).
-            seen = np.insert(seen, np.searchsorted(seen, uniq), uniq)
-        else:
-            seen = uniq
-        yield arr[np.sort(first)]
+        fresh, seen = dedup_chunk(arr, seen)
+        if fresh.shape[0]:
+            yield fresh
 
 
 def read_edge_list(path: str | os.PathLike, *, deduplicate: bool = True) -> list[Edge]:

@@ -12,7 +12,10 @@ This subpackage is the architectural backbone for one-pass processing:
 - :mod:`repro.streaming.pipeline` -- :class:`Pipeline`, which drives
   any number of registered estimators over one stream read with
   per-estimator timing and a structured report, plus mid-stream
-  checkpoint/resume;
+  checkpoint/resume and the live query surface
+  (:meth:`Pipeline.snapshots`, yielding a :class:`PipelineSnapshot`
+  every ``k`` batches while the stream flows -- over unbounded
+  :class:`FollowSource`/:class:`LineSource` streams too);
 - :mod:`repro.streaming.checkpoint` -- the versioned on-disk form of
   estimator state (npz + JSON manifest) behind
   :meth:`Pipeline.checkpoint` / :meth:`Pipeline.resume`;
@@ -43,7 +46,13 @@ from .checkpoint import (
     source_fingerprint,
     verify_resume_source,
 )
-from .pipeline import EstimatorReport, Pipeline, PipelineReport, derive_seed
+from .pipeline import (
+    EstimatorReport,
+    Pipeline,
+    PipelineReport,
+    PipelineSnapshot,
+    derive_seed,
+)
 from .protocol import (
     BatchedEstimator,
     CheckpointableEstimator,
@@ -62,7 +71,9 @@ from .sharded import ShardedPipeline, derive_shard_seed, shard_sizes
 from .source import (
     EdgeSource,
     FileSource,
+    FollowSource,
     IterableSource,
+    LineSource,
     MemorySource,
     as_source,
     batched_iter,
@@ -81,10 +92,13 @@ __all__ = [
     "EstimatorReport",
     "EstimatorSpec",
     "FileSource",
+    "FollowSource",
     "IterableSource",
+    "LineSource",
     "MemorySource",
     "Pipeline",
     "PipelineReport",
+    "PipelineSnapshot",
     "PreparedEstimator",
     "Registry",
     "ShardedPipeline",

@@ -94,12 +94,19 @@ def _sample_report(sampler) -> dict:
     return results
 
 
+def _sample_live_report(sampler) -> dict:
+    # sample_one() draws from the sampler's generator, so the final
+    # reporter cannot run mid-stream without perturbing every
+    # subsequent batch; live snapshots report the pure queries only.
+    return {"success_fraction": float(sampler.success_fraction())}
+
+
 @register_estimator(
     "sample",
     description="uniform triangle sampling (Lemma 3.7 / Theorem 3.8)",
     default_estimators=50_000,
 )
-@reports(_sample_report)
+@reports(_sample_report, live=_sample_live_report)
 def _make_sample(num_estimators: int, seed: int | None, *, max_degree: int | None = None):
     from ..core.triangle_sample import TriangleSampler
 

@@ -16,6 +16,15 @@ deterministically from the root seed and the estimator *name* (not the
 position), so a pipeline run is bit-identical to running each estimator
 alone with :func:`derive_seed`'s output -- the equivalence the test
 suite asserts.
+
+The estimators are query-at-any-time, and so is the pipeline:
+:meth:`Pipeline.snapshots` is the *live* surface -- a generator that
+yields a :class:`PipelineSnapshot` of every estimator's current results
+every ``k`` batches while the stream keeps flowing (the ``repro watch``
+subcommand and the follow-mode sources build on it). :meth:`Pipeline.run`
+and :meth:`Pipeline.snapshots` share one driver (:meth:`Pipeline._drive`):
+``run`` simply drains the snapshot stream and returns the final report,
+so the two are bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ import signal as signal_module
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -40,7 +49,13 @@ from .checkpoint import (
 from .registry import ESTIMATORS, _default_report
 from .source import _COERCE_ERRORS, EdgeSource, as_source
 
-__all__ = ["Pipeline", "PipelineReport", "EstimatorReport", "derive_seed"]
+__all__ = [
+    "Pipeline",
+    "PipelineReport",
+    "PipelineSnapshot",
+    "EstimatorReport",
+    "derive_seed",
+]
 
 
 def derive_seed(seed: int | None, name: str) -> int | None:
@@ -118,6 +133,41 @@ class PipelineReport:
         }
 
 
+@dataclass
+class PipelineSnapshot(PipelineReport):
+    """A mid-stream :class:`PipelineReport`, as :meth:`Pipeline.snapshots`
+    yields them.
+
+    Same fields as the final report -- edges/batches consumed *so far*,
+    cumulative wall-clock and I/O seconds, per-estimator results and
+    timings -- plus ``final``, true for the one snapshot emitted when
+    the stream ends. Non-final snapshots use each estimator's
+    ``live_report`` (falling back to its regular reporter), so results
+    may expose fewer keys mid-stream than at the end (``sample`` omits
+    the drawn triangle, which would consume randomness).
+    """
+
+    final: bool = False
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["final"] = self.final
+        return out
+
+    def render_line(self) -> str:
+        """One compact line per snapshot (what ``repro watch`` prints)."""
+        marker = " [final]" if self.final else ""
+        parts = "; ".join(
+            f"{r.name}: "
+            + ", ".join(f"{k}={_fmt(v)}" for k, v in r.results.items())
+            for r in self.estimators
+        )
+        return (
+            f"[batch {self.batches:,} | {self.edges:,} edges | "
+            f"{self.seconds:.2f}s]{marker} {parts}"
+        )
+
+
 class Pipeline:
     """Fan a single stream pass out to ``n`` streaming estimators.
 
@@ -133,6 +183,13 @@ class Pipeline:
         estimator's final results are extracted. Defaults to the
         registry's reporter when the name is registered, else to
         ``{"estimate": estimator.estimate()}``.
+    live_reporters:
+        Optional ``name -> (estimator -> dict)`` overrides used for
+        *mid-stream* snapshots only (:meth:`snapshots`). A live
+        reporter must be a pure query -- it runs between batches, and
+        the stream must continue exactly as if it had not. Names
+        without an entry fall back to ``reporters``, then to the
+        registry spec's ``live_report``/``report``.
     """
 
     def __init__(
@@ -140,6 +197,7 @@ class Pipeline:
         estimators: Mapping[str, Any] | Sequence[tuple[str, Any]],
         *,
         reporters: Mapping[str, Any] | None = None,
+        live_reporters: Mapping[str, Any] | None = None,
     ) -> None:
         pairs = (
             list(estimators.items())
@@ -153,6 +211,7 @@ class Pipeline:
             raise InvalidParameterError(f"duplicate estimator names: {names}")
         self._pairs = pairs
         self._reporters = dict(reporters or {})
+        self._live_reporters = dict(live_reporters or {})
         self._resume: Checkpoint | None = None
         self._resume_path: Any = None
         self._resume_poisoned = False
@@ -289,7 +348,7 @@ class Pipeline:
         return self
 
     # ------------------------------------------------------------------
-    # the stream pass
+    # the stream pass: one driver, two surfaces (run / snapshots)
     # ------------------------------------------------------------------
     def run(
         self,
@@ -314,12 +373,20 @@ class Pipeline:
         is reported separately as ``io_seconds`` (the paper's Table 3
         I/O split).
 
+        ``run`` is literally "drain :meth:`snapshots` and return the
+        final report": both surfaces share the :meth:`_drive` stream
+        pass, so the results here are bit-identical to the ``final``
+        snapshot of a ``snapshots`` call over the same source and seed
+        -- the equivalence the test suite asserts.
+
         Durability hooks:
 
         - ``checkpoint_path`` -- directory to snapshot estimator state
           into (see :meth:`checkpoint`). A snapshot is always written
           when the stream completes; with ``checkpoint_every=k`` one is
-          also written every ``k`` batches, and with
+          also written every ``k`` batches (of the *global* stream
+          position, so a resumed run snapshots at the same stream
+          offsets the uninterrupted run would), and with
           ``checkpoint_signal`` (e.g. ``signal.SIGUSR1``) on demand at
           the next batch boundary after the signal arrives.
         - after :meth:`resume`, the run skips the edges the checkpoint
@@ -327,6 +394,83 @@ class Pipeline:
           ``batch_size`` required); edge/batch totals in the report
           cover the whole logical stream, not just the continuation.
         """
+        state = self._begin(
+            source, batch_size, checkpoint_path, checkpoint_every, checkpoint_signal
+        )
+        snapshot = None
+        for snapshot in self._drive(state, None, checkpoint_path, checkpoint_every):
+            pass
+        # A plain report (no `final` field): run()'s return type predates
+        # the snapshot surface and artifact dicts depend on its shape.
+        return PipelineReport(
+            edges=snapshot.edges,
+            batches=snapshot.batches,
+            seconds=snapshot.seconds,
+            io_seconds=snapshot.io_seconds,
+            estimators=snapshot.estimators,
+        )
+
+    def snapshots(
+        self,
+        source,
+        *,
+        batch_size: int = 65_536,
+        every: int = 1,
+        checkpoint_path=None,
+        checkpoint_every: int | None = None,
+        checkpoint_signal: int | None = None,
+    ) -> Iterator[PipelineSnapshot]:
+        """Stream ``source`` like :meth:`run`, yielding live snapshots.
+
+        A generator over the same stream pass as :meth:`run` (same fast
+        paths, shared batch context, resume-skip, and checkpoint hooks
+        -- the two share :meth:`_drive`), yielding a
+        :class:`PipelineSnapshot` after every ``every``-th batch of the
+        global stream position and a ``final`` snapshot when the stream
+        ends. Mid-stream snapshots report through each estimator's
+        ``live_report`` (pure queries only); the final snapshot uses
+        the full reporters and is bit-identical to :meth:`run`'s report
+        over the same source and seed.
+
+        Works over unbounded sources: with a
+        :class:`~repro.streaming.source.FollowSource` the generator
+        simply never emits a ``final`` snapshot until the source's stop
+        condition fires -- this is the ``repro watch`` loop. Abandoning
+        the generator mid-stream is safe: the estimators keep their
+        mid-stream state and remain queryable (unless the pass was
+        resumed from a checkpoint, in which case the checkpoint is
+        reloaded exactly as a failed :meth:`run` would, so a retry
+        cannot double-count the stream).
+
+        Validation (and the pre-stream checkpoint, when
+        ``checkpoint_path`` is set) happens eagerly at the call, not at
+        the first ``next()``.
+        """
+        if every < 1:
+            raise InvalidParameterError(f"every must be >= 1, got {every}")
+        state = self._begin(
+            source, batch_size, checkpoint_path, checkpoint_every, checkpoint_signal
+        )
+        return self._drive(state, every, checkpoint_path, checkpoint_every)
+
+    def _begin(
+        self,
+        source,
+        batch_size: int,
+        checkpoint_path,
+        checkpoint_every: int | None,
+        checkpoint_signal: int | None,
+    ) -> dict[str, Any]:
+        """Validate and set up a stream pass (shared by run/snapshots).
+
+        Everything fallible-before-the-stream happens here, eagerly:
+        parameter validation, resume fingerprint verification, and the
+        pre-stream checkpoint. Returns the driver's starting state.
+        """
+        if batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         if checkpoint_every is not None:
             if checkpoint_path is None:
                 raise InvalidParameterError(
@@ -336,6 +480,12 @@ class Pipeline:
                 raise InvalidParameterError(
                     f"checkpoint_every must be >= 1, got {checkpoint_every}"
                 )
+        if checkpoint_signal is not None and checkpoint_path is None:
+            # Silently ignoring the signal request would leave the
+            # caller believing kill -USR1 snapshots are armed.
+            raise InvalidParameterError(
+                "checkpoint_signal requires checkpoint_path"
+            )
         if self._resume_poisoned:
             raise InvalidParameterError(
                 "a previous resumed run failed and its checkpoint could not "
@@ -404,6 +554,48 @@ class Pipeline:
             fast is not None and getattr(estimator, "uses_batch_context", True)
             for (_, estimator), fast in zip(self._pairs, fast_paths)
         )
+        return {
+            "src": src,
+            "batch_size": batch_size,
+            "resumed": resume is not None,
+            "remaining": remaining,
+            "base_edges": base_edges,
+            "base_batches": base_batches,
+            "fast_paths": fast_paths,
+            "want_context": want_context,
+            "checkpoint_signal": checkpoint_signal,
+        }
+
+    def _drive(
+        self,
+        state: dict[str, Any],
+        every: int | None,
+        checkpoint_path,
+        checkpoint_every: int | None,
+    ) -> Iterator[PipelineSnapshot]:
+        """The one stream pass behind :meth:`run` and :meth:`snapshots`.
+
+        Streams, updates every estimator, writes periodic/signal/final
+        checkpoints, and yields a :class:`PipelineSnapshot` every
+        ``every`` batches (``None``: only the final one -- the
+        :meth:`run` mode). Checkpoint and snapshot cadences key on the
+        *global* batch index (``base + local``), so a resumed pass
+        checkpoints and reports at the same stream positions the
+        uninterrupted pass would.
+
+        On any failure -- or on abandonment mid-stream -- of a pass
+        that was resumed from a checkpoint, the checkpoint is reloaded
+        so a retry cannot double-count the stream (see
+        :meth:`_reload_after_failed_resume`).
+        """
+        src = state["src"]
+        batch_size = state["batch_size"]
+        remaining = state["remaining"]
+        base_edges = state["base_edges"]
+        base_batches = state["base_batches"]
+        fast_paths = state["fast_paths"]
+        want_context = state["want_context"]
+        checkpoint_signal = state["checkpoint_signal"]
         timings = {name: 0.0 for name, _ in self._pairs}
         edges = 0
         batches = 0
@@ -421,57 +613,116 @@ class Pipeline:
                 # Not the main thread: on-demand snapshots unavailable,
                 # periodic/final ones still work.
                 restore_handler = None
-        counters = {"edges": 0, "batches": 0, "io_seconds": 0.0}
         start = time.perf_counter()
-        try:
-            self._stream_pass(
-                src,
-                batch_size,
-                remaining,
-                base_edges,
-                base_batches,
-                fast_paths,
-                want_context,
-                timings,
-                checkpoint_path,
-                checkpoint_every,
-                signal_seen,
-                restore_handler,
-                counters,
+
+        def _snapshot(final: bool) -> PipelineSnapshot:
+            return PipelineSnapshot(
+                edges=base_edges + edges,
+                batches=base_batches + batches,
+                seconds=time.perf_counter() - start,
+                io_seconds=io_seconds,
+                estimators=[
+                    EstimatorReport(
+                        name=name,
+                        seconds=timings[name],
+                        results=self._reporter_for(name, live=not final)(estimator),
+                    )
+                    for name, estimator in self._pairs
+                ],
+                final=final,
             )
+
+        try:
+            try:
+                stream = iter(src.batches(batch_size))
+                while True:
+                    t0 = time.perf_counter()
+                    batch = next(stream, None)
+                    if batch is None:
+                        io_seconds += time.perf_counter() - t0
+                        break
+                    if remaining:
+                        # Replaying a resumed stream: checkpoints land on
+                        # batch boundaries, so whole batches are skipped
+                        # (the partial slice only triggers on boundary
+                        # drift, e.g. a final short batch).
+                        w = len(batch)
+                        if w <= remaining:
+                            remaining -= w
+                            io_seconds += time.perf_counter() - t0
+                            continue
+                        if isinstance(batch, EdgeBatch):
+                            batch = EdgeBatch(batch.array[remaining:])
+                        else:
+                            batch = list(batch)[remaining:]
+                        remaining = 0
+                    if isinstance(batch, EdgeBatch):
+                        prepared = batch
+                    else:
+                        try:
+                            prepared = EdgeBatch.from_edges(batch)
+                        except _COERCE_ERRORS:
+                            prepared = None
+                    if prepared is not None and want_context:
+                        prepared.context  # noqa: B018 -- build the shared index once
+                    io_seconds += time.perf_counter() - t0
+                    batches += 1
+                    edges += len(batch)
+                    for (name, estimator), fast in zip(self._pairs, fast_paths):
+                        t1 = time.perf_counter()
+                        if fast is not None and prepared is not None:
+                            fast(prepared)
+                        else:
+                            estimator.update_batch(
+                                batch if prepared is None else prepared
+                            )
+                        timings[name] += time.perf_counter() - t1
+                    self._progress["edges_seen"] = base_edges + edges
+                    self._progress["batches"] = base_batches + batches
+                    global_batch = base_batches + batches
+                    if checkpoint_path is not None and (
+                        signal_seen[0]
+                        or (checkpoint_every and global_batch % checkpoint_every == 0)
+                    ):
+                        signal_seen[0] = False
+                        self.checkpoint(checkpoint_path)
+                    if every is not None and global_batch % every == 0:
+                        yield _snapshot(final=False)
+            finally:
+                if restore_handler is not None:
+                    signal_module.signal(*restore_handler)
+            if remaining:
+                raise InvalidParameterError(
+                    f"stream ended {remaining} edges before the checkpoint's "
+                    "position; it is not the stream that was checkpointed"
+                )
+            if checkpoint_path is not None:
+                self.checkpoint(checkpoint_path)
+            self._resume = None
+            yield _snapshot(final=True)
         except BaseException:
-            if resume is not None:
+            if state["resumed"] and self._resume is not None:
                 # The pipeline's estimators are somewhere past the
                 # checkpoint; silently retrying from here would
                 # double-count the stream. Put the pipeline back in its
                 # resumable state so a corrected run() call is safe.
+                # (Reached on failure AND on generator abandonment --
+                # GeneratorExit lands here too.)
                 self._reload_after_failed_resume()
             raise
-        self._resume = None
-        edges = counters["edges"]
-        batches = counters["batches"]
-        io_seconds = counters["io_seconds"]
-        total = time.perf_counter() - start
-        report = PipelineReport(
-            edges=base_edges + edges,
-            batches=base_batches + batches,
-            seconds=total,
-            io_seconds=io_seconds,
-        )
-        for name, estimator in self._pairs:
-            reporter = self._reporters.get(name)
-            if reporter is None:
-                reporter = (
-                    ESTIMATORS.get(name).report
-                    if name in ESTIMATORS
-                    else _default_report
-                )
-            report.estimators.append(
-                EstimatorReport(
-                    name=name, seconds=timings[name], results=reporter(estimator)
-                )
-            )
-        return report
+
+    def _reporter_for(self, name: str, *, live: bool):
+        """The result extractor for one estimator (live or final)."""
+        if live and name in self._live_reporters:
+            return self._live_reporters[name]
+        if name in self._reporters:
+            return self._reporters[name]
+        if name in ESTIMATORS:
+            spec = ESTIMATORS.get(name)
+            if live and spec.live_report is not None:
+                return spec.live_report
+            return spec.report
+        return _default_report
 
     def _reload_after_failed_resume(self) -> None:
         """Restore the resumable state after a failed resumed pass.
@@ -486,89 +737,6 @@ class Pipeline:
         except Exception:
             self._resume = None
             self._resume_poisoned = True
-
-    def _stream_pass(
-        self,
-        src,
-        batch_size,
-        remaining,
-        base_edges,
-        base_batches,
-        fast_paths,
-        want_context,
-        timings,
-        checkpoint_path,
-        checkpoint_every,
-        signal_seen,
-        restore_handler,
-        counters,
-    ) -> None:
-        """The fallible middle of :meth:`run`: stream, update, snapshot."""
-        edges = 0
-        batches = 0
-        try:
-            stream = iter(src.batches(batch_size))
-            while True:
-                t0 = time.perf_counter()
-                batch = next(stream, None)
-                if batch is None:
-                    counters["io_seconds"] += time.perf_counter() - t0
-                    break
-                if remaining:
-                    # Replaying a resumed stream: checkpoints land on
-                    # batch boundaries, so whole batches are skipped
-                    # (the partial slice only triggers on boundary
-                    # drift, e.g. a final short batch).
-                    w = len(batch)
-                    if w <= remaining:
-                        remaining -= w
-                        counters["io_seconds"] += time.perf_counter() - t0
-                        continue
-                    if isinstance(batch, EdgeBatch):
-                        batch = EdgeBatch(batch.array[remaining:])
-                    else:
-                        batch = list(batch)[remaining:]
-                    remaining = 0
-                if isinstance(batch, EdgeBatch):
-                    prepared = batch
-                else:
-                    try:
-                        prepared = EdgeBatch.from_edges(batch)
-                    except _COERCE_ERRORS:
-                        prepared = None
-                if prepared is not None and want_context:
-                    prepared.context  # noqa: B018 -- build the shared index once
-                counters["io_seconds"] += time.perf_counter() - t0
-                batches += 1
-                edges += len(batch)
-                counters["edges"] = edges
-                counters["batches"] = batches
-                for (name, estimator), fast in zip(self._pairs, fast_paths):
-                    t1 = time.perf_counter()
-                    if fast is not None and prepared is not None:
-                        fast(prepared)
-                    else:
-                        estimator.update_batch(batch if prepared is None else prepared)
-                    timings[name] += time.perf_counter() - t1
-                self._progress["edges_seen"] = base_edges + edges
-                self._progress["batches"] = base_batches + batches
-                if checkpoint_path is not None and (
-                    signal_seen[0]
-                    or (checkpoint_every and batches % checkpoint_every == 0)
-                ):
-                    signal_seen[0] = False
-                    self.checkpoint(checkpoint_path)
-        finally:
-            if restore_handler is not None:
-                signal_module.signal(*restore_handler)
-        if remaining:
-            raise InvalidParameterError(
-                f"stream ended {remaining} edges before the checkpoint's "
-                "position; it is not the stream that was checkpointed"
-            )
-        if checkpoint_path is not None:
-            self.checkpoint(checkpoint_path)
-
 
 def _fmt(value: Any) -> str:
     if isinstance(value, float):

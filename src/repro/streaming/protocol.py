@@ -33,14 +33,25 @@ Edge = tuple[int, int]
 
 @runtime_checkable
 class StreamingEstimator(Protocol):
-    """Anything that eats edge batches and produces a scalar estimate."""
+    """Anything that eats edge batches and produces a scalar estimate.
+
+    The estimators are *query-at-any-time*: ``estimate`` (and any other
+    result query a reporter reads) must be a pure function of the state
+    -- no mutation, no generator draws -- because the live snapshot
+    surface (:meth:`~repro.streaming.pipeline.Pipeline.snapshots`)
+    calls it between batches and the stream must continue exactly as if
+    it had not been observed. Queries that *do* consume randomness
+    (e.g. drawing one of the sampled triangles) belong in a final-only
+    reporter; see ``live_report`` on
+    :class:`~repro.streaming.registry.EstimatorSpec`.
+    """
 
     def update_batch(self, batch: Sequence[Edge]) -> None:
         """Observe a batch of stream edges (order within the batch counts)."""
         ...
 
     def estimate(self) -> float:
-        """The current aggregated estimate."""
+        """The current aggregated estimate (a pure, repeatable query)."""
         ...
 
 

@@ -126,6 +126,15 @@ class EstimatorSpec:
         must satisfy :class:`~repro.streaming.protocol.StreamingEstimator`.
     report:
         ``estimator -> dict`` of final results (JSON-friendly values).
+    live_report:
+        Optional ``estimator -> dict`` used for *mid-stream* snapshots
+        (:meth:`~repro.streaming.pipeline.Pipeline.snapshots`). Live
+        reporters MUST be side-effect free -- in particular they must
+        not draw from the estimator's generator, or observing the
+        stream would change it (the ``sample`` spec's final reporter
+        draws a triangle, so its live reporter reports the success
+        fraction only). ``None`` falls back to ``report``, which is
+        correct for every pure-query reporter.
     description:
         One line for ``--help`` and the README's estimator matrix.
     default_estimators:
@@ -143,6 +152,7 @@ class EstimatorSpec:
     description: str = ""
     default_estimators: int = 10_000
     options: dict = field(default_factory=dict)
+    live_report: Callable[[Any], dict] | None = None
 
     def create(
         self, num_estimators: int | None = None, seed: int | None = None, **overrides
@@ -190,6 +200,7 @@ def register_estimator(
                 description=description,
                 default_estimators=default_estimators,
                 options=dict(options),
+                live_report=getattr(factory, "live_reporter", None),
             ),
         )
         return factory
@@ -197,11 +208,22 @@ def register_estimator(
     return _add
 
 
-def reports(report: Callable[[Any], dict]) -> Callable[[Callable], Callable]:
-    """Attach a result-reporter to an estimator factory (see above)."""
+def reports(
+    report: Callable[[Any], dict],
+    *,
+    live: Callable[[Any], dict] | None = None,
+) -> Callable[[Callable], Callable]:
+    """Attach a result-reporter to an estimator factory (see above).
+
+    ``live`` optionally attaches a separate side-effect-free reporter
+    for mid-stream snapshots (see :class:`EstimatorSpec.live_report`);
+    without it, ``report`` serves both and must itself be a pure query.
+    """
 
     def _attach(factory: Callable) -> Callable:
         factory.reporter = report
+        if live is not None:
+            factory.live_reporter = live
         return factory
 
     return _attach

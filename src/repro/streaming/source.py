@@ -18,11 +18,19 @@ no matter how many consumers).
   array once and sliced into zero-copy batches (replayable);
 - :class:`IterableSource` -- wraps a generator or other one-shot
   iterable, coercing each batch to columnar form as it is drawn; a
-  second pass raises :class:`~repro.errors.SourceExhaustedError`.
+  second pass raises :class:`~repro.errors.SourceExhaustedError`;
+- :class:`LineSource` -- wraps an already-open *text* stream (a file
+  object, ``sys.stdin``, a socket's ``makefile()``), running the same
+  columnar chunk parser as :class:`FileSource` over lines the caller's
+  handle produces; one-shot, bounded memory on unbounded streams;
+- :class:`FollowSource` -- ``tail -f`` semantics over a *growing*
+  edge-list file: reads from the top, then polls for appended data,
+  flushing partial batches when the file idles so live consumers see
+  progress; an optional stop condition / idle timeout ends the stream.
 
 :func:`as_source` coerces whatever a caller holds (path, stream, array,
-sequence, generator, ``EdgeBatch``, or an existing source) into an
-:class:`EdgeSource`, which is what the CLI, the
+sequence, generator, ``EdgeBatch``, open file object, or an existing
+source) into an :class:`EdgeSource`, which is what the CLI, the
 :class:`~repro.streaming.pipeline.Pipeline` runner, the experiment
 harness, and the parallel counter all consume.
 
@@ -41,15 +49,17 @@ engines' packed-key domain, which every SNAP graph satisfies).
 
 from __future__ import annotations
 
+import io
 import os
+import time
 from abc import ABC, abstractmethod
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import InvalidParameterError, SourceExhaustedError
 from ..graph.edge import Edge
-from ..graph.io import dedup_edge_arrays, iter_edge_array_chunks
+from ..graph.io import dedup_chunk, dedup_edge_arrays, iter_edge_array_chunks
 from ..graph.stream import EdgeStream, batched
 from .batch import EdgeBatch, rebatch_arrays
 
@@ -58,6 +68,8 @@ __all__ = [
     "FileSource",
     "MemorySource",
     "IterableSource",
+    "LineSource",
+    "FollowSource",
     "as_source",
     "batched_iter",
 ]
@@ -65,6 +77,10 @@ __all__ = [
 #: Exceptions that mean "this input has no columnar form" -- the source
 #: then serves plain tuple batches exactly as it did pre-refactor.
 _COERCE_ERRORS = (InvalidParameterError, ValueError, TypeError, OverflowError)
+
+#: Text volume a follow-mode poll reads per ``read`` call (~1 MiB, the
+#: chunk parser's natural unit; a burst larger than this just loops).
+_FOLLOW_READ_CHARS = 1 << 20
 
 
 def batched_iter(edges: Iterable[Edge], batch_size: int) -> Iterator[list[Edge]]:
@@ -214,6 +230,12 @@ class IterableSource(EdgeSource):
         self._edges: Iterator[Edge] | None = iter(edges)
 
     def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
+        # Validate before marking the source consumed: a bad batch_size
+        # used to null out self._edges first, permanently exhausting the
+        # source without yielding an edge -- and only raising at the
+        # first next() of the returned generator.
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         if self._edges is None:
             raise SourceExhaustedError(
                 "this IterableSource has already been consumed; wrap a "
@@ -235,24 +257,268 @@ class IterableSource(EdgeSource):
         return f"IterableSource(<{state}>)"
 
 
+class LineSource(EdgeSource):
+    """Stream edges from an already-open file object.
+
+    The handle can be anything that reads lines -- an open file,
+    ``sys.stdin``, a ``StringIO``, a socket's ``makefile()`` -- and is
+    pulled through the same columnar chunk parser as
+    :class:`FileSource` (comments, blank lines, and self-loops skipped;
+    extra columns ignored; canonical ``u < v`` rows). A binary handle
+    is wrapped in a UTF-8 text layer automatically.
+
+    Reading is *live*: lines are gulped roughly one batch at a time and
+    parsed immediately, so a slow producer piping into ``sys.stdin``
+    sees its edges surface after about ``batch_size`` lines -- not
+    after some parser-internal chunk fills. Memory is bounded by one
+    gulp regardless of (possibly unbounded) stream length, and ragged
+    rows are handled per gulp even on non-seekable pipes.
+
+    One-shot (``replayable = False``): the handle's position is the
+    stream. The caller owns the handle and its lifetime.
+
+    Parameters
+    ----------
+    handle:
+        The open stream to read (text, or binary assumed UTF-8).
+    deduplicate:
+        Drop repeated edges on the fly (O(distinct edges) memory --
+        unbounded on an infinite stream, hence default ``False`` here,
+        unlike :class:`FileSource`).
+    """
+
+    replayable = False
+
+    def __init__(self, handle, *, deduplicate: bool = False) -> None:
+        if not hasattr(handle, "read"):
+            raise InvalidParameterError(
+                f"LineSource needs an open file object, got {type(handle).__name__!r}"
+            )
+        try:
+            probe = handle.read(0)
+        except (TypeError, ValueError, OSError):
+            probe = ""
+        if isinstance(probe, bytes):
+            handle = io.TextIOWrapper(handle, encoding="utf-8")
+        self._handle = handle
+        self.deduplicate = deduplicate
+
+    def batches(self, batch_size: int) -> Iterator[EdgeBatch]:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if self._handle is None:
+            raise SourceExhaustedError(
+                "this LineSource has already been consumed; re-open the "
+                "underlying stream or use a FileSource for replayable input"
+            )
+        handle, self._handle = self._handle, None
+        chunks = _gulped_line_chunks(handle, batch_size)
+        if self.deduplicate:
+            chunks = dedup_edge_arrays(chunks)
+        return (EdgeBatch(arr) for arr in rebatch_arrays(chunks, batch_size))
+
+    def __repr__(self) -> str:
+        state = "exhausted" if self._handle is None else "fresh"
+        return f"LineSource(<{state}>, deduplicate={self.deduplicate})"
+
+
+def _gulped_line_chunks(handle, lines_per_gulp: int) -> Iterator[np.ndarray]:
+    """Parse an open handle in gulps of ``lines_per_gulp`` lines.
+
+    The chunk parser's ``np.loadtxt`` would otherwise block on an open
+    pipe until its internal row quota (~87k rows) fills; gulping lines
+    first keeps a live producer's edges surfacing after roughly one
+    batch worth of input. Each gulp is a seekable ``StringIO``, so the
+    ragged-row fallback works even when ``handle`` itself is a pipe.
+    """
+    while True:
+        lines = []
+        for line in handle:
+            lines.append(line)
+            if len(lines) >= lines_per_gulp:
+                break
+        if not lines:
+            return
+        yield from iter_edge_array_chunks(io.StringIO("".join(lines)))
+
+
+class FollowSource(FileSource):
+    """``tail -f`` over a growing edge-list file: a stream that never ends.
+
+    Reads the file from the top exactly like :class:`FileSource`, then
+    -- instead of stopping at EOF -- polls for appended data every
+    ``poll_interval`` seconds and keeps streaming whatever arrives.
+    Each poll parses only the *complete* lines added since the last one
+    (a partially-written trailing line waits for its newline), through
+    the same columnar chunk parser as :class:`FileSource`.
+
+    Batching is best-effort live: full ``batch_size`` batches while
+    data is flowing, and a short batch flushing the buffered remainder
+    whenever the file idles, so a live consumer (``repro watch``) sees
+    edges soon after they land instead of waiting for a full batch.
+    Batch boundaries therefore depend on write timing -- follow-mode
+    streams are not bit-reproducible across runs (resume from a
+    checkpoint still is, because whole consumed edges are skipped).
+
+    The stream ends when ``stop()`` returns true at an idle poll, or
+    when the file has not grown for ``idle_timeout`` seconds; with
+    neither, it follows forever. At stop, a trailing line without a
+    newline is parsed (the writer finished without one). Replayable:
+    every :meth:`batches` call re-reads from the top, which is what
+    lets a killed-and-resumed pipeline skip to where it stood.
+
+    Parameters
+    ----------
+    path:
+        The file to follow (it must exist; it may be empty).
+    deduplicate:
+        Drop repeated edges across the whole followed stream. The
+        membership set grows with distinct edges forever on an
+        unbounded stream, hence default ``False`` (unlike
+        :class:`FileSource`).
+    poll_interval:
+        Seconds to sleep between polls once at EOF.
+    idle_timeout:
+        End the stream after this many seconds without growth
+        (``None`` = follow forever).
+    stop:
+        Optional callable checked at each idle poll; returning true
+        ends the stream.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        deduplicate: bool = False,
+        poll_interval: float = 0.1,
+        idle_timeout: float | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
+        super().__init__(path, deduplicate=deduplicate)
+        if poll_interval <= 0:
+            raise InvalidParameterError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
+        if idle_timeout is not None and idle_timeout < 0:
+            raise InvalidParameterError(
+                f"idle_timeout must be >= 0, got {idle_timeout}"
+            )
+        self.poll_interval = poll_interval
+        self.idle_timeout = idle_timeout
+        self.stop = stop
+
+    def batches(self, batch_size: int) -> Iterator[EdgeBatch]:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        with open(self.path, "rb"):
+            pass  # fail fast, like FileSource
+        return self._follow(batch_size)
+
+    def _follow(self, batch_size: int) -> Iterator[EdgeBatch]:
+        """The poll loop: parse grown text, rebatch, flush on idle."""
+        seen = np.empty(0, dtype=np.int64)  # dedup keys, if enabled
+        buffer: list[np.ndarray] = []
+        buffered = 0
+        tail = ""  # partial trailing line awaiting its newline
+
+        def _parse(text: str) -> Iterator[np.ndarray]:
+            chunks = iter_edge_array_chunks(io.StringIO(text))
+            if not self.deduplicate:
+                yield from chunks
+                return
+            nonlocal seen
+            for arr in chunks:
+                fresh, seen = dedup_chunk(arr, seen)
+                if fresh.shape[0]:
+                    yield fresh
+
+        def _merge_and_reset() -> np.ndarray:
+            nonlocal buffer, buffered
+            merged = np.concatenate(buffer) if len(buffer) > 1 else buffer[0]
+            buffer, buffered = [], 0
+            return merged
+
+        def _absorb(text: str) -> Iterator[EdgeBatch]:
+            nonlocal buffer, buffered
+            for arr in _parse(text):
+                buffer.append(arr)
+                buffered += arr.shape[0]
+                if buffered < batch_size:
+                    continue
+                merged = _merge_and_reset()
+                start = 0
+                while merged.shape[0] - start >= batch_size:
+                    yield EdgeBatch(merged[start : start + batch_size])
+                    start += batch_size
+                rest = merged[start:]
+                buffer = [rest] if rest.shape[0] else []
+                buffered = rest.shape[0]
+
+        idle_since: float | None = None
+        with open(self.path, "r", encoding="utf-8") as handle:
+            while True:
+                text = handle.read(_FOLLOW_READ_CHARS)
+                if text:
+                    idle_since = None
+                    data = tail + text
+                    cut = data.rfind("\n")
+                    if cut < 0:
+                        tail = data
+                        continue
+                    tail = data[cut + 1 :]
+                    yield from _absorb(data[: cut + 1])
+                    continue
+                # At EOF: flush the partial batch so live consumers see
+                # every parsed edge before the stream goes quiet.
+                if buffered:
+                    yield EdgeBatch(_merge_and_reset())
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if (self.stop is not None and self.stop()) or (
+                    self.idle_timeout is not None
+                    and now - idle_since >= self.idle_timeout
+                ):
+                    break
+                time.sleep(self.poll_interval)
+        if tail.strip():
+            # The writer ended the stream without a final newline.
+            yield from _absorb(tail + "\n")
+        if buffered:
+            yield EdgeBatch(_merge_and_reset())
+
+    def __repr__(self) -> str:
+        return (
+            f"FollowSource({self.path!r}, deduplicate={self.deduplicate}, "
+            f"poll_interval={self.poll_interval}, idle_timeout={self.idle_timeout})"
+        )
+
+
 def as_source(obj) -> EdgeSource:
     """Coerce ``obj`` into an :class:`EdgeSource`.
 
     Accepts an existing source (returned as-is), a path (``str`` /
-    ``os.PathLike`` -> :class:`FileSource`), an ``(m, 2)`` array or
-    :class:`~repro.streaming.batch.EdgeBatch`, an ``EdgeStream`` or any
-    sequence (-> :class:`MemorySource`), or any other iterable
-    (-> one-shot :class:`IterableSource`).
+    ``os.PathLike`` -> :class:`FileSource`), an open text file object
+    (anything with ``read`` -- a file, ``sys.stdin``, a ``StringIO``, a
+    socket's ``makefile()`` -> one-shot :class:`LineSource`), an
+    ``(m, 2)`` array or :class:`~repro.streaming.batch.EdgeBatch`, an
+    ``EdgeStream`` or any sequence (-> :class:`MemorySource`), or any
+    other iterable (-> one-shot :class:`IterableSource`).
     """
     if isinstance(obj, EdgeSource):
         return obj
     if isinstance(obj, (str, os.PathLike)):
         return FileSource(obj)
+    if isinstance(obj, io.IOBase) or (
+        hasattr(obj, "read") and hasattr(obj, "readline")
+    ):
+        return LineSource(obj)
     if isinstance(obj, (EdgeBatch, np.ndarray, EdgeStream, Sequence)):
         return MemorySource(obj)
     if isinstance(obj, Iterable):
         return IterableSource(obj)
     raise TypeError(
         f"cannot build an EdgeSource from {type(obj).__name__!r}; expected a "
-        "path, sequence, array, EdgeStream, iterable, or EdgeSource"
+        "path, file object, sequence, array, EdgeStream, iterable, or EdgeSource"
     )

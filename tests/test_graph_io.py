@@ -90,3 +90,77 @@ class TestRoundTrip:
                 for row in arr.tolist()
             ]
             assert parsed == edges
+
+
+class TestHandleInput:
+    """iter_edge_array_chunks over open handles (the LineSource /
+    FollowSource substrate)."""
+
+    def test_handle_matches_path_parse(self, tmp_path):
+        import io
+
+        edges = [(i, i + 1) for i in range(97)]
+        path = tmp_path / "g.edges"
+        write_edge_list(path, edges)
+        text = path.read_text()
+        from_path = [
+            tuple(row) for arr in iter_edge_array_chunks(path)
+            for row in arr.tolist()
+        ]
+        from_handle = [
+            tuple(row) for arr in iter_edge_array_chunks(io.StringIO(text))
+            for row in arr.tolist()
+        ]
+        assert from_handle == from_path == edges
+
+    def test_handle_starts_at_current_position(self):
+        import io
+
+        handle = io.StringIO("0 1\n2 3\n4 5\n")
+        handle.readline()  # the caller already consumed "0 1"
+        parsed = [
+            tuple(row) for arr in iter_edge_array_chunks(handle)
+            for row in arr.tolist()
+        ]
+        assert parsed == [(2, 3), (4, 5)]
+
+    def test_seekable_handle_ragged_fallback(self):
+        import io
+
+        lines = [f"{i} {i + 1}" for i in range(100)]
+        lines[60] = "60 61 3.5 extra"  # ragged: defeats the bulk tokenizer
+        handle = io.StringIO("\n".join(lines) + "\n")
+        parsed = [
+            tuple(row) for arr in iter_edge_array_chunks(handle, chunk_chars=256)
+            for row in arr.tolist()
+        ]
+        assert parsed == [(i, i + 1) for i in range(100)]
+
+    def test_non_seekable_handle_ragged_raises(self):
+        import io
+
+        class Pipe(io.StringIO):
+            def seekable(self):
+                return False
+
+        lines = [f"{i} {i + 1}" for i in range(100)]
+        lines[60] = "60 61 3.5 extra"
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="seekable"):
+            list(iter_edge_array_chunks(Pipe("\n".join(lines) + "\n"),
+                                        chunk_chars=256))
+
+    def test_dedup_chunk_threads_state(self):
+        import numpy as np
+
+        from repro.graph.io import dedup_chunk
+
+        seen = np.empty(0, dtype=np.int64)
+        a = np.array([[0, 1], [1, 2], [0, 1]], dtype=np.int64)
+        fresh, seen = dedup_chunk(a, seen)
+        assert fresh.tolist() == [[0, 1], [1, 2]]
+        b = np.array([[1, 2], [2, 3]], dtype=np.int64)
+        fresh, seen = dedup_chunk(b, seen)
+        assert fresh.tolist() == [[2, 3]]
+        assert seen.size == 3
