@@ -1,14 +1,19 @@
 """CI smoke gate: fail when streaming throughput regresses badly.
 
-Two gates, both compared against the repo's committed
-``BENCH_throughput.json``, both failing below 50% of the committed
+Three gates, all compared against the repo's committed
+``BENCH_throughput.json``, all failing below 50% of the committed
 value -- generous enough for CI hardware variance, tight enough to
 catch a hot-path regression:
 
 1. the Figure 4 benchmark on the smallest committed configuration
    (the smallest dataset at the smallest ``r``): the vectorized
    engine's raw throughput;
-2. a full ``Pipeline.run`` pass over the same dataset: the no-snapshot
+2. the same dataset at the *largest* committed ``r``: the paper-scale
+   pool regime that the output-sensitive watch-index path serves. The
+   small-r gate alone would not notice this optimization regressing
+   (small pools take the dense scans anyway), so large-r throughput is
+   pinned explicitly;
+3. a full ``Pipeline.run`` pass over the same dataset: the no-snapshot
    mode of the driver shared by ``run`` and ``snapshots``, so a
    refactor of that driver cannot silently slow the plain path down.
 
@@ -45,13 +50,22 @@ def _gate(label: str, measured: float, baseline: float) -> bool:
 def main() -> int:
     committed = json.loads(ARTIFACT.read_text())
     r = min(committed["r_values"])
+    r_large = max(committed["r_values"])
     # Smallest dataset = cheapest smoke run; ordering in the artifact
     # follows FIGURE3_DATASETS, whose first entry is the smallest.
     dataset = next(iter(committed["throughput"]))
     baseline = committed["throughput"][dataset][f"r={r}"]
 
-    out = run_figure4(r_values=(r,), datasets=(dataset,), trials=3, verbose=False)
+    r_values = (r,) if r_large == r else (r, r_large)
+    out = run_figure4(
+        r_values=r_values, datasets=(dataset,), trials=3, verbose=False
+    )
     ok = _gate(f"{dataset} @ r={r}", out["rows"][0][2], baseline)
+    if r_large != r:
+        baseline_large = committed["throughput"][dataset][f"r={r_large}"]
+        ok = _gate(
+            f"{dataset} @ r={r_large}", out["rows"][0][3], baseline_large
+        ) and ok
 
     driver = committed.get("pipeline_run")
     if driver is None:

@@ -1,0 +1,390 @@
+"""Persistent inverted watch indexes for the output-sensitive engine.
+
+The paper's per-edge cost argument (Section 3.3) is that an arriving
+edge only does work proportional to the number of estimators it
+actually *affects*: the level-1 reservoir slots it resamples, the
+``r1`` endpoints it is incident on (table ``L``/``P``), and the open
+wedges it closes (table ``Q``). The vectorized engine historically paid
+``Theta(r)`` per batch anyway, because it recomputed every estimator's
+view of every batch. :class:`WatchIndex` is the structure that makes
+the engine output-sensitive: a persistent ``int64 key -> estimator
+slot`` inverted index, maintained incrementally across batches, that
+the engine intersects with the batch's unique vertices (vertex index
+over ``r1`` endpoints) or unique edge keys (closing-edge index over
+open wedges) to find the touched slots in ``O(w log r)``.
+
+Design, in the classic LSM spirit -- three tiers plus lazy deletion:
+
+- a **sorted base** (binary-searchable; held as packed
+  ``(key << slot_bits) | slot`` int64 values whenever they fit, so one
+  ``np.sort`` builds it and range queries need no gather indirection).
+  For compact key spaces (vertex watches) the base also carries dense
+  CSR offsets -- a range lookup is then two gathers -- and a
+  **membership bitmap** over the key space, incrementally updated by
+  ``add``, that prefilters query keys to the watched ones before any
+  per-key work happens;
+- a **sorted run**: recent additions, kept sorted and binary-searched
+  like the base, re-sorted only when the unsorted tail spills into it;
+- an **unsorted tail** of the newest entries, probed linearly --
+  ``add`` is O(1) amortized, so maintenance costs are proportional to
+  the number of *replacements*, never to ``r``;
+- deletions are lazy: a replaced or retired entry simply becomes
+  *stale* (a tombstone that is never materialized -- the caller
+  re-derives liveness from the estimator state, so a stale hit is a
+  false positive that costs a little work, never a wrong answer), and
+  :meth:`note_stale` just counts it toward the compaction budget. When
+  total churn (run + tail + stale entries) passes the caller's
+  threshold, the caller rebuilds from its authoritative state via
+  :meth:`rebuild`, which resets all counters. Amortized maintenance is
+  therefore ``O(replacements * log r)``, not ``O(r)`` per batch.
+
+The index never appears in checkpoints: it is derived state, rebuilt
+from the estimator arrays after ``load_state_dict`` or ``merge`` (see
+:class:`~repro.core.vectorized.VectorizedTriangleCounter`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WatchIndex"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _sort_pairs(keys: np.ndarray, slots: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort ``(key, slot)`` pairs by key (ties by slot order)."""
+    if keys.shape[0] == 0:
+        return _EMPTY, _EMPTY
+    key_bits = int(keys.max()).bit_length()
+    slot_bits = max(int(slots.max()).bit_length(), 1)
+    if key_bits + slot_bits <= 63:
+        shift = np.int64(slot_bits)
+        packed = (keys << shift) | slots
+        packed.sort()
+        return packed >> shift, packed & ((np.int64(1) << shift) - 1)
+    order = np.argsort(keys, kind="stable")
+    return keys[order], slots[order]
+
+
+def _expand_ranges(
+    lo: np.ndarray, hi: np.ndarray, query_idx: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-query ranges into (positions, query indices).
+
+    Concatenates ``arange(lo[i], hi[i])`` for every query and pairs each
+    produced position with ``query_idx[i]``.
+    """
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    nonempty = counts > 0
+    if not nonempty.all():
+        lo = lo[nonempty]
+        counts = counts[nonempty]
+        query_idx = query_idx[nonempty]
+    starts = np.cumsum(counts) - counts
+    positions = np.repeat(lo - starts, counts) + np.arange(total, dtype=np.int64)
+    return positions, np.repeat(query_idx, counts)
+
+
+class WatchIndex:
+    """A persistent ``int64 key -> estimator slot`` inverted index.
+
+    Contract: the owner guarantees that every *live* subscription has an
+    entry (``add`` on creation, :meth:`rebuild` after wholesale state
+    changes) and re-checks liveness on every hit; the index may contain
+    stale entries (lazy deletion) and therefore over-report candidates,
+    but never under-report. Arrays passed to :meth:`add`/:meth:`rebuild`
+    are kept by reference and must not be mutated afterwards. Keys and
+    slots must be non-negative.
+    """
+
+    __slots__ = ("_packed", "_shift", "_base_keys", "_base_slots", "_offsets",
+                 "_offsets_hi", "_bitmap", "_run_keys", "_run_slots",
+                 "_tail_keys", "_tail_slots", "_tail_size", "_stale")
+
+    #: Merge the unsorted tail into the sorted run once it exceeds this
+    #: (linear probes stay cheap; the run re-sort amortizes).
+    _TAIL_MAX = 4096
+    #: Build dense per-key offsets and the membership bitmap when the
+    #: key space is at most this factor of the entry count...
+    _DENSE_OFFSETS_FACTOR = 8
+    #: ...or at most this absolute size, whichever is larger.
+    _DENSE_OFFSETS_MIN = 65_536
+    # (delta_size / nbytes / consolidate are introspection surface for
+    # tests and capacity accounting; the engine compacts via rebuild.)
+
+    def __init__(self) -> None:
+        # Base: either packed (key << shift | slot) in _packed, or
+        # parallel _base_keys/_base_slots when a pair does not fit one
+        # int64. Dense offsets/bitmap only for compact key spaces.
+        self._packed = _EMPTY
+        self._shift = np.int64(0)
+        self._base_keys = _EMPTY
+        self._base_slots = _EMPTY
+        self._offsets: np.ndarray | None = None
+        self._offsets_hi = 0
+        self._bitmap: np.ndarray | None = None
+        self._run_keys = _EMPTY
+        self._run_slots = _EMPTY
+        self._tail_keys: list[np.ndarray] = []
+        self._tail_slots: list[np.ndarray] = []
+        self._tail_size = 0
+        self._stale = 0
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def add(self, keys: np.ndarray, slots: np.ndarray) -> None:
+        """Append new live entries (O(1) amortized, tail-buffered)."""
+        n = keys.shape[0]
+        if n == 0:
+            return
+        self._tail_keys.append(keys)
+        self._tail_slots.append(slots)
+        self._tail_size += n
+        if self._bitmap is not None:
+            if bool((keys <= self._offsets_hi).all()):
+                self._bitmap[keys] = True
+            else:
+                # A key beyond the bitmap's span cannot be prefiltered:
+                # drop the bitmap until the next rebuild re-spans it.
+                self._bitmap = None
+        if self._tail_size > self._TAIL_MAX:
+            self._merge_tail_into_run()
+
+    def note_stale(self, count: int) -> None:
+        """Record ``count`` entries going stale (lazy tombstones)."""
+        self._stale += int(count)
+
+    def rebuild(self, keys: np.ndarray, slots: np.ndarray) -> None:
+        """Replace everything with the authoritative live entries."""
+        self._set_base(keys, slots)
+        self._run_keys = _EMPTY
+        self._run_slots = _EMPTY
+        self._tail_keys = []
+        self._tail_slots = []
+        self._tail_size = 0
+        self._stale = 0
+
+    def consolidate(self) -> None:
+        """Merge run and tail into the sorted base (stales remain)."""
+        if self._tail_size == 0 and self._run_keys.shape[0] == 0:
+            return
+        parts_k = [self._base_keys_view(), self._run_keys, *self._tail_keys]
+        parts_s = [self._base_slots_view(), self._run_slots, *self._tail_slots]
+        self._set_base(
+            np.concatenate([p for p in parts_k if p.shape[0]] or [_EMPTY]),
+            np.concatenate([p for p in parts_s if p.shape[0]] or [_EMPTY]),
+        )
+        self._run_keys = _EMPTY
+        self._run_slots = _EMPTY
+        self._tail_keys = []
+        self._tail_slots = []
+        self._tail_size = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def lookup(self, query_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Entries whose key is in ``query_keys``: (slots, query indices).
+
+        ``query_keys`` must be sorted and unique (duplicate query keys
+        would be answered inconsistently across tiers: the sorted tiers
+        report every duplicate position, the tail probe only the
+        leftmost); the second array maps each returned slot to the
+        position in ``query_keys`` its key matched. The result may
+        contain duplicate slots and stale slots -- callers deduplicate
+        and re-check liveness against the estimator state.
+        """
+        q = query_keys.shape[0]
+        if q == 0 or self.size == 0:
+            return _EMPTY, _EMPTY
+        query_idx = None
+        if self._bitmap is not None:
+            watched = self._bitmap[np.minimum(query_keys, self._offsets_hi)]
+            if not watched.all():
+                query_idx = np.flatnonzero(watched)
+                query_keys = query_keys[query_idx]
+                q = query_keys.shape[0]
+                if q == 0:
+                    return _EMPTY, _EMPTY
+        slot_parts = []
+        query_parts = []
+        self._lookup_base(query_keys, slot_parts, query_parts)
+        if self._run_keys.shape[0]:
+            lo = np.searchsorted(self._run_keys, query_keys, side="left")
+            hi = np.searchsorted(self._run_keys, query_keys, side="right")
+            span, idx = _expand_ranges(
+                lo, hi, np.arange(q, dtype=np.int64)
+            )
+            if span.shape[0]:
+                slot_parts.append(self._run_slots[span])
+                query_parts.append(idx)
+        if self._tail_size:
+            tail_keys, tail_slots = self._tail_arrays()
+            pos = np.searchsorted(query_keys, tail_keys)
+            np.minimum(pos, q - 1, out=pos)
+            hit = query_keys[pos] == tail_keys
+            if hit.any():
+                slot_parts.append(tail_slots[hit])
+                query_parts.append(pos[hit])
+        if not slot_parts:
+            return _EMPTY, _EMPTY
+        slots = (
+            slot_parts[0]
+            if len(slot_parts) == 1
+            else np.concatenate(slot_parts)
+        )
+        idx = (
+            query_parts[0]
+            if len(query_parts) == 1
+            else np.concatenate(query_parts)
+        )
+        if query_idx is not None:
+            idx = query_idx[idx]
+        return slots, idx
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def churn(self) -> int:
+        """Additions plus stale entries: the compaction budget spent."""
+        return self._run_keys.shape[0] + self._tail_size + self._stale
+
+    @property
+    def delta_size(self) -> int:
+        """Entries not yet merged into the base (run + tail)."""
+        return self._run_keys.shape[0] + self._tail_size
+
+    @property
+    def size(self) -> int:
+        """Total entries held (live and stale, all tiers)."""
+        return self._base_size() + self._run_keys.shape[0] + self._tail_size
+
+    def nbytes(self) -> int:
+        return int(
+            self._packed.nbytes
+            + self._base_keys.nbytes
+            + self._base_slots.nbytes
+            + (self._offsets.nbytes if self._offsets is not None else 0)
+            + (self._bitmap.nbytes if self._bitmap is not None else 0)
+            + self._run_keys.nbytes
+            + self._run_slots.nbytes
+            + sum(a.nbytes for a in self._tail_keys)
+            + sum(a.nbytes for a in self._tail_slots)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WatchIndex(base={self._base_size()}, "
+            f"run={self._run_keys.shape[0]}, tail={self._tail_size}, "
+            f"stale={self._stale})"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _lookup_base(
+        self, query_keys: np.ndarray, slot_parts: list, query_parts: list
+    ) -> None:
+        q = query_keys.shape[0]
+        if self._offsets is not None:
+            clipped = np.minimum(query_keys, self._offsets_hi)
+            lo = self._offsets[clipped]
+            hi = self._offsets[clipped + 1]
+        elif self._packed.shape[0]:
+            shift = self._shift
+            lo = np.searchsorted(self._packed, query_keys << shift)
+            hi = np.searchsorted(self._packed, (query_keys + 1) << shift)
+        elif self._base_keys.shape[0]:
+            lo = np.searchsorted(self._base_keys, query_keys, side="left")
+            hi = np.searchsorted(self._base_keys, query_keys, side="right")
+        else:
+            return
+        span, idx = _expand_ranges(lo, hi, np.arange(q, dtype=np.int64))
+        if span.shape[0] == 0:
+            return
+        if self._packed.shape[0]:
+            slot_parts.append(self._packed[span] & ((np.int64(1) << self._shift) - 1))
+        else:
+            slot_parts.append(self._base_slots[span])
+        query_parts.append(idx)
+
+    def _set_base(self, keys: np.ndarray, slots: np.ndarray) -> None:
+        n = keys.shape[0]
+        if n == 0:
+            self._packed = _EMPTY
+            self._base_keys = _EMPTY
+            self._base_slots = _EMPTY
+            self._offsets = None
+            self._bitmap = None
+            return
+        key_max = int(keys.max())
+        key_bits = key_max.bit_length()
+        slot_bits = max(int(slots.max()).bit_length(), 1)
+        if key_bits + slot_bits <= 63:
+            # One sort over packed values, no gather, and range lookups
+            # search the packed array directly.
+            shift = np.int64(slot_bits)
+            packed = (keys << shift) | slots
+            packed.sort()
+            self._packed = packed
+            self._shift = shift
+            self._base_keys = _EMPTY
+            self._base_slots = _EMPTY
+        else:
+            order = np.argsort(keys, kind="stable")
+            self._packed = _EMPTY
+            self._base_keys = keys[order]
+            self._base_slots = slots[order]
+        if key_max <= max(self._DENSE_OFFSETS_MIN, self._DENSE_OFFSETS_FACTOR * n):
+            # Compact key space (vertex watches): dense CSR offsets turn
+            # a range lookup into two gathers, and the bitmap prefilters
+            # query keys to watched ones before any per-key work.
+            counts = np.bincount(keys, minlength=key_max + 1)
+            offsets = np.zeros(key_max + 3, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1 : key_max + 2])
+            offsets[key_max + 2] = n
+            self._offsets = offsets
+            self._offsets_hi = key_max + 1
+            bitmap = np.zeros(key_max + 2, dtype=bool)
+            bitmap[:-1] = counts > 0
+            self._bitmap = bitmap
+        else:
+            self._offsets = None
+            self._bitmap = None
+
+    def _base_size(self) -> int:
+        return self._packed.shape[0] or self._base_keys.shape[0]
+
+    def _base_keys_view(self) -> np.ndarray:
+        if self._packed.shape[0]:
+            return self._packed >> self._shift
+        return self._base_keys
+
+    def _base_slots_view(self) -> np.ndarray:
+        if self._packed.shape[0]:
+            return self._packed & ((np.int64(1) << self._shift) - 1)
+        return self._base_slots
+
+    def _merge_tail_into_run(self) -> None:
+        tail_keys, tail_slots = self._tail_arrays()
+        if self._run_keys.shape[0]:
+            keys = np.concatenate([self._run_keys, tail_keys])
+            slots = np.concatenate([self._run_slots, tail_slots])
+        else:
+            keys, slots = tail_keys, tail_slots
+        self._run_keys, self._run_slots = _sort_pairs(keys, slots)
+        self._tail_keys = []
+        self._tail_slots = []
+        self._tail_size = 0
+
+    def _tail_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if len(self._tail_keys) > 1:
+            self._tail_keys = [np.concatenate(self._tail_keys)]
+            self._tail_slots = [np.concatenate(self._tail_slots)]
+        return self._tail_keys[0], self._tail_slots[0]

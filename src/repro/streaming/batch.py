@@ -184,6 +184,43 @@ def rebatch_arrays(
         yield np.concatenate(buffer) if len(buffer) > 1 else buffer[0]
 
 
+#: Above this many queries, sort them first: binary search with sorted
+#: queries streams through the reference array instead of thrashing it
+#: (measured ~4-6x on 10^5-scale query sets).
+_SORTED_QUERY_MIN = 8192
+
+
+def _lookup_sorted(
+    queries: np.ndarray,
+    sorted_ref: np.ndarray,
+    values: np.ndarray,
+    *,
+    offset: int = 0,
+) -> np.ndarray:
+    """``values[i] + offset`` where ``sorted_ref[i] == query`` else 0.
+
+    The shared binary-search kernel behind ``final_degree`` and
+    ``position_in_batch`` (they must stay behaviorally identical for
+    the engines' bit-identity contract). ``sorted_ref`` must be
+    non-empty; duplicate reference keys resolve to the first (the
+    ``searchsorted`` left side).
+    """
+    n = queries.shape[0]
+    top = sorted_ref.shape[0] - 1
+    if n >= _SORTED_QUERY_MIN:
+        order = np.argsort(queries)
+        sorted_queries = queries[order]
+        pos = np.minimum(np.searchsorted(sorted_ref, sorted_queries), top)
+        found = sorted_ref[pos] == sorted_queries
+        result = np.where(found, values[pos] + offset, 0)
+        out = np.empty(n, dtype=np.int64)
+        out[order] = result
+        return out
+    pos = np.minimum(np.searchsorted(sorted_ref, queries), top)
+    found = sorted_ref[pos] == queries
+    return np.where(found, values[pos] + offset, 0)
+
+
 class BatchContext:
     """Per-batch indexes shared by every estimator consuming the batch.
 
@@ -224,6 +261,10 @@ class BatchContext:
         "_deg_table",
         "_gs_table",
         "_table_hi",
+        "_uniq_keys",
+        "_uniq_key_pos",
+        "_remaining",
+        "_decode_bases",
     )
 
     #: Use dense lookup tables when ``max_id`` is at most this factor of
@@ -301,23 +342,163 @@ class BatchContext:
             self._key_order = np.argsort(keys, kind="stable")
             self._sorted_keys = keys[self._key_order]
 
+        self._uniq_keys = None
+        self._uniq_key_pos = None
+        self._remaining = None
+        self._decode_bases = None
+
+    # ------------------------------------------------------------------
+    # intersection views shared by every watch-index consumer
+    # ------------------------------------------------------------------
+    @property
+    def unique_vertices(self) -> np.ndarray:
+        """The batch's distinct endpoints, sorted ascending.
+
+        The query-key set the output-sensitive engine intersects against
+        its vertex watch index; computed with the event sort, so it is
+        free, and shared by every fan-out estimator.
+        """
+        return self._uniq_verts
+
+    @property
+    def unique_vertex_counts(self) -> np.ndarray:
+        """``degB`` of each vertex in :attr:`unique_vertices`.
+
+        Aligned with :attr:`unique_vertices`, so a vertex-watch hit
+        (which knows which unique vertex matched) reads the endpoint's
+        batch degree with one gather instead of a degree lookup.
+        """
+        return self._uniq_counts
+
+    @property
+    def unique_edge_keys(self) -> np.ndarray:
+        """The batch's distinct packed edge keys, sorted ascending.
+
+        The query-key set for closing-edge (table ``Q``) watch lookups.
+        Deduplicated from the already-sorted key index, lazily and
+        exactly once per batch no matter how many estimators intersect
+        against it.
+        """
+        if self._uniq_keys is None:
+            sorted_keys = self._sorted_keys
+            if sorted_keys.shape[0] == 0:
+                self._uniq_keys = sorted_keys
+                self._uniq_key_pos = sorted_keys
+            else:
+                keep = np.empty(sorted_keys.shape[0], dtype=bool)
+                keep[0] = True
+                np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=keep[1:])
+                first = np.flatnonzero(keep)
+                self._uniq_keys = sorted_keys[first]
+                # The key sort is stable by batch position, so the head
+                # of each key group is the key's first occurrence.
+                self._uniq_key_pos = self._key_order[first] + 1
+        return self._uniq_keys
+
+    @property
+    def unique_edge_key_positions(self) -> np.ndarray:
+        """1-based first-occurrence position of each unique edge key.
+
+        Aligned with :attr:`unique_edge_keys`;
+        ``position_in_batch``'s answer for exactly those keys, exposed
+        so a watch-index hit (which already knows *which* unique key
+        matched) reads its closing position with one gather instead of
+        a fresh binary search.
+        """
+        if self._uniq_key_pos is None:
+            self.unique_edge_keys  # noqa: B018 -- builds both caches
+        return self._uniq_key_pos
+
+    @property
+    def remaining_degrees(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-edge ``degB(endpoint) - deg-at-arrival`` for both columns.
+
+        ``remaining_degrees[0][j]`` is how many later batch edges touch
+        ``bu[j]`` (and ``[1][j]`` for ``bv[j]``) -- the per-edge form of
+        Observation 3.6's ``a``/``b`` candidate counts. An estimator
+        whose ``r1`` was resampled to batch edge ``j`` reads its counts
+        with one gather instead of recomputing degree lookups per slot;
+        computed lazily, once, and shared across the fan-out.
+        """
+        if self._remaining is None:
+            self._remaining = (
+                self.final_degree(self.bu) - self.deg_at_edge_u,
+                self.final_degree(self.bv) - self.deg_at_edge_v,
+            )
+        return self._remaining
+
+    @property
+    def event_decode_bases(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-edge base offsets for Algorithm 3's EVENTB decode.
+
+        For an estimator whose ``r1`` is batch edge ``j`` and whose phi
+        draw is ``phi`` (with ``a = remaining_degrees[0][j]`` new
+        candidates on the ``u`` side), the selected EVENTB's position in
+        the sorted endpoint-event array is ``bases[0][j] + phi`` when
+        ``phi <= a`` and ``bases[1][j] + phi`` otherwise; the edge index
+        is then ``event_order[...] // 2``. Equivalent to (and verified
+        against) :meth:`event_edge_index` on ``(v, beta + phi - ...)``
+        queries, but a pure per-edge table, so a wholesale-resampled
+        estimator pool decodes with two gathers per slot instead of
+        per-slot degree lookups.
+        """
+        if self._decode_bases is None:
+            if self._gs_table is not None:
+                gs_u = self._gs_table[self.bu + 1]
+                gs_v = self._gs_table[self.bv + 1]
+            else:
+                gs_u = self._group_starts[
+                    np.searchsorted(self._uniq_verts, self.bu)
+                ]
+                gs_v = self._group_starts[
+                    np.searchsorted(self._uniq_verts, self.bv)
+                ]
+            remaining_u, _ = self.remaining_degrees
+            self._decode_bases = (
+                gs_u + self.deg_at_edge_u - 1,
+                gs_v + self.deg_at_edge_v - remaining_u - 1,
+            )
+        return self._decode_bases
+
+    @property
+    def event_order(self) -> np.ndarray:
+        """The inverse event permutation behind :attr:`event_decode_bases`."""
+        return self._event_order
+
     def final_degree(self, verts: np.ndarray) -> np.ndarray:
         """``degB(v)`` for each query vertex (0 when absent; -1 maps to 0)."""
         if self._deg_table is not None:
             return self._deg_table[np.clip(verts + 1, 0, self._table_hi)]
         if self._uniq_verts.shape[0] == 0:
             return np.zeros(verts.shape[0], dtype=np.int64)
-        pos = np.searchsorted(self._uniq_verts, verts)
-        pos_clipped = np.minimum(pos, self._uniq_verts.shape[0] - 1)
-        found = self._uniq_verts[pos_clipped] == verts
-        return np.where(found, self._uniq_counts[pos_clipped], 0)
+        return _lookup_sorted(verts, self._uniq_verts, self._uniq_counts)
 
-    def event_edge_index(self, verts: np.ndarray, d: np.ndarray) -> np.ndarray:
+    def event_edge_index(
+        self, verts: np.ndarray, d: np.ndarray, degrees: np.ndarray | None = None
+    ) -> np.ndarray:
         """Edge index of EVENTB ``(v, d)``: the d-th batch edge touching v.
 
         Callers guarantee ``1 <= d <= degB(v)`` (Algorithm 3 only
-        produces in-range subscriptions), so every lookup hits.
+        produces in-range subscriptions). The contract is *verified*,
+        with the same guard discipline as :meth:`final_degree`: an
+        out-of-range query raises instead of silently reading a
+        neighboring vertex group (dense-table path) or an arbitrary
+        group (binary-search path). A caller that already holds the
+        endpoints' batch degrees (the watch-index path assembles them
+        with the candidate hits) passes them as ``degrees`` to spare
+        the guard its own lookup; they must equal
+        ``final_degree(verts)``.
         """
+        if degrees is None:
+            degrees = self.final_degree(verts)
+        bad = (d < 1) | (d > degrees)
+        if bad.any():
+            raise InvalidParameterError(
+                f"{int(bad.sum())} EVENTB queries out of contract: "
+                "need 1 <= d <= degB(v) for a vertex v in the batch"
+            )
+        # The guard established that every vertex occurs in the batch,
+        # so the unclipped table read and the group lookup are in range.
         if self._gs_table is not None:
             event_pos = self._gs_table[verts + 1] + d - 1
         else:
@@ -333,10 +514,6 @@ class BatchContext:
         search, so the lookup is total.
         """
         keys = (cu << np.int64(32)) | cv
-        w = self._sorted_keys.shape[0]
-        if w == 0:
+        if self._sorted_keys.shape[0] == 0:
             return np.zeros(keys.shape[0], dtype=np.int64)
-        pos = np.searchsorted(self._sorted_keys, keys)
-        pos_clipped = np.minimum(pos, w - 1)
-        found = self._sorted_keys[pos_clipped] == keys
-        return np.where(found, self._key_order[pos_clipped] + 1, 0)
+        return _lookup_sorted(keys, self._sorted_keys, self._key_order, offset=1)

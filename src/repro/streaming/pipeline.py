@@ -366,9 +366,12 @@ class Pipeline:
         estimators are registered: the source's columnar
         :class:`~repro.streaming.batch.EdgeBatch` is shared, its
         per-batch index is built once (when any estimator implements the
-        :class:`~repro.streaming.protocol.PreparedEstimator` fast path),
-        and per-edge estimators share the batch's one tuple
-        materialization. Per-estimator wall-clock time is accumulated
+        :class:`~repro.streaming.protocol.PreparedEstimator` fast path)
+        -- including the unique-vertex / unique-edge-key views the
+        output-sensitive vectorized engines intersect against their
+        watch indexes, so ``n`` fanned-out engines share one
+        intersection precomputation per batch -- and per-edge
+        estimators share the batch's one tuple materialization. Per-estimator wall-clock time is accumulated
         around each update call; stream reading plus batch preparation
         is reported separately as ``io_seconds`` (the paper's Table 3
         I/O split).

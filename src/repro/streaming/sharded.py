@@ -107,10 +107,13 @@ def _consume(
     """Feed ``batches`` to every estimator (the worker-side stream loop).
 
     The same dispatch as :meth:`~repro.streaming.pipeline.Pipeline.run`
-    -- shared prepared batch, shared per-batch index, per-estimator
-    timings -- minus reporting: workers ship state, never results, so
-    reporters that consume randomness (e.g. the sampler's release draw)
-    only ever run on the merged estimators in the parent.
+    -- shared prepared batch, shared per-batch index (with the
+    unique-vertex/edge-key views the output-sensitive engines intersect
+    against their watch indexes, one precomputation for the whole
+    worker pool), per-estimator timings -- minus reporting: workers
+    ship state, never results, so reporters that consume randomness
+    (e.g. the sampler's release draw) only ever run on the merged
+    estimators in the parent.
     """
     fast_paths = [getattr(est, "update_prepared", None) for _, est in pairs]
     want_context = any(

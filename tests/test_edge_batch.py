@@ -198,6 +198,39 @@ class TestColumnarTupleEquivalence:
         report = pipeline.run(EDGES, batch_size=100)
         assert calls["n"] == report.batches
 
+    def test_pipeline_fanout_shares_intersection_views(self, monkeypatch):
+        """N watch-index estimators, one unique-vertex/edge-key
+        intersection precomputation per batch: the views are cached on
+        the shared BatchContext, so the dedup runs once no matter how
+        many estimators intersect against it."""
+        import repro.streaming.batch as batch_module
+
+        calls = {"keys": 0}
+        real = batch_module.BatchContext.unique_edge_keys.fget
+
+        def counting_keys(self):
+            if self._uniq_keys is None:
+                calls["keys"] += 1
+            return real(self)
+
+        monkeypatch.setattr(
+            batch_module.BatchContext,
+            "unique_edge_keys",
+            property(counting_keys),
+        )
+        from repro.core.vectorized import VectorizedTriangleCounter
+
+        estimators = [
+            (f"vec{i}", VectorizedTriangleCounter(512, seed=i)) for i in range(3)
+        ]
+        # Force the index paths so every estimator queries the views.
+        for _, estimator in estimators:
+            estimator._SCAN_CHURN_SHIFT = 0
+            estimator._SCAN_FRACTION = 10**9
+        pipeline = Pipeline(estimators)
+        report = pipeline.run(EDGES, batch_size=100)
+        assert 0 < calls["keys"] <= report.batches
+
     def test_pipeline_reports_io_seconds(self):
         report = Pipeline.from_registry(["count"], num_estimators=64, seed=0).run(
             EDGES, batch_size=100
