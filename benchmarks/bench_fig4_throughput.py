@@ -48,7 +48,14 @@ def _write_artifact(out: dict) -> None:
         "throughput": throughputs,
         "pipeline_run": pipeline_run,
     }
-    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # Refresh this benchmark's keys but keep everything other writers
+    # contribute to the shared artifact (e.g. bench_shard_scaling's
+    # ``shard_scaling`` curve).
+    merged = {}
+    if ARTIFACT_PATH.exists():
+        merged = json.loads(ARTIFACT_PATH.read_text())
+    merged.update(payload)
+    ARTIFACT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 @pytest.fixture(scope="module")

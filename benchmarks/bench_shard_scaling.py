@@ -1,0 +1,152 @@
+"""Shard-transport scaling: parallel throughput by worker count.
+
+The zero-copy shared-memory transport exists for exactly one reason:
+over pickled queues the parent serializes every batch once *per
+worker*, so fan-out cost grows with the worker count and shard scaling
+flattens well below linear. This benchmark measures
+:class:`~repro.core.parallel.ParallelTriangleCounter` end to end over a
+long synthetic stream for every (transport, workers) combination the
+host can exercise, asserts the transports stay bit-identical, and
+records the curve in ``BENCH_throughput.json`` (under the
+``shard_scaling`` key, alongside the Figure 4 numbers) so the scaling
+trajectory is tracked across PRs.
+
+On boxes with fewer than 4 cores the scaling *assertion* is skipped --
+extra workers cannot beat one worker without cores to run on -- but
+the transports are still exercised and the artifact still records the
+honest curve plus the ``cpu_count`` it was measured on.
+
+Run directly for the numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard_scaling.py -q -s
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.parallel import ParallelTriangleCounter
+from repro.streaming.shm import shm_available
+
+from bench_large_r import _stub_matching_stream
+
+N_VERTICES = 400_000
+MEAN_DEGREE = 4
+BATCH_SIZE = 8_192
+NUM_ESTIMATORS = 16_384
+TRIALS = 3
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _worker_counts(cpus: int) -> list[int]:
+    """1, 2, 4, 8 capped by the host: scaling needs cores to scale on.
+
+    At least ``[1, 2]`` always -- two workers on one core cannot speed
+    anything up, but they do exercise the full transport machinery, so
+    the bit-identity leg of this benchmark runs everywhere.
+    """
+    return [w for w in (1, 2, 4, 8) if w <= max(2, cpus)]
+
+
+def measure_scaling(
+    *,
+    worker_counts=None,
+    transports=None,
+    num_estimators: int = NUM_ESTIMATORS,
+    batch_size: int = BATCH_SIZE,
+    trials: int = TRIALS,
+    seed: int = 0,
+) -> dict:
+    """Best-of-``trials`` Medges/s per (transport, workers) combination.
+
+    Also used by ``check_throughput_regression.py`` for the
+    shard-scaling gate (a narrowed configuration). Estimates ride along
+    so callers can assert transports agree bit for bit.
+    """
+    cpus = os.cpu_count() or 1
+    if worker_counts is None:
+        worker_counts = _worker_counts(cpus)
+    if transports is None:
+        transports = ("shm", "queue") if shm_available() else ("queue",)
+    stream = _stub_matching_stream(N_VERTICES, MEAN_DEGREE, seed=seed)
+    m = int(stream.shape[0])
+    throughput: dict = {t: {} for t in transports}
+    estimates: dict = {t: {} for t in transports}
+    for transport in transports:
+        for workers in worker_counts:
+            times = []
+            estimate = None
+            for _ in range(trials):
+                counter = ParallelTriangleCounter(
+                    num_estimators,
+                    workers=workers,
+                    seed=seed,
+                    transport=transport,
+                )
+                t0 = time.perf_counter()
+                estimate = counter.count(stream, batch_size=batch_size)
+                times.append(time.perf_counter() - t0)
+            key = f"workers={workers}"
+            throughput[transport][key] = round(m / min(times) / 1e6, 3)
+            estimates[transport][key] = estimate
+    return {
+        "cpu_count": cpus,
+        "edges": m,
+        "num_estimators": num_estimators,
+        "batch_size": batch_size,
+        "worker_counts": list(worker_counts),
+        "unit": "Medges/s",
+        "throughput": throughput,
+        "estimates": estimates,
+    }
+
+
+def _write_artifact(result: dict) -> None:
+    """Merge the scaling curve into the shared throughput artifact."""
+    payload = {k: v for k, v in result.items() if k != "estimates"}
+    data = {}
+    if ARTIFACT_PATH.exists():
+        data = json.loads(ARTIFACT_PATH.read_text())
+    data["shard_scaling"] = payload
+    ARTIFACT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    result = measure_scaling()
+    _write_artifact(result)
+    for transport, curve in result["throughput"].items():
+        line = ", ".join(f"{k} {v:.3f}" for k, v in curve.items())
+        print(f"\n[shard-scaling] {transport}: {line} Medges/s "
+              f"(cpus={result['cpu_count']})")
+    return result
+
+
+def test_throughput_measured_for_every_combination(scaling):
+    for transport, curve in scaling["throughput"].items():
+        for key, medges in curve.items():
+            assert medges > 0, (transport, key)
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared memory")
+def test_transports_are_bit_identical(scaling):
+    """Same seed, same workers: the estimate must not depend on how
+    the batches crossed the process boundary."""
+    shm_est = scaling["estimates"]["shm"]
+    queue_est = scaling["estimates"]["queue"]
+    assert shm_est == queue_est
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4 or not shm_available(),
+    reason="scaling needs >= 4 cores and shared memory",
+)
+def test_shm_scales_past_two_workers(scaling):
+    """With real cores behind them, 4 shm workers must clearly beat 1
+    (the regression gate pins the exact >= 2x floor)."""
+    curve = scaling["throughput"]["shm"]
+    assert curve["workers=4"] > 1.5 * curve["workers=1"], curve

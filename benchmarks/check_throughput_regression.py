@@ -1,9 +1,9 @@
 """CI smoke gate: fail when streaming throughput regresses badly.
 
-Three gates, all compared against the repo's committed
-``BENCH_throughput.json``, all failing below 50% of the committed
-value -- generous enough for CI hardware variance, tight enough to
-catch a hot-path regression:
+Four gates. The first three compare against the repo's committed
+``BENCH_throughput.json``, failing below 50% of the committed value --
+generous enough for CI hardware variance, tight enough to catch a
+hot-path regression:
 
 1. the Figure 4 benchmark on the smallest committed configuration
    (the smallest dataset at the smallest ``r``): the vectorized
@@ -17,17 +17,27 @@ catch a hot-path regression:
    mode of the driver shared by ``run`` and ``snapshots``, so a
    refactor of that driver cannot silently slow the plain path down.
 
+The fourth is self-relative (hardware-independent): with the
+shared-memory transport, 4 workers must process the stream at least
+2x as fast as 1 worker. A broken zero-copy path (every batch quietly
+falling back to per-worker pickles) flattens that curve long before it
+breaks any absolute number. Skipped below 4 cores, where the premise
+-- cores to scale onto -- does not hold.
+
     PYTHONPATH=src python benchmarks/check_throughput_regression.py
 """
 
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.experiments.runners import run_figure4, run_pipeline_throughput
+from repro.streaming.shm import shm_available
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 FLOOR_FRACTION = 0.5
+SHARD_SPEEDUP_FLOOR = 2.0
 
 
 def _gate(label: str, measured: float, baseline: float) -> bool:
@@ -41,6 +51,36 @@ def _gate(label: str, measured: float, baseline: float) -> bool:
             f"[throughput-gate] FAIL ({label}): throughput regressed more "
             f"than {100 * (1 - FLOOR_FRACTION):.0f}% against the committed "
             "BENCH_throughput.json",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _shard_scaling_gate() -> bool:
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        print(f"[throughput-gate] shard scaling: skipped ({cpus} cores < 4)")
+        return True
+    if not shm_available():
+        print("[throughput-gate] shard scaling: skipped (no shared memory)")
+        return True
+    from bench_shard_scaling import measure_scaling
+
+    out = measure_scaling(worker_counts=(1, 4), transports=("shm",), trials=2)
+    curve = out["throughput"]["shm"]
+    one, four = curve["workers=1"], curve["workers=4"]
+    speedup = four / max(one, 1e-9)
+    print(
+        f"[throughput-gate] shard scaling (shm): workers=1 {one:.3f} -> "
+        f"workers=4 {four:.3f} Medges/s ({speedup:.2f}x, floor "
+        f"{SHARD_SPEEDUP_FLOOR:.1f}x)"
+    )
+    if speedup < SHARD_SPEEDUP_FLOOR:
+        print(
+            "[throughput-gate] FAIL (shard scaling): 4 shm workers no "
+            f"longer reach {SHARD_SPEEDUP_FLOOR:.1f}x one worker -- the "
+            "zero-copy transport has likely degraded to per-worker pickling",
             file=sys.stderr,
         )
         return False
@@ -86,6 +126,8 @@ def main() -> int:
             measured["medges_per_s"],
             driver["medges_per_s"],
         ) and ok
+
+    ok = _shard_scaling_gate() and ok
 
     if not ok:
         return 1

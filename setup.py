@@ -15,4 +15,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23"],
+    extras_require={
+        # Optional JIT-compiled kernel backend; results are bit-identical
+        # to the pure-NumPy default (see src/repro/core/backend.py).
+        "numba": ["numba>=0.57"],
+    },
 )

@@ -20,9 +20,13 @@ estimator state no matter how long the stream is. ``pipeline``
 fans one stream pass out to any set of estimators from the registry
 (``--estimator`` choices below); ``--engine`` choices likewise come
 from the engine registry, so out-of-tree registrations appear
-automatically. ``pipeline`` also carries the production knobs:
-``--workers`` shards every estimator pool across processes over one
-stream read, and ``--checkpoint`` / ``--checkpoint-every`` /
+automatically. Every subcommand takes ``--backend`` to pick the kernel
+backend (``numba`` JIT vs the pure-NumPy reference; results are
+bit-identical either way). ``pipeline`` also carries the production
+knobs: ``--workers`` shards every estimator pool across processes over
+one stream read (``--transport`` chooses how batches reach them:
+zero-copy shared memory or pickled queues), and ``--checkpoint`` /
+``--checkpoint-every`` /
 ``--resume`` snapshot and restore estimator state so a long run can be
 killed and continued bit-identically. ``watch`` is the live surface:
 it follows a *growing* file (or stdin) and emits a snapshot of every
@@ -42,6 +46,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from .baselines.exact_stream import ExactStreamingCounter
+from .core.backend import set_backend
 from .core.transitivity import TransitivityEstimator
 from .core.triangle_count import TriangleCounter
 from .core.triangle_sample import TriangleSampler
@@ -80,6 +85,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "graph's, as the paper assumes (default; costs O(distinct edges) "
         "memory). Pass --no-dedup for constant-memory streaming of inputs "
         "that are already simple",
+    )
+    _add_backend(parser)
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "numba"),
+        default=None,
+        help="kernel backend: 'numba' JIT-compiles the hot kernels "
+        "(bit-identical results, needs numba installed), 'numpy' is the "
+        "pure-NumPy reference, 'auto' picks numba when importable "
+        "(default: $REPRO_BACKEND, then auto)",
     )
 
 
@@ -232,6 +250,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             workers=args.workers,
             num_estimators=args.estimators,
             seed=args.seed,
+            transport=args.transport,
         )
         report = sharded.run(_source(args), batch_size=args.batch_size)
         print(report.render())
@@ -310,6 +329,15 @@ def build_parser() -> argparse.ArgumentParser:
         "processes over one stream read (default: 1, in-process)",
     )
     p_pipe.add_argument(
+        "--transport",
+        choices=("auto", "shm", "queue"),
+        default="auto",
+        help="with --workers > 1: how batches reach the workers. 'shm' "
+        "ships zero-copy shared-memory views, 'queue' pickles each batch "
+        "per worker, 'auto' (default) prefers shm where the platform "
+        "supports it",
+    )
+    p_pipe.add_argument(
         "--checkpoint",
         metavar="DIR",
         default=None,
@@ -359,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default OFF for watch: the membership set grows forever on "
         "an unbounded stream)",
     )
+    _add_backend(p_watch)
     p_watch.add_argument(
         "--estimator",
         action="append",
@@ -430,6 +459,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # Activate before any estimator is built so even construction-time
+        # kernel calls go through the requested backend. An explicit
+        # --backend numba on a numba-less box fails loudly here.
+        set_backend(getattr(args, "backend", None))
         return args.func(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

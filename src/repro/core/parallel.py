@@ -34,6 +34,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError, WorkerCrashedError
 from ..streaming.batch import EdgeBatch
+from ..streaming.shm import BatchSender, TransportFeed, check_procs_alive
 from ..streaming.source import as_source
 from .checkpoint import from_state_dict, merge_counters
 from .vectorized import VectorizedTriangleCounter
@@ -51,35 +52,42 @@ def _worker_loop(
     index: int,
     num_estimators: int,
     seed_seq: np.random.SeedSequence,
+    shm_client=None,
 ) -> None:
     """Consume batches until the ``None`` sentinel; ship back the state.
 
-    On a worker-side exception the error is shipped back instead of the
-    state, and the input queue is drained to its sentinel first -- the
-    parent writes to bounded queues, so a worker that stopped consuming
-    would deadlock it.
+    Batches arrive through the shared transport feed -- zero-copy
+    shared-memory views when the parent runs the shm ring, pickled
+    arrays otherwise -- already wrapped as canonical, validated
+    :class:`EdgeBatch` columns that go straight to the engine's
+    prepared fast path. On a worker-side exception the error is shipped
+    back instead of the state, and the input queue is drained to its
+    sentinel first (releasing any ring slots) -- the parent writes to
+    bounded queues, so a worker that stopped consuming would deadlock
+    it. The original traceback text rides along as the result's third
+    element, captured *before* the pickle probe so even an unpicklable
+    exception reports its own failure site.
     """
+    feed = TransportFeed(in_queue, shm_client)
     try:
         counter = VectorizedTriangleCounter(num_estimators, seed=seed_seq)
-        while True:
-            batch = in_queue.get()
-            if batch is None:
-                break
-            if isinstance(batch, np.ndarray):
-                # Columnar payload: already canonical and validated by
-                # the parent's source, so skip straight to the fast path.
-                counter.update_prepared(EdgeBatch(batch))
+        for batch in feed:
+            if isinstance(batch, EdgeBatch):
+                counter.update_prepared(batch)
             else:
                 counter.update_batch(batch)
-        result = ("ok", counter.state_dict())
+        result = ("ok", counter.state_dict(), None)
     except Exception as exc:
-        while in_queue.get() is not None:
-            pass
+        tb = traceback.format_exc()
+        feed.drain()
         try:
             pickle.dumps(exc)
-            result = ("error", exc)
+            result = ("error", exc, tb)
         except Exception:  # pragma: no cover - unpicklable exception
-            result = ("error", RuntimeError(traceback.format_exc()))
+            result = ("error", RuntimeError(tb), tb)
+    finally:
+        if shm_client is not None:
+            shm_client.close()
     out_queue.put((index, result))
 
 
@@ -156,10 +164,21 @@ class ParallelTriangleCounter:
     seed:
         Root seed; worker pools run on independent
         ``SeedSequence.spawn`` children. ``None`` draws OS entropy.
+    transport:
+        How batches reach the workers: ``"shm"`` (one copy into a
+        shared-memory ring, zero-copy worker views), ``"queue"``
+        (per-worker pickled copies), or ``"auto"`` (shm when the
+        platform supports it). Results are bit-identical across
+        transports.
     """
 
     def __init__(
-        self, num_estimators: int, *, workers: int = 2, seed: int | None = None
+        self,
+        num_estimators: int,
+        *,
+        workers: int = 2,
+        seed: int | None = None,
+        transport: str = "auto",
     ) -> None:
         if num_estimators < 1:
             raise InvalidParameterError(
@@ -167,9 +186,14 @@ class ParallelTriangleCounter:
             )
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if transport.strip().lower() not in ("auto", "shm", "queue"):
+            raise InvalidParameterError(
+                f"unknown transport {transport!r}; choose shm, queue, or auto"
+            )
         self.num_estimators = num_estimators
         self.workers = min(workers, num_estimators)
         self.seed = seed
+        self.transport = transport
         self._merged: VectorizedTriangleCounter | None = None
 
     def _shard_sizes(self) -> list[int]:
@@ -201,12 +225,22 @@ class ParallelTriangleCounter:
             states = [counter.state_dict()]
         else:
             ctx = multiprocessing.get_context()
+            sender = BatchSender(
+                ctx,
+                transport=self.transport,
+                consumers=self.workers,
+                batch_size=batch_size,
+                queue_depth=_QUEUE_DEPTH,
+            )
             in_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)]
             out_queue = ctx.Queue()
+            client = sender.client()
             procs = [
                 ctx.Process(
                     target=_worker_loop,
-                    args=(in_queues[i], out_queue, i, shards[i], seed_seqs[i]),
+                    args=(
+                        in_queues[i], out_queue, i, shards[i], seed_seqs[i], client,
+                    ),
                     daemon=True,
                 )
                 for i in range(self.workers)
@@ -216,14 +250,15 @@ class ParallelTriangleCounter:
             try:
                 try:
                     for batch in source.batches(batch_size):
-                        # Columnar batches ship as raw int64 arrays --
-                        # pickled as flat buffers, far cheaper than a
-                        # list of Python tuples -- and workers rebuild
-                        # the EdgeBatch without re-validating.
-                        if isinstance(batch, EdgeBatch):
-                            payload = batch.array
-                        else:
-                            payload = list(batch)
+                        # Columnar batches cross the process boundary
+                        # once: as a shared-memory descriptor when the
+                        # ring runs, else as a raw int64 array (pickled
+                        # as a flat buffer, far cheaper than a list of
+                        # Python tuples); workers rebuild the EdgeBatch
+                        # without re-validating.
+                        payload = sender.payload(
+                            batch, lambda: check_procs_alive(procs)
+                        )
                         for i, queue in enumerate(in_queues):
                             _put_alive(queue, payload, procs[i], i)
                 finally:
@@ -242,9 +277,15 @@ class ParallelTriangleCounter:
                     proc.join(timeout=30)
                     if proc.is_alive():  # pragma: no cover - defensive
                         proc.terminate()
+                # After the join: frees the ring blocks (workers have
+                # detached) and removes every named segment even on the
+                # crash path.
+                sender.close()
             states = []
-            for _, (status, payload) in sorted(indexed):
+            for _, (status, payload, tb) in sorted(indexed):
                 if status == "error":
+                    if tb:
+                        payload.add_note(f"worker traceback:\n{tb}")
                     raise payload
                 states.append(payload)
 

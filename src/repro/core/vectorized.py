@@ -65,6 +65,7 @@ import numpy as np
 from ..errors import InvalidParameterError
 from ..streaming.batch import BatchContext, EdgeBatch
 from ..streaming.registry import register_engine
+from .backend import active as _kernel_backend
 from .watch_index import WatchIndex
 
 __all__ = ["STATE_FIELDS", "VectorizedTriangleCounter"]
@@ -354,27 +355,25 @@ class VectorizedTriangleCounter:
         beta_x[new_mask] = ctx.deg_at_edge_u[new_j]
         beta_y[new_mask] = ctx.deg_at_edge_v[new_j]
 
-        deg_bx = ctx.final_degree(self.r1u)
-        deg_by = ctx.final_degree(self.r1v)
-        a = deg_bx - beta_x
-        b = deg_by - beta_y
-        c_plus = a + b
+        kb = _kernel_backend()
         c_minus = self.c
-        total = c_minus + c_plus
+        a, c_plus, total = kb.step2_totals(
+            ctx.final_degree(self.r1u),
+            ctx.final_degree(self.r1v),
+            beta_x,
+            beta_y,
+            c_minus,
+        )
 
         active = c_plus > 0
         phi = np.ones(r, dtype=np.int64)
         if active.any():
-            # randInt(1, c- + c+) per estimator with new candidates. The
-            # clamp closes the float-rounding hole: random() close to 1
-            # against a large total can round the product up to total
+            # randInt(1, c- + c+) per estimator with new candidates; the
+            # kernel clamps the float-rounding hole where random() close
+            # to 1 against a large total rounds the product up to total
             # itself, which would push phi one past the contract.
-            phi[active] = np.minimum(
-                1
-                + (
-                    self._rng.random(int(active.sum())) * total[active]
-                ).astype(np.int64),
-                total[active],
+            phi[active] = kb.phi_from_draws(
+                self._rng.random(int(active.sum())), total[active]
             )
         self.c = total
         replace = active & (phi > c_minus)
@@ -407,12 +406,10 @@ class VectorizedTriangleCounter:
         r1u, r1v = self.r1u[open_wedge], self.r1v[open_wedge]
         r2u, r2v = self.r2u[open_wedge], self.r2v[open_wedge]
         # Shared vertex of the wedge; outer endpoints form the closing edge.
-        shared = np.where((r1u == r2u) | (r1u == r2v), r1u, r1v)
-        out1 = r1u + r1v - shared
-        out2 = r2u + r2v - shared
-        cu = np.minimum(out1, out2)
-        cv = np.maximum(out1, out2)
-        local = ctx.position_in_batch(cu, cv)
+        shared, out1, out2, keys = _kernel_backend().wedge_geometry(
+            r1u, r1v, r2u, r2v
+        )
+        local = ctx.position_in_batch_keys(keys)
         closed = (local > 0) & (base + local > self.r2pos[open_wedge])
         if not closed.any():
             return None
@@ -565,6 +562,7 @@ class VectorizedTriangleCounter:
             r1u_c = self.r1u[cand]
             r1v_c = self.r1v[cand]
             c_minus = self.c[cand]
+        kb = _kernel_backend()
         beta_x = np.zeros(n_c, dtype=np.int64)
         beta_y = np.zeros(n_c, dtype=np.int64)
         if k:
@@ -572,13 +570,13 @@ class VectorizedTriangleCounter:
             beta_x[pos] = ctx.deg_at_edge_u[new_j]
             beta_y[pos] = ctx.deg_at_edge_v[new_j]
         if full:
-            a = ctx.final_degree(r1u_c) - beta_x
-            c_plus = a + (ctx.final_degree(r1v_c) - beta_y)
-        else:
-            # Endpoint batch degrees came for free with the watch hits.
-            a = deg_bx_c - beta_x
-            c_plus = a + (deg_by_c - beta_y)
-        total = c_minus + c_plus
+            deg_bx_c = ctx.final_degree(r1u_c)
+            deg_by_c = ctx.final_degree(r1v_c)
+        # On the candidate path the endpoint batch degrees came for free
+        # with the watch hits.
+        a, c_plus, total = kb.step2_totals(
+            deg_bx_c, deg_by_c, beta_x, beta_y, c_minus
+        )
         if full:
             self.c = total
         else:
@@ -587,9 +585,7 @@ class VectorizedTriangleCounter:
         n = active.shape[0]
         if n == 0:
             return
-        total_a = total[active]
-        phi = 1 + (self._rng.random(n) * total_a).astype(np.int64)
-        np.minimum(phi, total_a, out=phi)
+        phi = kb.phi_from_draws(self._rng.random(n), total[active])
         replace = np.flatnonzero(phi > c_minus[active])
         if replace.shape[0] == 0:
             return
@@ -628,8 +624,7 @@ class VectorizedTriangleCounter:
         # are the two non-shared ones.
         out1 = np.where(use_x, r1v_r, r1u_r)
         out2 = new_r2u + new_r2v - target_v
-        keys = (np.minimum(out1, out2) << np.int64(32)) | np.maximum(out1, out2)
-        self._wedge_watch.add(keys, slots)
+        self._wedge_watch.add(kb.pack_edge_keys(out1, out2), slots)
         if had_wedge:
             self._wedge_watch.note_stale(had_wedge)
 
@@ -643,6 +638,7 @@ class VectorizedTriangleCounter:
         active slot replaces). Consumes the generator exactly as the
         general path does.
         """
+        kb = _kernel_backend()
         remaining_u, remaining_v = ctx.remaining_degrees
         a = remaining_u[new_j]
         c_plus = a + remaining_v[new_j]
@@ -651,9 +647,7 @@ class VectorizedTriangleCounter:
         n = active.shape[0]
         if n == 0:
             return
-        total_a = c_plus[active]
-        phi = 1 + (self._rng.random(n) * total_a).astype(np.int64)
-        np.minimum(phi, total_a, out=phi)
+        phi = kb.phi_from_draws(self._rng.random(n), c_plus[active])
         # phi in [1, a]: the u-side EVENTB run; else the v-side run.
         new_j_a = new_j[active]
         a_r = a[active]
@@ -672,8 +666,7 @@ class VectorizedTriangleCounter:
         shared = np.where(use_x, r1u_a, r1v_a)
         out1 = np.where(use_x, r1v_a, r1u_a)
         out2 = new_r2u + new_r2v - shared
-        keys = (np.minimum(out1, out2) << np.int64(32)) | np.maximum(out1, out2)
-        self._wedge_watch.add(keys, active)
+        self._wedge_watch.add(kb.pack_edge_keys(out1, out2), active)
 
     def _step3_sparse(self, ctx: BatchContext, base: int) -> None:
         """Step 3 via the wedge watch (or a dense scan when cheaper).
@@ -705,10 +698,9 @@ class VectorizedTriangleCounter:
         qidx = qidx[alive]
         r1u, r1v = self.r1u[slots], self.r1v[slots]
         r2u, r2v = self.r2u[slots], self.r2v[slots]
-        shared = np.where((r1u == r2u) | (r1u == r2v), r1u, r1v)
-        out1 = r1u + r1v - shared
-        out2 = r2u + r2v - shared
-        keys = (np.minimum(out1, out2) << np.int64(32)) | np.maximum(out1, out2)
+        shared, out1, out2, keys = _kernel_backend().wedge_geometry(
+            r1u, r1v, r2u, r2v
+        )
         # A hit is real when the slot's *current* closing key still is
         # the matched batch key (a stale entry's slot re-derives a
         # different key -- or the same one via its own live entry); the
@@ -751,12 +743,9 @@ class VectorizedTriangleCounter:
 
     def _closing_keys(self, slots: np.ndarray) -> np.ndarray:
         """Packed closing-edge keys of the open wedges at ``slots``."""
-        r1u, r1v = self.r1u[slots], self.r1v[slots]
-        r2u, r2v = self.r2u[slots], self.r2v[slots]
-        shared = np.where((r1u == r2u) | (r1u == r2v), r1u, r1v)
-        out1 = r1u + r1v - shared
-        out2 = r2u + r2v - shared
-        return (np.minimum(out1, out2) << np.int64(32)) | np.maximum(out1, out2)
+        return _kernel_backend().wedge_geometry(
+            self.r1u[slots], self.r1v[slots], self.r2u[slots], self.r2v[slots]
+        )[3]
 
     def _maybe_compact(self) -> None:
         limit = max(self._COMPACT_MIN, self.num_estimators)

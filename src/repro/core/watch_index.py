@@ -47,6 +47,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import active as _kernel_backend
+
 __all__ = ["WatchIndex"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -60,8 +62,7 @@ def _sort_pairs(keys: np.ndarray, slots: np.ndarray) -> tuple[np.ndarray, np.nda
     slot_bits = max(int(slots.max()).bit_length(), 1)
     if key_bits + slot_bits <= 63:
         shift = np.int64(slot_bits)
-        packed = (keys << shift) | slots
-        packed.sort()
+        packed = _kernel_backend().pack_sort_pairs(keys, slots, shift)
         return packed >> shift, packed & ((np.int64(1) << shift) - 1)
     order = np.argsort(keys, kind="stable")
     return keys[order], slots[order]
@@ -211,26 +212,21 @@ class WatchIndex:
                 q = query_keys.shape[0]
                 if q == 0:
                     return _EMPTY, _EMPTY
+        kb = _kernel_backend()
         slot_parts = []
         query_parts = []
         self._lookup_base(query_keys, slot_parts, query_parts)
         if self._run_keys.shape[0]:
-            lo = np.searchsorted(self._run_keys, query_keys, side="left")
-            hi = np.searchsorted(self._run_keys, query_keys, side="right")
-            span, idx = _expand_ranges(
-                lo, hi, np.arange(q, dtype=np.int64)
-            )
+            span, idx = kb.sorted_range_lookup(self._run_keys, query_keys)
             if span.shape[0]:
                 slot_parts.append(self._run_slots[span])
                 query_parts.append(idx)
         if self._tail_size:
             tail_keys, tail_slots = self._tail_arrays()
-            pos = np.searchsorted(query_keys, tail_keys)
-            np.minimum(pos, q - 1, out=pos)
-            hit = query_keys[pos] == tail_keys
-            if hit.any():
-                slot_parts.append(tail_slots[hit])
-                query_parts.append(pos[hit])
+            tail_idx, pos_hit = kb.tail_probe(query_keys, tail_keys)
+            if tail_idx.shape[0]:
+                slot_parts.append(tail_slots[tail_idx])
+                query_parts.append(pos_hit)
         if not slot_parts:
             return _EMPTY, _EMPTY
         slots = (
@@ -291,21 +287,24 @@ class WatchIndex:
     def _lookup_base(
         self, query_keys: np.ndarray, slot_parts: list, query_parts: list
     ) -> None:
-        q = query_keys.shape[0]
+        kb = _kernel_backend()
         if self._offsets is not None:
             clipped = np.minimum(query_keys, self._offsets_hi)
-            lo = self._offsets[clipped]
-            hi = self._offsets[clipped + 1]
+            span, idx = kb.expand_ranges(
+                self._offsets[clipped], self._offsets[clipped + 1]
+            )
         elif self._packed.shape[0]:
-            shift = self._shift
-            lo = np.searchsorted(self._packed, query_keys << shift)
-            hi = np.searchsorted(self._packed, (query_keys + 1) << shift)
+            slots, idx = kb.packed_range_lookup(
+                self._packed, self._shift, query_keys
+            )
+            if slots.shape[0]:
+                slot_parts.append(slots)
+                query_parts.append(idx)
+            return
         elif self._base_keys.shape[0]:
-            lo = np.searchsorted(self._base_keys, query_keys, side="left")
-            hi = np.searchsorted(self._base_keys, query_keys, side="right")
+            span, idx = kb.sorted_range_lookup(self._base_keys, query_keys)
         else:
             return
-        span, idx = _expand_ranges(lo, hi, np.arange(q, dtype=np.int64))
         if span.shape[0] == 0:
             return
         if self._packed.shape[0]:
@@ -330,9 +329,7 @@ class WatchIndex:
             # One sort over packed values, no gather, and range lookups
             # search the packed array directly.
             shift = np.int64(slot_bits)
-            packed = (keys << shift) | slots
-            packed.sort()
-            self._packed = packed
+            self._packed = _kernel_backend().pack_sort_pairs(keys, slots, shift)
             self._shift = shift
             self._base_keys = _EMPTY
             self._base_slots = _EMPTY

@@ -68,6 +68,14 @@ from .registry import (
     register_estimator,
 )
 from .sharded import ShardedPipeline, derive_shard_seed, shard_sizes
+from .shm import (
+    BatchSender,
+    ShmRing,
+    ShmRingClient,
+    TransportFeed,
+    resolve_transport,
+    shm_available,
+)
 from .source import (
     EdgeSource,
     FileSource,
@@ -84,6 +92,7 @@ __all__ = [
     "ENGINES",
     "ESTIMATORS",
     "BatchContext",
+    "BatchSender",
     "BatchedEstimator",
     "Checkpoint",
     "CheckpointableEstimator",
@@ -102,7 +111,10 @@ __all__ = [
     "PreparedEstimator",
     "Registry",
     "ShardedPipeline",
+    "ShmRing",
+    "ShmRingClient",
     "StreamingEstimator",
+    "TransportFeed",
     "as_source",
     "batched_iter",
     "derive_seed",
@@ -111,8 +123,10 @@ __all__ = [
     "load_checkpoint",
     "register_engine",
     "register_estimator",
+    "resolve_transport",
     "save_checkpoint",
     "shard_sizes",
+    "shm_available",
     "source_fingerprint",
     "verify_resume_source",
 ]

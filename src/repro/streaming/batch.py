@@ -184,10 +184,17 @@ def rebatch_arrays(
         yield np.concatenate(buffer) if len(buffer) > 1 else buffer[0]
 
 
-#: Above this many queries, sort them first: binary search with sorted
-#: queries streams through the reference array instead of thrashing it
-#: (measured ~4-6x on 10^5-scale query sets).
-_SORTED_QUERY_MIN = 8192
+def _kernel_backend():
+    """The active kernel backend, imported lazily.
+
+    Deferred to call time (not module import) because
+    ``repro.core.__init__`` imports :mod:`repro.core.parallel`, which
+    imports this module -- an import-time hop into ``repro.core`` from
+    here would make that cycle order-dependent.
+    """
+    from ..core.backend import active
+
+    return active()
 
 
 def _lookup_sorted(
@@ -201,24 +208,11 @@ def _lookup_sorted(
 
     The shared binary-search kernel behind ``final_degree`` and
     ``position_in_batch`` (they must stay behaviorally identical for
-    the engines' bit-identity contract). ``sorted_ref`` must be
-    non-empty; duplicate reference keys resolve to the first (the
-    ``searchsorted`` left side).
+    the engines' bit-identity contract), dispatched through the active
+    backend. ``sorted_ref`` must be non-empty; duplicate reference keys
+    resolve to the first (the ``searchsorted`` left side).
     """
-    n = queries.shape[0]
-    top = sorted_ref.shape[0] - 1
-    if n >= _SORTED_QUERY_MIN:
-        order = np.argsort(queries)
-        sorted_queries = queries[order]
-        pos = np.minimum(np.searchsorted(sorted_ref, sorted_queries), top)
-        found = sorted_ref[pos] == sorted_queries
-        result = np.where(found, values[pos] + offset, 0)
-        out = np.empty(n, dtype=np.int64)
-        out[order] = result
-        return out
-    pos = np.minimum(np.searchsorted(sorted_ref, queries), top)
-    found = sorted_ref[pos] == queries
-    return np.where(found, values[pos] + offset, 0)
+    return _kernel_backend().lookup_sorted(queries, sorted_ref, values, offset)
 
 
 class BatchContext:
@@ -282,12 +276,12 @@ class BatchContext:
         # edge j). Sorting packed (vertex << bits) | event keys gives the
         # stable (vertex, time) order and the inverse permutation in one
         # quicksort: the low bits *are* the original event index.
+        kb = _kernel_backend()
         events = np.empty(n, dtype=np.int64)
         events[0::2] = bu
         events[1::2] = bv
         shift = np.int64(max(1, int(max(n - 1, 1)).bit_length()))
-        packed = (events << shift) | np.arange(n, dtype=np.int64)
-        packed.sort()
+        packed = kb.pack_index_sort(events, shift)
         order = packed & ((np.int64(1) << shift) - 1)
         sorted_events = packed >> shift
 
@@ -332,10 +326,7 @@ class BatchContext:
         vbits = int(bv.max()).bit_length() if w else 0
         if w and ubits + vbits + kbits <= 63:
             kshift = np.int64(kbits)
-            pk = (((bu << np.int64(vbits)) | bv) << kshift) | np.arange(
-                w, dtype=np.int64
-            )
-            pk.sort()
+            pk = kb.pack2_index_sort(bu, bv, np.int64(vbits), kshift)
             self._key_order = pk & ((np.int64(1) << kshift) - 1)
             self._sorted_keys = keys[self._key_order]
         else:
@@ -509,11 +500,19 @@ class BatchContext:
     def position_in_batch(self, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
         """1-based batch position of each edge ``(cu, cv)``; 0 if absent.
 
-        Duplicate edges resolve to their first occurrence (the stable
-        order). The empty-batch case is guarded *before* the binary
-        search, so the lookup is total.
+        ``cu <= cv`` (canonical order) is assumed. Duplicate edges
+        resolve to their first occurrence (the stable order).
         """
-        keys = (cu << np.int64(32)) | cv
+        return self.position_in_batch_keys((cu << np.int64(32)) | cv)
+
+    def position_in_batch_keys(self, keys: np.ndarray) -> np.ndarray:
+        """:meth:`position_in_batch` for already-packed edge keys.
+
+        The watch-driven step 3 computes the packed closing keys anyway
+        (the wedge-geometry kernel emits them); this entry point spares
+        it re-packing. The empty-batch case is guarded *before* the
+        binary search, so the lookup is total.
+        """
         if self._sorted_keys.shape[0] == 0:
             return np.zeros(keys.shape[0], dtype=np.int64)
         return _lookup_sorted(keys, self._sorted_keys, self._key_order, offset=1)

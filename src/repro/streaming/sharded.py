@@ -44,6 +44,7 @@ from ..errors import InvalidParameterError
 from .batch import EdgeBatch
 from .pipeline import EstimatorReport, PipelineReport
 from .registry import ESTIMATORS, _default_report
+from .shm import BatchSender, TransportFeed, check_procs_alive
 from .source import as_source
 
 __all__ = ["ShardedPipeline", "derive_shard_seed", "shard_sizes"]
@@ -141,58 +142,38 @@ def _consume(
     return edges, batch_count, timings
 
 
-class _QueueFeed:
-    """Iterate queue payloads until the ``None`` sentinel.
-
-    Tracks whether the sentinel has been consumed, so the worker's
-    error path knows whether the bounded input queue still needs
-    draining -- draining an already-finished queue would block forever
-    on an exception raised *after* the stream (e.g. in ``state_dict``).
-    """
-
-    def __init__(self, queue) -> None:
-        self._queue = queue
-        self.finished = False
-
-    def __iter__(self):
-        while True:
-            item = self._queue.get()
-            if item is None:
-                self.finished = True
-                return
-            yield item
-
-    def drain(self) -> None:
-        if self.finished:
-            return
-        while self._queue.get() is not None:
-            pass
-        self.finished = True
-
-
-def _worker_loop(in_queue, out_queue, index: int, specs) -> None:
+def _worker_loop(in_queue, out_queue, index: int, specs, shm_client=None) -> None:
     """Process one worker's shards; ship back ``{name: state_dict}``.
 
     Mirrors ``core.parallel._worker_loop``: on an exception the input
     queue is drained to its sentinel first (the parent writes to
-    bounded queues), and the error ships back in the state's place.
+    bounded queues, and shared-memory descriptors must have their ring
+    slots released), and the error ships back in the state's place.
+    The original traceback text always rides along as the result's
+    third element -- ``format_exc`` is captured *before* the pickle
+    probe, so even an unpicklable exception reports its own failure
+    site rather than the pickling error's.
     """
     import pickle
     import traceback
 
-    feed = _QueueFeed(in_queue)
+    feed = TransportFeed(in_queue, shm_client)
     try:
         pairs = _build_estimators(specs)
         _, _, timings = _consume(pairs, feed)
         states = {name: est.state_dict() for name, est in pairs}
         result = ("ok", states, timings)
     except Exception as exc:
+        tb = traceback.format_exc()
         feed.drain()
         try:
             pickle.dumps(exc)
-            result = ("error", exc, None)
+            result = ("error", exc, tb)
         except Exception:  # pragma: no cover - unpicklable exception
-            result = ("error", RuntimeError(traceback.format_exc()), None)
+            result = ("error", RuntimeError(tb), tb)
+    finally:
+        if shm_client is not None:
+            shm_client.close()
     out_queue.put((index, result))
 
 
@@ -215,6 +196,11 @@ class ShardedPipeline:
     options:
         Per-name factory keyword overrides, as in
         :meth:`~repro.streaming.pipeline.Pipeline.from_registry`.
+    transport:
+        How batches reach the workers: ``"shm"`` (zero-copy
+        shared-memory ring), ``"queue"`` (per-worker pickled copies),
+        or ``"auto"`` (shm when the platform supports it). Results are
+        bit-identical across transports.
     """
 
     def __init__(
@@ -225,6 +211,7 @@ class ShardedPipeline:
         num_estimators: int | None = None,
         seed: int | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
+        transport: str = "auto",
     ) -> None:
         self.names = list(names)
         if not self.names:
@@ -235,9 +222,14 @@ class ShardedPipeline:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         for name in self.names:
             ESTIMATORS.get(name)  # fail fast on unknown names
+        if transport.strip().lower() not in ("auto", "shm", "queue"):
+            raise InvalidParameterError(
+                f"unknown transport {transport!r}; choose shm, queue, or auto"
+            )
         self.workers = workers
         self.num_estimators = num_estimators
         self.seed = seed
+        self.transport = transport
         self._options = {k: dict(v) for k, v in (options or {}).items()}
         self._merged: list[tuple[str, Any]] | None = None
 
@@ -362,12 +354,20 @@ class ShardedPipeline:
         from ..core.parallel import _collect_results, _put_alive
 
         ctx = multiprocessing.get_context()
+        sender = BatchSender(
+            ctx,
+            transport=self.transport,
+            consumers=self.workers,
+            batch_size=batch_size,
+            queue_depth=_QUEUE_DEPTH,
+        )
         in_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)]
         out_queue = ctx.Queue()
+        client = sender.client()
         procs = [
             ctx.Process(
                 target=_worker_loop,
-                args=(in_queues[i], out_queue, i, specs[i]),
+                args=(in_queues[i], out_queue, i, specs[i], client),
                 daemon=True,
             )
             for i in range(self.workers)
@@ -379,8 +379,8 @@ class ShardedPipeline:
         try:
             try:
                 for batch in as_source(source).batches(batch_size):
-                    payload = (
-                        batch.array if isinstance(batch, EdgeBatch) else list(batch)
+                    payload = sender.payload(
+                        batch, lambda: check_procs_alive(procs)
                     )
                     edges += len(batch)
                     batches += 1
@@ -400,14 +400,20 @@ class ShardedPipeline:
                 proc.join(timeout=30)
                 if proc.is_alive():  # pragma: no cover - defensive
                     proc.terminate()
+            # After the join: unlinking frees the blocks only once the
+            # last worker detaches, and a crash path (terminate above)
+            # must still remove every named segment.
+            sender.close()
         worker_states: list[dict] = []
         worker_timings: list[dict] = []
         for _, result in sorted(indexed):
-            status, payload, timings = result
+            status, payload, extra = result
             if status == "error":
+                if extra:
+                    payload.add_note(f"worker traceback:\n{extra}")
                 raise payload
             worker_states.append(payload)
-            worker_timings.append(timings)
+            worker_timings.append(extra)
         return edges, batches, worker_states, worker_timings
 
     def _merge_states(self, worker_states: list[dict]) -> list[tuple[str, Any]]:

@@ -1,0 +1,414 @@
+"""Kernel backend dispatch: selection rules, contracts, numpy/numba parity.
+
+The backend seam (:mod:`repro.core.backend`) is only allowed to change
+*speed*: every kernel's output is bit-identical across backends by
+contract. This module pins the selection API (environment variable,
+explicit requests, auto fallback), the numpy reference semantics kernel
+by kernel, and -- when numba is installed -- randomized parity between
+the compiled and reference implementations. The end-to-end halves of
+the contract (golden fingerprints, sparse == dense) live in
+``tests/test_vectorized_sparse.py``, parametrized over backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import _backend_numba as nb_module
+from repro.core import backend as kb
+from repro.errors import InvalidParameterError
+
+requires_numba = pytest.mark.skipif(
+    not kb.numba_available(), reason="numba not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def isolate_backend_state():
+    """Selection tests mutate process-wide state; put it back."""
+    backends = dict(kb._BACKENDS)
+    active = kb._ACTIVE
+    yield
+    kb._BACKENDS.clear()
+    kb._BACKENDS.update(backends)
+    kb._ACTIVE = active
+
+
+def assert_bit_identical(expected, got):
+    """Arrays (or tuples of arrays) equal in value *and* dtype."""
+    if isinstance(expected, tuple):
+        assert isinstance(got, tuple) and len(got) == len(expected)
+        for e, g in zip(expected, got):
+            assert_bit_identical(e, g)
+        return
+    expected = np.asarray(expected)
+    got = np.asarray(got)
+    assert got.dtype == expected.dtype
+    assert np.array_equal(got, expected)
+
+
+class TestResolution:
+    def test_auto_prefers_numba_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        expected = "numba" if kb.numba_available() else "numpy"
+        assert kb.resolve_name(None) == expected
+        assert kb.resolve_name("auto") == expected
+
+    def test_auto_falls_back_without_numba(self, monkeypatch):
+        monkeypatch.setattr(kb, "numba_available", lambda: False)
+        assert kb.resolve_name("auto") == "numpy"
+        assert kb.available_backends() == ("numpy",)
+
+    def test_env_var_drives_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert kb.resolve_name(None) == "numpy"
+
+    def test_empty_env_var_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "")
+        monkeypatch.setattr(kb, "numba_available", lambda: False)
+        assert kb.resolve_name(None) == "numpy"
+
+    def test_names_normalize(self):
+        assert kb.resolve_name("  NumPy ") == "numpy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown backend"):
+            kb.resolve_name("cython")
+
+    def test_explicit_numba_without_numba_raises(self, monkeypatch):
+        monkeypatch.setattr(kb, "numba_available", lambda: False)
+        with pytest.raises(InvalidParameterError, match="not installed"):
+            kb.resolve_name("numba")
+
+    def test_env_requested_numba_without_numba_raises(self, monkeypatch):
+        """An explicit env request is as loud as an explicit argument."""
+        monkeypatch.setenv("REPRO_BACKEND", "numba")
+        monkeypatch.setattr(kb, "numba_available", lambda: False)
+        with pytest.raises(InvalidParameterError, match="not installed"):
+            kb.resolve_name(None)
+
+
+class TestRegistry:
+    def test_get_backend_is_cached(self):
+        assert kb.get_backend("numpy") is kb.get_backend("numpy")
+
+    def test_missing_kernels_rejected(self):
+        with pytest.raises(InvalidParameterError, match="missing kernels"):
+            kb.Backend("partial", {"lookup_sorted": lambda *a: None})
+
+    def test_repr_names_the_backend(self):
+        assert repr(kb.get_backend("numpy")) == "Backend('numpy')"
+
+    def test_set_backend_and_use_scope(self):
+        numpy_backend = kb.set_backend("numpy")
+        assert kb.active() is numpy_backend
+        with kb.use("numpy") as scoped:
+            assert kb.active() is scoped
+        assert kb.active() is numpy_backend
+
+    def test_use_restores_on_error(self):
+        before = kb.active()
+        with pytest.raises(RuntimeError):
+            with kb.use("numpy"):
+                raise RuntimeError("boom")
+        assert kb.active() is before
+
+    def test_active_resolves_lazily_from_the_environment(self, monkeypatch):
+        kb._ACTIVE = None
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert kb.active().name == "numpy"
+
+    def test_auto_degrades_when_numba_build_breaks(self, monkeypatch):
+        def broken():
+            raise ImportError("simulated broken install")
+
+        monkeypatch.setattr(kb, "numba_available", lambda: True)
+        monkeypatch.setattr(nb_module, "build_kernels", broken)
+        kb._BACKENDS.pop("numba", None)
+        assert kb.get_backend(None).name == "numpy"
+        assert kb.get_backend("auto").name == "numpy"
+
+    def test_explicit_numba_build_failure_raises(self, monkeypatch):
+        def broken():
+            raise ImportError("simulated broken install")
+
+        monkeypatch.setattr(kb, "numba_available", lambda: True)
+        monkeypatch.setattr(nb_module, "build_kernels", broken)
+        kb._BACKENDS.pop("numba", None)
+        with pytest.raises(InvalidParameterError, match="failed to initialize"):
+            kb.get_backend("numba")
+
+
+class TestNumpyKernelContracts:
+    """The reference semantics every backend must reproduce."""
+
+    @pytest.fixture()
+    def b(self):
+        return kb.get_backend("numpy")
+
+    def test_lookup_sorted_hits_misses_offset(self, b):
+        ref = np.array([2, 5, 9], dtype=np.int64)
+        vals = np.array([10, 20, 30], dtype=np.int64)
+        queries = np.array([5, 3, 9, 2, 11], dtype=np.int64)
+        assert b.lookup_sorted(queries, ref, vals, 0).tolist() == [20, 0, 30, 10, 0]
+        assert b.lookup_sorted(queries, ref, vals, 1).tolist() == [21, 0, 31, 11, 0]
+
+    def test_lookup_sorted_large_query_path_matches_small(self, b):
+        """Past the sorted-query threshold the strategy switches; the
+        answers must not."""
+        rng = np.random.default_rng(0)
+        ref = np.unique(rng.integers(0, 5000, 700).astype(np.int64))
+        vals = rng.integers(1, 1 << 40, ref.shape[0]).astype(np.int64)
+        queries = rng.integers(0, 5000, kb._SORTED_QUERY_MIN + 17).astype(np.int64)
+        got = b.lookup_sorted(queries, ref, vals, 3)
+        table = dict(zip(ref.tolist(), vals.tolist()))
+        assert got.tolist() == [table.get(int(q), -3) + 3 for q in queries]
+
+    def test_expand_ranges_mixed_empties(self, b):
+        lo = np.array([3, 7, 7, 0], dtype=np.int64)
+        hi = np.array([5, 7, 9, 1], dtype=np.int64)
+        positions, qidx = b.expand_ranges(lo, hi)
+        assert positions.tolist() == [3, 4, 7, 8, 0]
+        assert qidx.tolist() == [0, 0, 2, 2, 3]
+
+    def test_expand_ranges_all_empty(self, b):
+        bound = np.array([4, 4], dtype=np.int64)
+        positions, qidx = b.expand_ranges(bound, bound)
+        assert positions.shape == (0,) and qidx.shape == (0,)
+
+    def test_packed_range_lookup(self, b):
+        shift = np.int64(4)
+        packed = np.sort(
+            np.array([(1 << 4) | 2, (1 << 4) | 5, (3 << 4) | 0], dtype=np.int64)
+        )
+        queries = np.array([0, 1, 3], dtype=np.int64)
+        slots, qidx = b.packed_range_lookup(packed, shift, queries)
+        assert slots.tolist() == [2, 5, 0]
+        assert qidx.tolist() == [1, 1, 2]
+
+    def test_sorted_range_lookup_duplicates(self, b):
+        keys = np.array([1, 1, 2, 5, 5, 5], dtype=np.int64)
+        queries = np.array([1, 4, 5], dtype=np.int64)
+        positions, qidx = b.sorted_range_lookup(keys, queries)
+        assert positions.tolist() == [0, 1, 3, 4, 5]
+        assert qidx.tolist() == [0, 0, 2, 2, 2]
+
+    def test_tail_probe(self, b):
+        queries = np.array([2, 6, 9], dtype=np.int64)
+        tail = np.array([6, 1, 9, 2, 6], dtype=np.int64)
+        tail_idx, qidx = b.tail_probe(queries, tail)
+        assert tail_idx.tolist() == [0, 2, 3, 4]
+        assert qidx.tolist() == [1, 2, 0, 1]
+
+    def test_pack_index_sort_is_a_stable_argsort(self, b):
+        values = np.array([5, 1, 5, 0], dtype=np.int64)
+        packed = b.pack_index_sort(values, np.int64(2))
+        assert (packed >> 2).tolist() == [0, 1, 5, 5]
+        assert (packed & 3).tolist() == [3, 1, 0, 2]  # ties keep input order
+
+    def test_pack2_index_sort_orders_hi_then_lo(self, b):
+        hi = np.array([2, 1, 2], dtype=np.int64)
+        lo = np.array([0, 9, 0], dtype=np.int64)
+        packed = b.pack2_index_sort(hi, lo, np.int64(4), np.int64(2))
+        assert (packed & 3).tolist() == [1, 0, 2]
+
+    def test_pack_sort_pairs(self, b):
+        keys = np.array([7, 3, 7], dtype=np.int64)
+        slots = np.array([1, 2, 0], dtype=np.int64)
+        packed = b.pack_sort_pairs(keys, slots, np.int64(2))
+        assert (packed >> 2).tolist() == [3, 7, 7]
+        assert (packed & 3).tolist() == [2, 0, 1]
+
+    def test_pack_edge_keys_canonicalizes(self, b):
+        a = np.array([5, 2], dtype=np.int64)
+        c = np.array([2, 9], dtype=np.int64)
+        assert b.pack_edge_keys(a, c).tolist() == [(2 << 32) | 5, (2 << 32) | 9]
+
+    def test_wedge_geometry(self, b):
+        r1u = np.array([0, 3], dtype=np.int64)
+        r1v = np.array([1, 4], dtype=np.int64)
+        r2u = np.array([1, 5], dtype=np.int64)
+        r2v = np.array([2, 3], dtype=np.int64)
+        shared, out1, out2, keys = b.wedge_geometry(r1u, r1v, r2u, r2v)
+        assert shared.tolist() == [1, 3]
+        assert out1.tolist() == [0, 4]
+        assert out2.tolist() == [2, 5]
+        assert keys.tolist() == [(0 << 32) | 2, (4 << 32) | 5]
+
+    def test_phi_clamps_the_rounding_boundary(self, b):
+        total = np.array([1 << 60], dtype=np.int64)
+        assert b.phi_from_draws(np.array([1.0]), total).tolist() == [1 << 60]
+        assert b.phi_from_draws(np.array([0.0]), total).tolist() == [1]
+
+    def test_step2_totals(self, b):
+        a, c_plus, total = b.step2_totals(
+            np.array([5], dtype=np.int64),
+            np.array([4], dtype=np.int64),
+            np.array([2], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([10], dtype=np.int64),
+        )
+        assert (a.tolist(), c_plus.tolist(), total.tolist()) == ([3], [6], [16])
+
+
+class TestWarmup:
+    def test_numpy_warmup_smokes_every_kernel(self):
+        assert kb.warmup(kb.get_backend("numpy")).name == "numpy"
+
+    def test_warmup_defaults_to_active(self):
+        kb.set_backend("numpy")
+        assert kb.warmup() is kb.active()
+
+    @requires_numba
+    def test_numba_cold_start_compiles_every_kernel(self):
+        """The JIT cost is paid in warmup, and the compiled kernels then
+        serve real-shaped calls."""
+        backend = kb.warmup(kb.get_backend("numba"))
+        assert backend.name == "numba"
+        queries = np.arange(64, dtype=np.int64)
+        ref = np.arange(0, 128, 2, dtype=np.int64)
+        vals = np.arange(64, dtype=np.int64)
+        assert_bit_identical(
+            kb.get_backend("numpy").lookup_sorted(queries, ref, vals, 1),
+            backend.lookup_sorted(queries, ref, vals, 1),
+        )
+
+
+@requires_numba
+class TestNumbaParity:
+    """Randomized kernel-by-kernel bit-identity against the reference."""
+
+    SEEDS = [0, 1, 2]
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return kb.get_backend("numpy"), kb.warmup(kb.get_backend("numba"))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lookup_sorted(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        ref = np.unique(rng.integers(0, 10_000, 500).astype(np.int64))
+        vals = rng.integers(-(1 << 40), 1 << 40, ref.shape[0]).astype(np.int64)
+        # 9000 queries crosses the numpy sorted-query threshold: both
+        # strategies must agree with the compiled loop.
+        for n in (0, 7, 9000):
+            queries = rng.integers(0, 10_000, n).astype(np.int64)
+            for offset in (0, 1):
+                assert_bit_identical(
+                    np_b.lookup_sorted(queries, ref, vals, offset),
+                    nb_b.lookup_sorted(queries, ref, vals, offset),
+                )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_expand_ranges(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        lo = np.sort(rng.integers(0, 50, 40)).astype(np.int64)
+        hi = lo + rng.integers(0, 5, 40).astype(np.int64)
+        assert_bit_identical(np_b.expand_ranges(lo, hi), nb_b.expand_ranges(lo, hi))
+        bound = lo.copy()
+        assert_bit_identical(
+            np_b.expand_ranges(bound, bound), nb_b.expand_ranges(bound, bound)
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_packed_range_lookup(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        shift = np.int64(12)
+        keys = rng.integers(0, 200, 300).astype(np.int64)
+        slots = rng.integers(0, 1 << 12, 300).astype(np.int64)
+        packed = np.sort((keys << shift) | slots)
+        queries = np.unique(rng.integers(0, 250, 50).astype(np.int64))
+        assert_bit_identical(
+            np_b.packed_range_lookup(packed, shift, queries),
+            nb_b.packed_range_lookup(packed, shift, queries),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sorted_range_lookup(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        sorted_keys = np.sort(rng.integers(0, 100, 400).astype(np.int64))
+        queries = np.unique(rng.integers(0, 120, 60).astype(np.int64))
+        assert_bit_identical(
+            np_b.sorted_range_lookup(sorted_keys, queries),
+            nb_b.sorted_range_lookup(sorted_keys, queries),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tail_probe(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        queries = np.unique(rng.integers(0, 300, 80).astype(np.int64))
+        for n in (0, 200):
+            tail = rng.integers(0, 350, n).astype(np.int64)
+            assert_bit_identical(
+                np_b.tail_probe(queries, tail), nb_b.tail_probe(queries, tail)
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pack_sorts(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        n = 500
+        values = rng.integers(0, 1 << 31, n).astype(np.int64)
+        shift = np.int64(10)
+        assert_bit_identical(
+            np_b.pack_index_sort(values, shift), nb_b.pack_index_sort(values, shift)
+        )
+        hi = rng.integers(0, 1 << 20, n).astype(np.int64)
+        lo = rng.integers(0, 1 << 8, n).astype(np.int64)
+        assert_bit_identical(
+            np_b.pack2_index_sort(hi, lo, np.int64(8), shift),
+            nb_b.pack2_index_sort(hi, lo, np.int64(8), shift),
+        )
+        keys = rng.integers(0, 1 << 31, n).astype(np.int64)
+        slots = rng.integers(0, 1 << 10, n).astype(np.int64)
+        assert_bit_identical(
+            np_b.pack_sort_pairs(keys, slots, shift),
+            nb_b.pack_sort_pairs(keys, slots, shift),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_edge_and_wedge_geometry(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        n = 300
+        a = rng.integers(0, 1 << 31, n).astype(np.int64)
+        c = rng.integers(0, 1 << 31, n).astype(np.int64)
+        assert_bit_identical(np_b.pack_edge_keys(a, c), nb_b.pack_edge_keys(a, c))
+        shared = rng.integers(0, 1 << 31, n).astype(np.int64)
+        out1 = rng.integers(0, 1 << 31, n).astype(np.int64)
+        out2 = rng.integers(0, 1 << 31, n).astype(np.int64)
+        flip1 = rng.random(n) < 0.5
+        flip2 = rng.random(n) < 0.5
+        r1u = np.where(flip1, shared, out1)
+        r1v = np.where(flip1, out1, shared)
+        r2u = np.where(flip2, shared, out2)
+        r2v = np.where(flip2, out2, shared)
+        assert_bit_identical(
+            np_b.wedge_geometry(r1u, r1v, r2u, r2v),
+            nb_b.wedge_geometry(r1u, r1v, r2u, r2v),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_phi_and_step2(self, pair, seed):
+        np_b, nb_b = pair
+        rng = np.random.default_rng(seed)
+        totals = np.concatenate(
+            [
+                rng.integers(1, 1 << 62, 200).astype(np.int64),
+                np.array([1, 1, 1 << 60], dtype=np.int64),
+            ]
+        )
+        draws = np.concatenate(
+            [rng.random(200), np.array([0.0, np.nextafter(1.0, 0.0), 1.0])]
+        )
+        assert_bit_identical(
+            np_b.phi_from_draws(draws, totals), nb_b.phi_from_draws(draws, totals)
+        )
+        cols = [
+            rng.integers(0, 1 << 30, 150).astype(np.int64) for _ in range(5)
+        ]
+        assert_bit_identical(np_b.step2_totals(*cols), nb_b.step2_totals(*cols))

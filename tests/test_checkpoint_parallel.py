@@ -228,13 +228,17 @@ class TestSilentWorkerDeath:
         if multiprocessing.get_start_method() != "fork":
             pytest.skip("monkeypatched worker body needs fork inheritance")
 
-        def silent_worker(in_queue, out_queue, index, num, seed_seq):
+        def silent_worker(in_queue, out_queue, index, num, seed_seq, *rest):
             while in_queue.get() is not None:
                 pass  # drain, then exit 0 without posting
 
         monkeypatch.setattr(parallel, "_worker_loop", silent_worker)
         edges, _ = small_er_graph
-        counter = ParallelTriangleCounter(100, workers=2, seed=0)
+        # Queue transport: the stub worker bypasses TransportFeed and
+        # would never release shm ring slots.
+        counter = ParallelTriangleCounter(
+            100, workers=2, seed=0, transport="queue"
+        )
         with pytest.raises(WorkerCrashedError):
             counter.count(edges[:100], batch_size=64)
 
