@@ -57,15 +57,22 @@ from .core.transitivity import TransitivityEstimator, WedgeCounter
 from .core.triangle_count import TriangleCounter
 from .core.triangle_sample import TriangleSampler
 from .errors import (
+    CheckpointWriteWarning,
     DuplicateEdgeError,
     EdgeNotFoundError,
     EmptyStreamError,
+    InjectedFaultError,
     InsufficientSampleError,
     InvalidEdgeError,
     InvalidParameterError,
     ReproError,
+    ReproWarning,
+    RetryExhaustedError,
     SourceExhaustedError,
+    SourceRetryWarning,
+    SourceRotatedWarning,
     WorkerCrashedError,
+    WorkerRestartedWarning,
 )
 from .exact.cliques import count_cliques as exact_clique_count
 from .exact.tangle import tangle_coefficient
@@ -86,6 +93,7 @@ from .streaming import (
 )
 
 __all__ = [
+    "CheckpointWriteWarning",
     "CliqueCounter",
     "CliqueCounter4",
     "CliqueSampler",
@@ -95,6 +103,7 @@ __all__ = [
     "EdgeStream",
     "EmptyStreamError",
     "FileSource",
+    "InjectedFaultError",
     "InsufficientSampleError",
     "InvalidEdgeError",
     "InvalidParameterError",
@@ -104,8 +113,12 @@ __all__ = [
     "Pipeline",
     "RandomSource",
     "ReproError",
+    "ReproWarning",
+    "RetryExhaustedError",
     "SlidingWindowTriangleCounter",
     "SourceExhaustedError",
+    "SourceRetryWarning",
+    "SourceRotatedWarning",
     "StaticGraph",
     "StreamingEstimator",
     "TransitivityEstimator",
@@ -113,6 +126,7 @@ __all__ = [
     "TriangleSampler",
     "WedgeCounter",
     "WorkerCrashedError",
+    "WorkerRestartedWarning",
     "__version__",
     "as_source",
     "error_bound",

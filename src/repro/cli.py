@@ -28,7 +28,11 @@ one stream read (``--transport`` chooses how batches reach them:
 zero-copy shared memory or pickled queues), and ``--checkpoint`` /
 ``--checkpoint-every`` /
 ``--resume`` snapshot and restore estimator state so a long run can be
-killed and continued bit-identically. ``watch`` is the live surface:
+killed and continued bit-identically. Multiprocess runs are supervised:
+``--max-restarts`` / ``--worker-deadline`` respawn crashed or hung
+workers from in-memory snapshots with bounded replay (results stay
+bit-identical), and ``--fault-plan`` injects deterministic faults to
+drill those paths. ``watch`` is the live surface:
 it follows a *growing* file (or stdin) and emits a snapshot of every
 estimator's current results each ``--every`` batches while the stream
 keeps flowing, with the same checkpoint/resume knobs.
@@ -54,11 +58,13 @@ from .errors import InvalidParameterError, ReproError
 from .streaming import (
     ENGINES,
     ESTIMATORS,
+    FaultPlan,
     FileSource,
     FollowSource,
     LineSource,
     Pipeline,
     ShardedPipeline,
+    faults,
 )
 
 __all__ = ["main"]
@@ -176,8 +182,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    """Parse and install ``--fault-plan`` (None leaves $REPRO_FAULT_PLAN)."""
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return None
+    plan = FaultPlan.parse(spec)
+    faults.install(plan)
+    return plan
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     """Follow a growing file (or stdin) and emit live snapshots."""
+    _install_fault_plan(args)
     if args.input == "-":
         if args.resume:
             raise InvalidParameterError(
@@ -218,12 +235,15 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_signal=checkpoint_signal,
     )
-    jsonl = open(args.jsonl, "a", encoding="utf-8") if args.jsonl else None
+    # Unbuffered binary append: each snapshot is one write(2) of one
+    # complete line, so a concurrent reader (or a kill mid-write) never
+    # sees a torn/interleaved record.
+    jsonl = open(args.jsonl, "ab", buffering=0) if args.jsonl else None
     try:
         for snapshot in snapshots:
             if jsonl is not None:
-                jsonl.write(json.dumps(snapshot.to_dict()) + "\n")
-                jsonl.flush()
+                line = json.dumps(snapshot.to_dict()) + "\n"
+                jsonl.write(line.encode("utf-8"))
             else:
                 print(snapshot.render_line(), flush=True)
     except KeyboardInterrupt:
@@ -239,6 +259,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     names = args.estimator or ["count", "transitivity", "exact"]
+    plan = _install_fault_plan(args)
     if args.workers > 1:
         if args.checkpoint or args.resume:
             raise InvalidParameterError(
@@ -251,6 +272,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             num_estimators=args.estimators,
             seed=args.seed,
             transport=args.transport,
+            max_restarts=args.max_restarts,
+            worker_deadline=args.worker_deadline,
+            fault_plan=plan,
         )
         report = sharded.run(_source(args), batch_size=args.batch_size)
         print(report.render())
@@ -338,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
         "supports it",
     )
     p_pipe.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --workers > 1: respawn a crashed or hung worker up "
+        "to N times (snapshot restore + bounded replay keeps results "
+        "bit-identical). 0 disables supervision and fails the run on "
+        "the first worker death (default: 2)",
+    )
+    p_pipe.add_argument(
+        "--worker-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --workers > 1: declare a worker hung (and restart "
+        "it) when it makes no progress for this long (default: wait "
+        "forever)",
+    )
+    p_pipe.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic faults for recovery drills, e.g. "
+        "'kill:w0@b5,source-error@r2' (also read from "
+        "$REPRO_FAULT_PLAN; see repro.streaming.faults)",
+    )
+    p_pipe.add_argument(
         "--checkpoint",
         metavar="DIR",
         default=None,
@@ -420,7 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument(
         "--jsonl", metavar="PATH", default=None,
         help="append each snapshot as a JSON line to PATH instead of "
-        "printing to stdout",
+        "printing to stdout (one atomic write per line)",
+    )
+    p_watch.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic faults for recovery drills, e.g. "
+        "'source-error@r2,ckpt-fail@s2' (also read from "
+        "$REPRO_FAULT_PLAN; see repro.streaming.faults)",
     )
     p_watch.add_argument(
         "--checkpoint",

@@ -170,6 +170,23 @@ class ParallelTriangleCounter:
         (per-worker pickled copies), or ``"auto"`` (shm when the
         platform supports it). Results are bit-identical across
         transports.
+    max_restarts:
+        Per-worker respawn budget. ``0`` (the default) keeps the legacy
+        fail-fast path; any other value routes the run through the
+        self-healing :class:`~repro.streaming.supervisor.ShardSupervisor`
+        (snapshots, bounded replay, restarts), bit-identical to an
+        uninterrupted run under a fixed seed.
+    worker_deadline:
+        Seconds of no progress before a live-but-stuck worker is
+        treated as hung and recovered (``None`` disables the watchdog;
+        setting it implies the supervised path).
+    snapshot_every:
+        Supervised-path snapshot cadence in batches.
+    restart_backoff:
+        First respawn delay, doubled per consecutive restart.
+    fault_plan:
+        A :class:`~repro.streaming.faults.FaultPlan` injected into the
+        run (implies the supervised path).
     """
 
     def __init__(
@@ -179,6 +196,11 @@ class ParallelTriangleCounter:
         workers: int = 2,
         seed: int | None = None,
         transport: str = "auto",
+        max_restarts: int = 0,
+        worker_deadline: float | None = None,
+        snapshot_every: int = 32,
+        restart_backoff: float = 0.1,
+        fault_plan=None,
     ) -> None:
         if num_estimators < 1:
             raise InvalidParameterError(
@@ -190,11 +212,33 @@ class ParallelTriangleCounter:
             raise InvalidParameterError(
                 f"unknown transport {transport!r}; choose shm, queue, or auto"
             )
+        if max_restarts < 0:
+            raise InvalidParameterError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if worker_deadline is not None and worker_deadline <= 0:
+            raise InvalidParameterError(
+                f"worker_deadline must be positive, got {worker_deadline}"
+            )
         self.num_estimators = num_estimators
         self.workers = min(workers, num_estimators)
         self.seed = seed
         self.transport = transport
+        self.max_restarts = max_restarts
+        self.worker_deadline = worker_deadline
+        self.snapshot_every = snapshot_every
+        self.restart_backoff = restart_backoff
+        self.fault_plan = fault_plan
+        self.last_restarts: list[int] = []
         self._merged: VectorizedTriangleCounter | None = None
+
+    @property
+    def _supervised(self) -> bool:
+        return (
+            self.max_restarts > 0
+            or self.worker_deadline is not None
+            or self.fault_plan is not None
+        )
 
     def _shard_sizes(self) -> list[int]:
         from ..streaming.sharded import shard_sizes
@@ -223,6 +267,33 @@ class ParallelTriangleCounter:
             for batch in source.batches(batch_size):
                 counter.update_batch(batch)
             states = [counter.state_dict()]
+        elif self._supervised:
+            from ..streaming.supervisor import (
+                CounterShardProgram,
+                ShardSupervisor,
+                Supervision,
+            )
+
+            ctx = multiprocessing.get_context()
+            supervisor = ShardSupervisor(
+                ctx,
+                [
+                    CounterShardProgram(shards[i], seed_seqs[i])
+                    for i in range(self.workers)
+                ],
+                transport=self.transport,
+                batch_size=batch_size,
+                queue_depth=_QUEUE_DEPTH,
+                policy=Supervision(
+                    max_restarts=self.max_restarts,
+                    worker_deadline=self.worker_deadline,
+                    snapshot_every=self.snapshot_every,
+                    backoff=self.restart_backoff,
+                ),
+                fault_plan=self.fault_plan,
+            )
+            states = supervisor.run(source.batches(batch_size))
+            self.last_restarts = supervisor.restarts
         else:
             ctx = multiprocessing.get_context()
             sender = BatchSender(
@@ -234,12 +305,12 @@ class ParallelTriangleCounter:
             )
             in_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)]
             out_queue = ctx.Queue()
-            client = sender.client()
             procs = [
                 ctx.Process(
                     target=_worker_loop,
                     args=(
-                        in_queues[i], out_queue, i, shards[i], seed_seqs[i], client,
+                        in_queues[i], out_queue, i, shards[i], seed_seqs[i],
+                        sender.client(i),
                     ),
                     daemon=True,
                 )

@@ -42,6 +42,61 @@ class WorkerCrashedError(ReproError):
     """
 
 
+class RetryExhaustedError(ReproError):
+    """A supervised worker kept failing past its restart budget.
+
+    Raised by the supervision layer once a worker has crashed (or
+    missed its deadline) more than ``max_restarts`` times. The last
+    worker traceback rides along both as an ``add_note`` and as the
+    :attr:`last_traceback` attribute, so operators and tests can see
+    *why* the final incarnation died, not just that it did.
+    """
+
+    def __init__(self, message: str, *, last_traceback: str | None = None) -> None:
+        super().__init__(message)
+        self.last_traceback = last_traceback
+        if last_traceback:
+            self.add_note(f"last worker traceback:\n{last_traceback}")
+
+
+class InjectedFaultError(ReproError):
+    """An exception deliberately raised by the fault-injection plan.
+
+    Only ever raised when a :class:`~repro.streaming.faults.FaultPlan`
+    is installed (tests, chaos drills, recovery benchmarks) -- never
+    during normal operation.
+    """
+
+
+class ReproWarning(UserWarning):
+    """Base class for all warnings emitted by the repro package."""
+
+
+class WorkerRestartedWarning(ReproWarning):
+    """A supervised worker died and was respawned from its snapshot.
+
+    The run is continuing -- bit-identically, via state restore plus
+    batch replay -- but the operator should know a worker is cycling.
+    """
+
+
+class SourceRetryWarning(ReproWarning):
+    """A follow-mode source read failed transiently and will be retried."""
+
+
+class SourceRotatedWarning(ReproWarning):
+    """A followed file was rotated or truncated; re-reading from offset 0."""
+
+
+class CheckpointWriteWarning(ReproWarning):
+    """A periodic checkpoint write failed; the run continues.
+
+    The previous checkpoint generation is intact (writes are two-phase),
+    so resumability degrades to the last successful snapshot rather
+    than aborting a long stream pass over a transient disk error.
+    """
+
+
 class SourceExhaustedError(ReproError):
     """A one-shot edge source was asked to replay its stream.
 

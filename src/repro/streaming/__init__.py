@@ -23,6 +23,11 @@ This subpackage is the architectural backbone for one-pass processing:
   multiprocess fan-out that shards every estimator pool across workers
   over one stream read and merges states through the
   :class:`CheckpointableEstimator` protocol;
+- :mod:`repro.streaming.supervisor` -- :class:`ShardSupervisor`, the
+  self-healing layer under the multiprocess paths (snapshots, bounded
+  replay, bounded respawns), opted into via ``max_restarts``;
+- :mod:`repro.streaming.faults` -- :class:`FaultPlan`, deterministic
+  counter-based fault injection for drilling every recovery path;
 - :mod:`repro.streaming.estimators` -- the registered specs for every
   algorithm in the package (imported below for its registration side
   effect).
@@ -37,7 +42,9 @@ Quick taste::
     print(report.render())
 """
 
+from . import faults
 from .batch import BatchContext, EdgeBatch
+from .faults import Fault, FaultPlan
 from .checkpoint import (
     Checkpoint,
     fingerprints_compatible,
@@ -76,6 +83,7 @@ from .shm import (
     resolve_transport,
     shm_available,
 )
+from .supervisor import ShardSupervisor, Supervision
 from .source import (
     EdgeSource,
     FileSource,
@@ -100,6 +108,8 @@ __all__ = [
     "EdgeSource",
     "EstimatorReport",
     "EstimatorSpec",
+    "Fault",
+    "FaultPlan",
     "FileSource",
     "FollowSource",
     "IterableSource",
@@ -110,15 +120,18 @@ __all__ = [
     "PipelineSnapshot",
     "PreparedEstimator",
     "Registry",
+    "ShardSupervisor",
     "ShardedPipeline",
     "ShmRing",
     "ShmRingClient",
     "StreamingEstimator",
+    "Supervision",
     "TransportFeed",
     "as_source",
     "batched_iter",
     "derive_seed",
     "derive_shard_seed",
+    "faults",
     "fingerprints_compatible",
     "load_checkpoint",
     "register_engine",

@@ -27,7 +27,11 @@ methods.
 
 Writes are two-phase: the arrays member lands first, the manifest last
 (each via a temp file and ``os.replace``), so a crash mid-write never
-leaves a checkpoint that parses.
+leaves a checkpoint that parses. Both temp files are flushed and
+``fsync``'d before their rename, and the directory itself is synced
+after the seal -- without that, a power loss after ``os.replace`` could
+surface a manifest whose *contents* never reached the platter (rename
+is atomic in the namespace, not in the data journal).
 """
 
 from __future__ import annotations
@@ -116,6 +120,24 @@ def _decode(value: Any, arrays: Mapping[str, np.ndarray]) -> Any:
 # save / load
 # ---------------------------------------------------------------------------
 
+def _fsync_dir(path: str) -> None:
+    """Sync the directory entry so the sealed rename itself is durable.
+
+    Best-effort: some filesystems (and platforms) refuse to fsync a
+    directory fd, which must not fail an otherwise-complete save.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - unopenable directory
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_checkpoint(
     path: str | os.PathLike,
     states: Mapping[str, dict],
@@ -136,6 +158,9 @@ def save_checkpoint(
     place never produces a mixed-generation state. Stale arrays
     members are swept after the seal.
     """
+    from . import faults as _faults
+
+    _faults.fire_checkpoint_save()
     path = os.fspath(path)
     os.makedirs(path, exist_ok=True)
     arrays: dict[str, np.ndarray] = {}
@@ -157,11 +182,16 @@ def save_checkpoint(
     arrays_tmp = os.path.join(path, arrays_name + ".tmp")
     with open(arrays_tmp, "wb") as handle:
         np.savez(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(arrays_tmp, os.path.join(path, arrays_name))
     manifest_tmp = os.path.join(path, _MANIFEST + ".tmp")
     with open(manifest_tmp, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(manifest_tmp, os.path.join(path, _MANIFEST))
+    _fsync_dir(path)
     for entry in os.listdir(path):
         if (
             entry.startswith("arrays-") and entry != arrays_name

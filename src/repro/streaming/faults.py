@@ -1,0 +1,294 @@
+"""Deterministic fault injection for the self-healing execution paths.
+
+Recovery code that is only exercised by real crashes is recovery code
+that does not work. This module gives every failure path a reproducible
+trigger: a :class:`FaultPlan` -- selected programmatically, via the CLI
+(``--fault-plan``), or via ``$REPRO_FAULT_PLAN`` -- arms *counter-based*
+faults that fire at exact, deterministic points of a run:
+
+- ``kill:w0@b5`` -- SIGKILL worker 0 after it finishes batch 5;
+- ``hang:w1@b3`` -- worker 1 stops consuming after batch 3 (sleeps
+  forever; only the deadline watchdog can catch this);
+- ``exc:w2@b4`` -- worker 2 raises :class:`InjectedFaultError` after
+  batch 4 (the "worker shipped an error" path);
+- ``source-error@r2`` -- the follow-mode source's 2nd read raises
+  ``OSError`` (the retry/backoff path);
+- ``source-delay@r3:0.5`` -- the 3rd read stalls 0.5 s (slow device);
+- ``ckpt-fail@s1`` -- the 1st checkpoint save raises ``OSError``
+  (the warn-and-continue path for periodic snapshots).
+
+Worker faults fire **once**, in the worker's first incarnation, by
+default -- a respawned worker replaying the same batches must not
+re-trip the same fault or recovery could never converge. Append
+``:r<K>`` to target incarnation ``K`` instead, or ``:always`` to fire
+in every incarnation (how tests drive a worker into
+:class:`~repro.errors.RetryExhaustedError`).
+
+Everything is counter-based -- batch indexes, read ordinals, save
+ordinals -- never randomness or wall clocks, so a plan replays the
+exact same failure at the exact same point every run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from ..errors import InjectedFaultError, InvalidParameterError
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "WorkerArm",
+    "active_plan",
+    "install",
+    "fire_source_read",
+    "fire_checkpoint_save",
+    "worker_arm",
+]
+
+#: Environment variable consulted when no plan was installed explicitly.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: ``incarnation`` value meaning "fire in every incarnation".
+ALWAYS = -1
+
+_WORKER_KINDS = ("kill", "hang", "exc")
+_SOURCE_KINDS = ("source-error", "source-delay", "source-corrupt")
+_CHECKPOINT_KINDS = ("ckpt-fail",)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed fault: *kind* firing at deterministic point *at*.
+
+    ``worker`` and ``incarnation`` only apply to worker faults
+    (``incarnation`` 0 is the first spawn; :data:`ALWAYS` fires every
+    incarnation). ``delay`` is the sleep for ``source-delay`` and the
+    hang duration cap for ``hang``.
+    """
+
+    kind: str
+    at: int
+    worker: int = 0
+    incarnation: int = 0
+    delay: float = 0.0
+
+    def spec(self) -> str:
+        """The spec-string form :meth:`FaultPlan.parse` reads back."""
+        if self.kind in _WORKER_KINDS:
+            text = f"{self.kind}:w{self.worker}@b{self.at}"
+            if self.incarnation == ALWAYS:
+                text += ":always"
+            elif self.incarnation:
+                text += f":r{self.incarnation}"
+            return text
+        if self.kind == "source-delay":
+            return f"{self.kind}@r{self.at}:{self.delay:g}"
+        if self.kind in _SOURCE_KINDS:
+            return f"{self.kind}@r{self.at}"
+        return f"{self.kind}@s{self.at}"
+
+
+def _parse_one(token: str) -> Fault:
+    """Parse one comma-separated token of a fault spec string."""
+    original = token
+    try:
+        kind, _, rest = token.partition(":")
+        if kind in _WORKER_KINDS:
+            # kill:w<W>@b<N>[:r<K>|:always]
+            target, _, tail = rest.partition(":")
+            where, _, batch = target.partition("@")
+            if not (where.startswith("w") and batch.startswith("b")):
+                raise ValueError(original)
+            incarnation = 0
+            if tail == "always":
+                incarnation = ALWAYS
+            elif tail.startswith("r"):
+                incarnation = int(tail[1:])
+            elif tail:
+                raise ValueError(original)
+            return Fault(
+                kind=kind,
+                worker=int(where[1:]),
+                at=int(batch[1:]),
+                incarnation=incarnation,
+                delay=3600.0 if kind == "hang" else 0.0,
+            )
+        head, _, point = original.partition("@")
+        if head in _SOURCE_KINDS:
+            # source-*@r<N>[:<seconds>]
+            ordinal, _, seconds = point.partition(":")
+            if not ordinal.startswith("r"):
+                raise ValueError(original)
+            return Fault(
+                kind=head,
+                at=int(ordinal[1:]),
+                delay=float(seconds) if seconds else 0.0,
+            )
+        if head in _CHECKPOINT_KINDS:
+            # ckpt-fail@s<N>
+            if not point.startswith("s"):
+                raise ValueError(original)
+            return Fault(kind=head, at=int(point[1:]))
+    except (ValueError, IndexError):
+        pass
+    raise InvalidParameterError(
+        f"bad fault spec {original!r}; expected e.g. 'kill:w0@b5', "
+        "'hang:w1@b3:always', 'exc:w0@b2:r1', 'source-error@r2', "
+        "'source-delay@r3:0.5', or 'ckpt-fail@s1'"
+    )
+
+
+class FaultPlan:
+    """An immutable set of armed faults plus this process's counters.
+
+    The plan itself is picklable state (it crosses the process boundary
+    into supervised workers); the *counters* -- how many source reads
+    and checkpoint saves this process has performed -- live on the
+    instance and start at zero in every process, which is exactly the
+    determinism workers need.
+    """
+
+    def __init__(self, faults: list[Fault] | tuple[Fault, ...] = ()) -> None:
+        self.faults = tuple(faults)
+        self._source_reads = 0
+        self._checkpoint_saves = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a comma-separated spec string."""
+        tokens = [t.strip() for t in spec.split(",") if t.strip()]
+        if not tokens:
+            raise InvalidParameterError("empty fault spec")
+        return cls([_parse_one(t) for t in tokens])
+
+    def spec(self) -> str:
+        """The round-trippable spec string (for env propagation)."""
+        return ",".join(f.spec() for f in self.faults)
+
+    # -- source hooks -------------------------------------------------
+    def on_source_read(self) -> None:
+        """Count one read attempt; raise/stall if a source fault fires."""
+        self._source_reads += 1
+        ordinal = self._source_reads
+        for fault in self.faults:
+            if fault.at != ordinal:
+                continue
+            if fault.kind == "source-delay":
+                time.sleep(fault.delay)
+            elif fault.kind == "source-error":
+                raise OSError(f"injected source read failure (read #{ordinal})")
+
+    def corrupt_source(self, data: bytes) -> bytes:
+        """Mangle the current read's bytes if a corrupt fault targets it."""
+        for fault in self.faults:
+            if fault.kind == "source-corrupt" and fault.at == self._source_reads:
+                return b"### injected corruption\nnot numbers here\n" + data
+        return data
+
+    # -- checkpoint hook ----------------------------------------------
+    def on_checkpoint_save(self) -> None:
+        """Count one save; raise ``OSError`` if a ckpt fault fires."""
+        self._checkpoint_saves += 1
+        ordinal = self._checkpoint_saves
+        for fault in self.faults:
+            if fault.kind == "ckpt-fail" and fault.at == ordinal:
+                raise OSError(f"injected checkpoint write failure (save #{ordinal})")
+
+    # -- worker side --------------------------------------------------
+    def worker_faults(self, worker: int, incarnation: int) -> list[Fault]:
+        """The worker faults armed for this worker and incarnation."""
+        return [
+            f
+            for f in self.faults
+            if f.kind in _WORKER_KINDS
+            and f.worker == worker
+            and (f.incarnation == ALWAYS or f.incarnation == incarnation)
+        ]
+
+    def __getstate__(self):
+        return self.faults
+
+    def __setstate__(self, state):
+        self.__init__(state)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec()!r})"
+
+
+class WorkerArm:
+    """A worker's view of its armed faults, fired after each batch."""
+
+    def __init__(self, faults: list[Fault]) -> None:
+        self._faults = faults
+
+    def after_batch(self, batch_no: int) -> None:
+        """Fire any fault targeting global batch ``batch_no``."""
+        for fault in self._faults:
+            if fault.at != batch_no:
+                continue
+            if fault.kind == "kill":
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif fault.kind == "hang":
+                time.sleep(fault.delay)
+            elif fault.kind == "exc":
+                raise InjectedFaultError(
+                    f"injected worker exception at batch {batch_no}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# process-global installation
+# ---------------------------------------------------------------------------
+
+_INSTALLED: FaultPlan | None = None
+_ENV_CHECKED = False
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Install ``plan`` process-globally (``None`` disarms everything)."""
+    global _INSTALLED, _ENV_CHECKED
+    _INSTALLED = plan
+    _ENV_CHECKED = True  # an explicit install (even None) overrides the env
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed plan: the installed one, else ``$REPRO_FAULT_PLAN``."""
+    global _INSTALLED, _ENV_CHECKED
+    if not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        spec = os.environ.get(ENV_VAR, "").strip()
+        if spec:
+            _INSTALLED = FaultPlan.parse(spec)
+    return _INSTALLED
+
+
+def fire_source_read() -> None:
+    """Hook for every follow-source read attempt (no-op when disarmed)."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_source_read()
+
+
+def corrupt_source(data: bytes) -> bytes:
+    """Hook mangling a follow-source read's bytes (identity when disarmed)."""
+    plan = active_plan()
+    return data if plan is None else plan.corrupt_source(data)
+
+
+def fire_checkpoint_save() -> None:
+    """Hook for every checkpoint save (no-op when disarmed)."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_checkpoint_save()
+
+
+def worker_arm(worker: int, incarnation: int) -> WorkerArm:
+    """The fault arm for one worker incarnation (empty when disarmed)."""
+    plan = active_plan()
+    faults = [] if plan is None else plan.worker_faults(worker, incarnation)
+    return WorkerArm(faults)

@@ -29,15 +29,17 @@ so the two are bit-identical by construction.
 
 from __future__ import annotations
 
+import os
 import signal as signal_module
 import time
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import InvalidParameterError
+from ..errors import CheckpointWriteWarning, InvalidParameterError
 from .batch import EdgeBatch
 from .checkpoint import (
     Checkpoint,
@@ -688,7 +690,23 @@ class Pipeline:
                         or (checkpoint_every and global_batch % checkpoint_every == 0)
                     ):
                         signal_seen[0] = False
-                        self.checkpoint(checkpoint_path)
+                        try:
+                            self.checkpoint(checkpoint_path)
+                        except OSError as exc:
+                            # A failed *periodic* snapshot costs only
+                            # resume granularity, never the run: warn
+                            # and keep streaming (the final checkpoint
+                            # below still raises, because silently
+                            # ending without durable state would).
+                            warnings.warn(
+                                CheckpointWriteWarning(
+                                    f"periodic checkpoint to "
+                                    f"{os.fspath(checkpoint_path)!r} failed "
+                                    f"at batch {global_batch}: {exc}; "
+                                    "continuing without it"
+                                ),
+                                stacklevel=2,
+                            )
                     if every is not None and global_batch % every == 0:
                         yield _snapshot(final=False)
             finally:

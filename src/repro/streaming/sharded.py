@@ -201,6 +201,28 @@ class ShardedPipeline:
         shared-memory ring), ``"queue"`` (per-worker pickled copies),
         or ``"auto"`` (shm when the platform supports it). Results are
         bit-identical across transports.
+    max_restarts:
+        Per-worker respawn budget. ``0`` (the default) keeps the legacy
+        fail-fast path: a dead worker aborts the run. Any other value
+        routes the run through the self-healing
+        :class:`~repro.streaming.supervisor.ShardSupervisor` --
+        snapshots, bounded replay, restarts -- and stays bit-identical
+        to an uninterrupted run under a fixed seed.
+    worker_deadline:
+        Seconds of no progress before a live-but-stuck worker is
+        treated as hung and recovered (``None`` disables the watchdog).
+        Setting it implies the supervised path.
+    snapshot_every:
+        Supervised-path snapshot cadence in batches (bounds the replay
+        window recovery must re-feed).
+    restart_backoff:
+        First respawn delay in seconds, doubled per consecutive restart
+        of the same worker.
+    fault_plan:
+        A :class:`~repro.streaming.faults.FaultPlan` injected into the
+        run (tests and chaos drills); implies the supervised path.
+        ``None`` defers to the ``REPRO_FAULT_PLAN`` environment plan,
+        which does *not* by itself change the execution path.
     """
 
     def __init__(
@@ -212,6 +234,11 @@ class ShardedPipeline:
         seed: int | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
         transport: str = "auto",
+        max_restarts: int = 0,
+        worker_deadline: float | None = None,
+        snapshot_every: int = 32,
+        restart_backoff: float = 0.1,
+        fault_plan=None,
     ) -> None:
         self.names = list(names)
         if not self.names:
@@ -226,12 +253,38 @@ class ShardedPipeline:
             raise InvalidParameterError(
                 f"unknown transport {transport!r}; choose shm, queue, or auto"
             )
+        if max_restarts < 0:
+            raise InvalidParameterError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if worker_deadline is not None and worker_deadline <= 0:
+            raise InvalidParameterError(
+                f"worker_deadline must be positive, got {worker_deadline}"
+            )
+        if snapshot_every < 0:
+            raise InvalidParameterError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
         self.workers = workers
         self.num_estimators = num_estimators
         self.seed = seed
         self.transport = transport
+        self.max_restarts = max_restarts
+        self.worker_deadline = worker_deadline
+        self.snapshot_every = snapshot_every
+        self.restart_backoff = restart_backoff
+        self.fault_plan = fault_plan
+        self.last_restarts: list[int] = []
         self._options = {k: dict(v) for k, v in (options or {}).items()}
         self._merged: list[tuple[str, Any]] | None = None
+
+    @property
+    def _supervised(self) -> bool:
+        return (
+            self.max_restarts > 0
+            or self.worker_deadline is not None
+            or self.fault_plan is not None
+        )
 
     # ------------------------------------------------------------------
     # plan
@@ -318,7 +371,11 @@ class ShardedPipeline:
             merged_pairs = pairs
             merged_timings = timings
         else:
-            edges, batches, worker_states, worker_timings = self._run_workers(
+            if self._supervised:
+                runner = self._run_supervised
+            else:
+                runner = self._run_workers
+            edges, batches, worker_states, worker_timings = runner(
                 specs, source, batch_size
             )
             merged_pairs = self._merge_states(worker_states)
@@ -363,11 +420,10 @@ class ShardedPipeline:
         )
         in_queues = [ctx.Queue(maxsize=_QUEUE_DEPTH) for _ in range(self.workers)]
         out_queue = ctx.Queue()
-        client = sender.client()
         procs = [
             ctx.Process(
                 target=_worker_loop,
-                args=(in_queues[i], out_queue, i, specs[i], client),
+                args=(in_queues[i], out_queue, i, specs[i], sender.client(i)),
                 daemon=True,
             )
             for i in range(self.workers)
@@ -415,6 +471,51 @@ class ShardedPipeline:
             worker_states.append(payload)
             worker_timings.append(extra)
         return edges, batches, worker_states, worker_timings
+
+    def _run_supervised(self, specs, source, batch_size):
+        """The self-healing path: snapshots, replay, bounded respawns.
+
+        Same contract as :meth:`_run_workers` -- one stream read, the
+        same merged result bit for bit -- but worker crashes and hangs
+        are recovered (up to ``max_restarts`` each) instead of aborting
+        the run. See :mod:`repro.streaming.supervisor`.
+        """
+        import multiprocessing
+
+        from .supervisor import (
+            EstimatorShardProgram,
+            ShardSupervisor,
+            Supervision,
+        )
+
+        ctx = multiprocessing.get_context()
+        supervisor = ShardSupervisor(
+            ctx,
+            [EstimatorShardProgram(spec) for spec in specs],
+            transport=self.transport,
+            batch_size=batch_size,
+            queue_depth=_QUEUE_DEPTH,
+            policy=Supervision(
+                max_restarts=self.max_restarts,
+                worker_deadline=self.worker_deadline,
+                snapshot_every=self.snapshot_every,
+                backoff=self.restart_backoff,
+            ),
+            fault_plan=self.fault_plan,
+        )
+        counts = [0, 0]
+
+        def counted(batches):
+            for batch in batches:
+                counts[0] += len(batch)
+                counts[1] += 1
+                yield batch
+
+        finals = supervisor.run(counted(as_source(source).batches(batch_size)))
+        self.last_restarts = supervisor.restarts
+        worker_states = [states for states, _ in finals]
+        worker_timings = [timings for _, timings in finals]
+        return counts[0], counts[1], worker_states, worker_timings
 
     def _merge_states(self, worker_states: list[dict]) -> list[tuple[str, Any]]:
         """Restore worker shards and concatenate them per estimator."""

@@ -15,14 +15,19 @@ view.
 Pieces, parent to worker:
 
 - :class:`ShmRing` -- parent-owned ring of ``slots`` equal-size
-  shared-memory blocks plus a lock-free refcount array and a condition
-  variable (both from the multiprocessing context, so they inherit into
-  workers under fork *and* spawn). :meth:`ShmRing.send` claims a free
-  block (refcount 0), stamps the refcount with the consumer count,
-  copies the batch in, and returns the descriptor;
-- :class:`ShmRingClient` -- the picklable worker handle: attaches
-  blocks lazily by name, serves numpy views, and decrements the
-  refcount on release (waking a parent blocked on a full ring);
+  shared-memory blocks plus a per-``(slot, consumer)`` reference-flag
+  matrix and a condition variable (both from the multiprocessing
+  context, so they inherit into workers under fork *and* spawn).
+  :meth:`ShmRing.send` claims a free block (all flags clear), stamps
+  each receiving consumer's flag, copies the batch in, and returns the
+  descriptor; :meth:`ShmRing.revoke` clears one consumer's whole flag
+  column, which is how crash recovery reclaims whatever a SIGKILLed
+  worker was holding (flag-clears are idempotent, so no kill instant
+  can corrupt the accounting the way a shared counter could);
+- :class:`ShmRingClient` -- the picklable worker handle, bound to one
+  consumer index: attaches blocks lazily by name, serves numpy views,
+  and clears its flag on release (waking a parent blocked on a full
+  ring);
 - :class:`TransportFeed` -- the worker-side queue iterator: yields
   ``EdgeBatch`` for descriptors (releasing each block as soon as the
   consumer moves on) and raw arrays alike, so worker loops are
@@ -137,17 +142,20 @@ def resolve_transport(transport: str) -> str:
 class ShmRingClient:
     """Worker-side handle to a :class:`ShmRing` (ships via Process args).
 
-    Holds only the segment names plus the shared refcount array and
-    condition -- multiprocessing primitives that inherit through
-    ``Process(args=...)`` under fork and spawn alike. Blocks attach
-    lazily on first use; :meth:`close` detaches without unlinking
-    (the parent owns the segments).
+    Holds only the segment names plus the shared reference-flag matrix
+    and condition -- multiprocessing primitives that inherit through
+    ``Process(args=...)`` under fork and spawn alike -- and the consumer
+    index this client releases on behalf of. Blocks attach lazily on
+    first use; :meth:`close` detaches without unlinking (the parent
+    owns the segments).
     """
 
-    def __init__(self, names, refcounts, cond) -> None:
+    def __init__(self, names, flags, cond, consumer, consumers) -> None:
         self._names = list(names)
-        self._refcounts = refcounts
+        self._flags = flags
         self._cond = cond
+        self._consumer = consumer
+        self._consumers = consumers
         self._segments: list = [None] * len(self._names)
 
     def array(self, slot: int, rows: int) -> np.ndarray:
@@ -169,10 +177,18 @@ class ShmRingClient:
         return np.ndarray((rows, 2), dtype=np.int64, buffer=seg.buf)
 
     def release(self, slot: int) -> None:
-        """Return one reference on ``slot``; wakes a blocked parent."""
+        """Return this consumer's reference on ``slot``.
+
+        Clearing a flag (rather than decrementing a shared counter) is
+        idempotent, so a release that races the parent's crash-recovery
+        :meth:`ShmRing.revoke` of the same consumer cannot corrupt the
+        slot's accounting. Wakes a parent blocked on a full ring once
+        the slot's last reference drops.
+        """
         with self._cond:
-            self._refcounts[slot] -= 1
-            if self._refcounts[slot] <= 0:
+            base = slot * self._consumers
+            self._flags[base + self._consumer] = 0
+            if not any(self._flags[base : base + self._consumers]):
                 self._cond.notify_all()
 
     def close(self) -> None:
@@ -187,10 +203,10 @@ class ShmRingClient:
                 pass
 
     def __getstate__(self):
-        return (self._names, self._refcounts, self._cond)
+        return (self._names, self._flags, self._cond, self._consumer, self._consumers)
 
     def __setstate__(self, state):
-        self._names, self._refcounts, self._cond = state
+        self._names, self._flags, self._cond, self._consumer, self._consumers = state
         self._segments = [None] * len(self._names)
 
 
@@ -209,8 +225,15 @@ class ShmRing:
         Capacity of each block; batches that do not fit are the
         caller's problem (:meth:`send` declines them).
     consumers:
-        How many workers receive each descriptor -- the refcount a
-        claimed block starts from.
+        How many workers can receive descriptors -- the width of the
+        per-slot reference-flag matrix.
+
+    References are tracked as a per-``(slot, consumer)`` flag matrix
+    rather than a per-slot counter: release and :meth:`revoke` are then
+    *idempotent* flag-clears, so the parent can reclaim everything a
+    SIGKILLed worker held -- whatever instant the kill landed --
+    without the negative-count/leaked-count races a shared counter
+    cannot avoid.
     """
 
     def __init__(self, ctx, *, slots: int, block_bytes: int, consumers: int) -> None:
@@ -238,7 +261,7 @@ class ShmRing:
             raise
         self._block_bytes = block_bytes
         self._consumers = consumers
-        self._refcounts = ctx.Array("q", slots, lock=False)
+        self._flags = ctx.Array("q", slots * consumers, lock=False)
         self._cond = ctx.Condition()
         self._closed = False
         atexit.register(self.close)
@@ -247,20 +270,36 @@ class ShmRing:
     def slots(self) -> int:
         return len(self._names)
 
-    def client(self) -> ShmRingClient:
-        """A worker handle; pass through ``Process(args=...)``."""
-        return ShmRingClient(self._names, self._refcounts, self._cond)
+    def refcount(self, slot: int) -> int:
+        """How many consumers still hold a reference to ``slot``."""
+        base = slot * self._consumers
+        return sum(
+            1 for flag in self._flags[base : base + self._consumers] if flag
+        )
 
-    def send(self, array: np.ndarray, alive=None) -> tuple | None:
+    def client(self, consumer: int = 0) -> ShmRingClient:
+        """The handle for worker ``consumer``; pass through ``Process(args=...)``."""
+        if not 0 <= consumer < self._consumers:
+            raise InvalidParameterError(
+                f"consumer must be in [0, {self._consumers}), got {consumer}"
+            )
+        return ShmRingClient(
+            self._names, self._flags, self._cond, consumer, self._consumers
+        )
+
+    def send(self, array: np.ndarray, alive=None, consumers=None) -> tuple | None:
         """Copy ``array`` into a free block; return its descriptor.
 
-        Returns ``None`` when the batch cannot ride the ring (wrong
-        dtype/shape or larger than a block) -- the caller falls back to
-        the pickled payload for that batch. Blocks until a slot frees
-        up; every second of waiting invokes ``alive`` (if given), whose
-        job is to raise :class:`~repro.errors.WorkerCrashedError` when
-        a consumer died holding references, turning a would-be deadlock
-        into the standard crash report.
+        ``consumers`` selects which workers the descriptor is stamped
+        for (default: all) -- a supervised run excludes workers that
+        were degraded to the queue payload. Returns ``None`` when the
+        batch cannot ride the ring (wrong dtype/shape or larger than a
+        block) -- the caller falls back to the pickled payload for that
+        batch. Blocks until a slot frees up; every second of waiting
+        invokes ``alive`` (if given), whose job is to raise
+        :class:`~repro.errors.WorkerCrashedError` when a consumer died
+        holding references, turning a would-be deadlock into the
+        standard crash report.
         """
         if (
             array.dtype != np.int64
@@ -269,17 +308,22 @@ class ShmRing:
             or array.nbytes > self._block_bytes
         ):
             return None
+        targets = (
+            range(self._consumers) if consumers is None else list(consumers)
+        )
         with self._cond:
             while True:
                 for slot in range(len(self._names)):
-                    if self._refcounts[slot] == 0:
+                    base = slot * self._consumers
+                    if not any(self._flags[base : base + self._consumers]):
                         break
                 else:
                     if not self._cond.wait(timeout=1.0) and alive is not None:
                         alive()
                     continue
                 break
-            self._refcounts[slot] = self._consumers
+            for consumer in targets:
+                self._flags[slot * self._consumers + consumer] = 1
         # Copy outside the lock: a claimed block is untouched by workers
         # until its descriptor is enqueued, which happens after we return.
         rows = array.shape[0]
@@ -287,6 +331,21 @@ class ShmRing:
         view[...] = array
         del view
         return (DESCRIPTOR_TAG, slot, rows)
+
+    def revoke(self, consumer: int) -> None:
+        """Drop every reference ``consumer`` holds, in any slot.
+
+        The crash-recovery path: a killed worker's queue may hold
+        descriptors it will never release, and the kill may have landed
+        mid-release. Clearing the consumer's whole flag column is
+        correct at every such instant (flags are idempotent), frees any
+        slots only that worker was holding, and wakes a parent blocked
+        on a full ring.
+        """
+        with self._cond:
+            for slot in range(len(self._names)):
+                self._flags[slot * self._consumers + consumer] = 0
+            self._cond.notify_all()
 
     def close(self) -> None:
         """Unlink every block (idempotent; also runs at interpreter exit).
@@ -411,19 +470,40 @@ class BatchSender:
                 # ring (tiny /dev/shm) degrades to the queue path.
                 self.mode = "queue"
 
-    def client(self) -> ShmRingClient | None:
-        """The worker handle (``None`` on the queue path)."""
-        return self._ring.client() if self._ring is not None else None
+    def client(self, consumer: int = 0) -> ShmRingClient | None:
+        """Worker ``consumer``'s handle (``None`` on the queue path)."""
+        return self._ring.client(consumer) if self._ring is not None else None
 
-    def payload(self, batch, alive=None):
+    def payload(self, batch, alive=None, consumers=None):
         """What to enqueue for ``batch`` under the active transport."""
         if isinstance(batch, EdgeBatch):
             if self._ring is not None:
-                descriptor = self._ring.send(batch.array, alive)
+                descriptor = self._ring.send(batch.array, alive, consumers)
                 if descriptor is not None:
                     return descriptor
             return batch.array
         return list(batch)
+
+    def descriptor(self, batch, alive=None, consumers=None):
+        """A ring descriptor for ``batch``, or ``None`` (no fallback).
+
+        The supervised send loop needs the two payload kinds kept
+        apart: a descriptor is enqueued only to the workers it was
+        stamped for, everyone else gets :meth:`raw`.
+        """
+        if self._ring is None or not isinstance(batch, EdgeBatch):
+            return None
+        return self._ring.send(batch.array, alive, consumers)
+
+    @staticmethod
+    def raw(batch):
+        """The pickled-queue payload for ``batch`` (also the replay form)."""
+        return batch.array if isinstance(batch, EdgeBatch) else list(batch)
+
+    def revoke(self, consumer: int) -> None:
+        """Free every ring reference ``consumer`` holds (crash recovery)."""
+        if self._ring is not None:
+            self._ring.revoke(consumer)
 
     def close(self) -> None:
         if self._ring is not None:

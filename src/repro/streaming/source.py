@@ -52,15 +52,22 @@ from __future__ import annotations
 import io
 import os
 import time
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import InvalidParameterError, SourceExhaustedError
+from ..errors import (
+    InvalidParameterError,
+    SourceExhaustedError,
+    SourceRetryWarning,
+    SourceRotatedWarning,
+)
 from ..graph.edge import Edge
 from ..graph.io import dedup_chunk, dedup_edge_arrays, iter_edge_array_chunks
 from ..graph.stream import EdgeStream, batched
+from . import faults as _faults
 from .batch import EdgeBatch, rebatch_arrays
 
 __all__ = [
@@ -78,9 +85,12 @@ __all__ = [
 #: then serves plain tuple batches exactly as it did pre-refactor.
 _COERCE_ERRORS = (InvalidParameterError, ValueError, TypeError, OverflowError)
 
-#: Text volume a follow-mode poll reads per ``read`` call (~1 MiB, the
-#: chunk parser's natural unit; a burst larger than this just loops).
-_FOLLOW_READ_CHARS = 1 << 20
+#: Bytes a follow-mode poll reads per ``read`` call (~1 MiB, the chunk
+#: parser's natural unit; a burst larger than this just loops).
+_FOLLOW_READ_BYTES = 1 << 20
+
+#: Ceiling on the follow-mode retry backoff after repeated read errors.
+_FOLLOW_RETRY_CAP = 2.0
 
 
 def batched_iter(edges: Iterable[Edge], batch_size: int) -> Iterator[list[Edge]]:
@@ -367,6 +377,24 @@ class FollowSource(FileSource):
     every :meth:`batches` call re-reads from the top, which is what
     lets a killed-and-resumed pipeline skip to where it stood.
 
+    Follow mode is built to outlive its file's misbehaviour:
+
+    - A failed read (``OSError`` -- NFS hiccup, device stall, the file
+      briefly unlinked) is retried with exponential backoff from
+      ``poll_interval`` up to a small cap, reopening the file and
+      seeking back to the consumed position; each attempt emits a
+      :class:`~repro.errors.SourceRetryWarning`, and the ``stop`` /
+      ``idle_timeout`` conditions keep being checked during the failure
+      streak so the stream can still end.
+    - Log rotation (the path now names a different inode) and
+      truncation (the file shrank below the consumed position) are
+      detected at EOF polls via ``os.stat``; the source emits a
+      :class:`~repro.errors.SourceRotatedWarning` and restarts from
+      offset zero of the new file.
+    - Unparseable lines (a writer crashed mid-record, injected
+      corruption) are dropped with a :class:`SourceRetryWarning`
+      naming the count, instead of killing the stream.
+
     Parameters
     ----------
     path:
@@ -416,19 +444,58 @@ class FollowSource(FileSource):
         return self._follow(batch_size)
 
     def _follow(self, batch_size: int) -> Iterator[EdgeBatch]:
-        """The poll loop: parse grown text, rebatch, flush on idle."""
+        """The poll loop: parse grown bytes, rebatch, flush on idle.
+
+        The file is read in binary with an explicit consumed position,
+        which is what makes the failure handling possible: a read error
+        reopens and seeks back to ``pos``, and a rotation/truncation
+        restarts ``pos`` at zero. Text only ever comes from complete
+        lines (bytes up to the last newline), so a chunk boundary can
+        never split a record or a UTF-8 sequence.
+        """
         seen = np.empty(0, dtype=np.int64)  # dedup keys, if enabled
         buffer: list[np.ndarray] = []
         buffered = 0
-        tail = ""  # partial trailing line awaiting its newline
+        tail = b""  # partial trailing line awaiting its newline
+        pos = 0  # bytes consumed from the current file
+        failures = 0
+
+        def _arrays(text: str) -> list[np.ndarray]:
+            """Parse complete lines, scrubbing any that will not parse."""
+            try:
+                return list(iter_edge_array_chunks(io.StringIO(text)))
+            except _COERCE_ERRORS:
+                kept = []
+                dropped = 0
+                for line in text.splitlines():
+                    parts = line.split()
+                    if not parts or parts[0].startswith("#"):
+                        continue
+                    try:
+                        int(parts[0]), int(parts[1])
+                    except (IndexError, ValueError):
+                        dropped += 1
+                        continue
+                    kept.append(line)
+                warnings.warn(
+                    SourceRetryWarning(
+                        f"dropped {dropped} unparseable line(s) from the "
+                        f"followed stream {self.path!r}"
+                    ),
+                    stacklevel=3,
+                )
+                if not kept:
+                    return []
+                return list(
+                    iter_edge_array_chunks(io.StringIO("\n".join(kept) + "\n"))
+                )
 
         def _parse(text: str) -> Iterator[np.ndarray]:
-            chunks = iter_edge_array_chunks(io.StringIO(text))
-            if not self.deduplicate:
-                yield from chunks
-                return
             nonlocal seen
-            for arr in chunks:
+            for arr in _arrays(text):
+                if not self.deduplicate:
+                    yield arr
+                    continue
                 fresh, seen = dedup_chunk(arr, seen)
                 if fresh.shape[0]:
                     yield fresh
@@ -455,36 +522,114 @@ class FollowSource(FileSource):
                 buffer = [rest] if rest.shape[0] else []
                 buffered = rest.shape[0]
 
+        def _reopen(handle, *, from_start: bool) -> object:
+            nonlocal pos, tail
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - close of a bad fd
+                    pass
+            if from_start:
+                pos = 0
+                tail = b""
+            handle = open(self.path, "rb")
+            handle.seek(pos)
+            return handle
+
+        def _should_end(now: float) -> bool:
+            return (self.stop is not None and self.stop()) or (
+                self.idle_timeout is not None
+                and idle_since is not None
+                and now - idle_since >= self.idle_timeout
+            )
+
         idle_since: float | None = None
-        with open(self.path, "r", encoding="utf-8") as handle:
+        handle = None
+        try:
+            handle = _reopen(handle, from_start=True)
             while True:
-                text = handle.read(_FOLLOW_READ_CHARS)
-                if text:
+                try:
+                    _faults.fire_source_read()
+                    if handle is None:
+                        handle = _reopen(handle, from_start=False)
+                    data = handle.read(_FOLLOW_READ_BYTES)
+                    if data:
+                        data = _faults.corrupt_source(data)
+                        pos = handle.tell()
+                except OSError as exc:
+                    # Transient I/O failure: back off, reopen at the
+                    # consumed position, and keep the stop/idle checks
+                    # live so a dead file cannot wedge the stream.
+                    failures += 1
+                    delay = min(
+                        self.poll_interval * (2 ** (failures - 1)),
+                        _FOLLOW_RETRY_CAP,
+                    )
+                    warnings.warn(
+                        SourceRetryWarning(
+                            f"read of followed stream {self.path!r} failed "
+                            f"(attempt {failures}): {exc}; retrying in "
+                            f"{delay:.2g}s"
+                        ),
+                        stacklevel=2,
+                    )
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    if _should_end(now):
+                        break
+                    time.sleep(delay)
+                    try:
+                        handle = _reopen(handle, from_start=False)
+                    except OSError:
+                        handle = None  # gone right now; retried next turn
+                    continue
+                failures = 0
+                if data:
                     idle_since = None
-                    data = tail + text
-                    cut = data.rfind("\n")
+                    data = tail + data
+                    cut = data.rfind(b"\n")
                     if cut < 0:
                         tail = data
                         continue
                     tail = data[cut + 1 :]
-                    yield from _absorb(data[: cut + 1])
+                    yield from _absorb(data[: cut + 1].decode("utf-8", "replace"))
                     continue
                 # At EOF: flush the partial batch so live consumers see
                 # every parsed edge before the stream goes quiet.
                 if buffered:
                     yield EdgeBatch(_merge_and_reset())
+                try:
+                    named = os.stat(self.path)
+                    opened = os.fstat(handle.fileno())
+                    rotated = named.st_ino != opened.st_ino
+                    truncated = not rotated and named.st_size < pos
+                except OSError:
+                    rotated = truncated = False  # transient: poll again
+                if rotated or truncated:
+                    what = "rotated" if rotated else "truncated"
+                    warnings.warn(
+                        SourceRotatedWarning(
+                            f"followed stream {self.path!r} was {what}; "
+                            "restarting from offset 0"
+                        ),
+                        stacklevel=2,
+                    )
+                    handle = _reopen(handle, from_start=True)
+                    idle_since = None
+                    continue
                 now = time.monotonic()
                 if idle_since is None:
                     idle_since = now
-                if (self.stop is not None and self.stop()) or (
-                    self.idle_timeout is not None
-                    and now - idle_since >= self.idle_timeout
-                ):
+                if _should_end(now):
                     break
                 time.sleep(self.poll_interval)
+        finally:
+            if handle is not None:
+                handle.close()
         if tail.strip():
             # The writer ended the stream without a final newline.
-            yield from _absorb(tail + "\n")
+            yield from _absorb(tail.decode("utf-8", "replace") + "\n")
         if buffered:
             yield EdgeBatch(_merge_and_reset())
 

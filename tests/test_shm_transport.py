@@ -85,21 +85,42 @@ class TestShmRing:
             arr = np.arange(10, dtype=np.int64).reshape(5, 2)
             tag, slot, rows = ring.send(arr)
             assert (tag, rows) == (DESCRIPTOR_TAG, 5)
-            assert ring._refcounts[slot] == 2
-            client = ring.client()
-            view = client.array(slot, rows)
+            assert ring.refcount(slot) == 2
+            first, second = ring.client(0), ring.client(1)
+            view = first.array(slot, rows)
             assert np.array_equal(view, arr)
             arr[0, 0] = 99  # send copied: the block is independent
             assert view[0, 0] == 0
             del view
-            client.release(slot)
-            assert ring._refcounts[slot] == 1
-            client.release(slot)
-            assert ring._refcounts[slot] == 0
-            client.close()
+            first.release(slot)
+            assert ring.refcount(slot) == 1
+            first.release(slot)  # idempotent: own flag already clear
+            assert ring.refcount(slot) == 1
+            second.release(slot)
+            assert ring.refcount(slot) == 0
+            first.close()
+            second.close()
         finally:
             ring.close()
         assert own_segments() == []
+
+    def test_subset_send_and_revoke(self):
+        """Supervised runs stamp only live shm consumers and reclaim a
+        killed worker's references by clearing its whole flag column."""
+        ring = ShmRing(ctx(), slots=2, block_bytes=256, consumers=3)
+        try:
+            _, slot, _ = ring.send(
+                np.array([[1, 2]], dtype=np.int64), consumers=[0, 2]
+            )
+            assert ring.refcount(slot) == 2
+            ring.client(2).release(slot)
+            assert ring.refcount(slot) == 1
+            ring.revoke(0)  # worker 0 was SIGKILLed holding its flag
+            assert ring.refcount(slot) == 0
+            ring.revoke(0)  # idempotent
+            assert ring.refcount(slot) == 0
+        finally:
+            ring.close()
 
     def test_blocks_are_reused_after_release(self):
         """Backpressure path: a one-slot ring cycles the same block."""
@@ -160,7 +181,7 @@ class TestShmRing:
 
     def test_client_state_round_trip_serves_views(self):
         """The client's pickle protocol (exercised by Process args)
-        re-attaches by name and keeps the shared refcounts."""
+        re-attaches by name and keeps the shared reference flags."""
         ring = ShmRing(ctx(), slots=2, block_bytes=128, consumers=1)
         try:
             descriptor = ring.send(np.array([[7, 8]], dtype=np.int64))
@@ -170,7 +191,7 @@ class TestShmRing:
             assert view.tolist() == [[7, 8]]
             del view
             clone.release(descriptor[1])
-            assert ring._refcounts[descriptor[1]] == 0
+            assert ring.refcount(descriptor[1]) == 0
             clone.close()
         finally:
             ring.close()
@@ -196,14 +217,14 @@ class TestTransportFeed:
         first = next(it)
         assert isinstance(first, EdgeBatch)
         assert first.array.tolist() == [[1, 2]]
-        assert ring._refcounts[d1[1]] == 1  # still held while in use
+        assert ring.refcount(d1[1]) == 1  # still held while in use
         second = next(it)
-        assert ring._refcounts[d1[1]] == 0  # released on advance
+        assert ring.refcount(d1[1]) == 0  # released on advance
         assert second.array.tolist() == [[3, 4]]
         with pytest.raises(StopIteration):
             next(it)
         assert feed.finished
-        assert ring._refcounts[d2[1]] == 0
+        assert ring.refcount(d2[1]) == 0
         client.close()
 
     def test_abandoned_iteration_releases_the_held_slot(self, ring):
@@ -217,7 +238,7 @@ class TestTransportFeed:
         batch = next(it)
         assert batch.array.shape == (1, 2)
         it.close()
-        assert ring._refcounts[descriptor[1]] == 0
+        assert ring.refcount(descriptor[1]) == 0
         client.close()
 
     def test_raw_arrays_and_lists_pass_through(self):
@@ -247,8 +268,8 @@ class TestTransportFeed:
         feed = TransportFeed(q, ring.client())
         feed.drain()
         assert feed.finished
-        assert ring._refcounts[d1[1]] == 0
-        assert ring._refcounts[d2[1]] == 0
+        assert ring.refcount(d1[1]) == 0
+        assert ring.refcount(d2[1]) == 0
         feed.drain()  # idempotent: already past the sentinel
 
 
@@ -396,11 +417,11 @@ class TestTransportParity:
         real_send = ShmRing.send
         calls = {"n": 0}
 
-        def flaky_send(self, array, alive=None):
+        def flaky_send(self, array, alive=None, consumers=None):
             calls["n"] += 1
             if calls["n"] % 2:
                 return None
-            return real_send(self, array, alive)
+            return real_send(self, array, alive, consumers)
 
         monkeypatch.setattr(ShmRing, "send", flaky_send)
         counter = ParallelTriangleCounter(128, workers=2, seed=3, transport="shm")
