@@ -24,6 +24,12 @@ falling back to per-worker pickles) flattens that curve long before it
 breaks any absolute number. Skipped below 4 cores, where the premise
 -- cores to scale onto -- does not hold.
 
+The fifth gates the turnstile hot path: each deletion-capable
+estimator (``triest-fd``, ``dynamic-sampler``) re-measured at one
+deletion ratio against the ``dynamic`` section of the committed
+artifact, same 50% floor. Skipped when the artifact predates the
+turnstile benchmark.
+
     PYTHONPATH=src python benchmarks/check_throughput_regression.py
 """
 
@@ -87,6 +93,32 @@ def _shard_scaling_gate() -> bool:
     return True
 
 
+def _dynamic_gate(committed: dict) -> bool:
+    dynamic = committed.get("dynamic")
+    if dynamic is None:
+        print("[throughput-gate] no committed dynamic baseline; skipping")
+        return True
+    from bench_dynamic import measure_dynamic
+
+    # One mid-sweep ratio is enough for a smoke gate; re-measuring the
+    # full sweep belongs to the benchmark job, not the regression check.
+    ratio_key = "delete_ratio=0.2"
+    baseline_leg = dynamic["sweep"].get(ratio_key)
+    if baseline_leg is None:
+        ratio_key, baseline_leg = next(iter(dynamic["sweep"].items()))
+    ratio = float(ratio_key.split("=", 1)[1])
+    out = measure_dynamic(trials=2, ratios=(ratio,))
+    measured_leg = out["sweep"][ratio_key]["estimators"]
+    ok = True
+    for name, row in baseline_leg["estimators"].items():
+        ok = _gate(
+            f"turnstile {name} @ {ratio_key}",
+            measured_leg[name]["medges_per_s"],
+            row["medges_per_s"],
+        ) and ok
+    return ok
+
+
 def main() -> int:
     committed = json.loads(ARTIFACT.read_text())
     r = min(committed["r_values"])
@@ -128,6 +160,7 @@ def main() -> int:
         ) and ok
 
     ok = _shard_scaling_gate() and ok
+    ok = _dynamic_gate(committed) and ok
 
     if not ok:
         return 1

@@ -86,11 +86,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dedup",
         action=argparse.BooleanOptionalAction,
-        default=True,
+        default=None,
         help="drop repeated edges on the fly so the stream is a simple "
         "graph's, as the paper assumes (default; costs O(distinct edges) "
         "memory). Pass --no-dedup for constant-memory streaming of inputs "
-        "that are already simple",
+        "that are already simple. Incompatible with --signed, where "
+        "repeats are re-inserts and deletions",
+    )
+    parser.add_argument(
+        "--signed",
+        action="store_true",
+        help="treat the input as a fully-dynamic (turnstile) stream: "
+        "each line is 'u v' plus a +1/-1 third column (or a +/- prefix) "
+        "marking insertion vs deletion. Requires deletion-capable "
+        "estimators (triest-fd, dynamic-sampler)",
     )
     _add_backend(parser)
 
@@ -108,7 +117,9 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
 
 
 def _source(args: argparse.Namespace) -> FileSource:
-    return FileSource(args.input, deduplicate=args.dedup)
+    # deduplicate=None lets FileSource pick the mode default: dedup on
+    # for insert-only input, off for signed (where repeats are events).
+    return FileSource(args.input, deduplicate=args.dedup, signed=args.signed)
 
 
 def _stream(counter, source: FileSource, batch_size: int) -> float:
@@ -209,11 +220,12 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 "--poll-interval/--idle-timeout only apply when following "
                 "a file; stdin ends when the producer closes the pipe"
             )
-        source = LineSource(sys.stdin, deduplicate=args.dedup)
+        source = LineSource(sys.stdin, deduplicate=args.dedup, signed=args.signed)
     else:
         source = FollowSource(
             args.input,
             deduplicate=args.dedup,
+            signed=args.signed,
             poll_interval=0.2 if args.poll_interval is None else args.poll_interval,
             idle_timeout=args.idle_timeout,
         )
@@ -437,6 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop repeated edges across the whole watched stream "
         "(default OFF for watch: the membership set grows forever on "
         "an unbounded stream)",
+    )
+    p_watch.add_argument(
+        "--signed",
+        action="store_true",
+        help="treat the followed stream as fully-dynamic (turnstile): "
+        "each line carries a +1/-1 third column or a +/- prefix marking "
+        "insertion vs deletion; pair with deletion-capable estimators",
     )
     _add_backend(p_watch)
     p_watch.add_argument(

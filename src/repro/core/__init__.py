@@ -29,7 +29,10 @@ user-facing algorithms register specs in
 - :mod:`repro.core.cliques4` / :mod:`repro.core.cliques` -- 4-clique and
   general l-clique counting (Section 5.1);
 - :mod:`repro.core.sliding_window` / :mod:`repro.core.timed_window` --
-  windowed triangle counting (Section 5.2).
+  windowed triangle counting (Section 5.2);
+- :mod:`repro.core.triest_fd` / :mod:`repro.core.dynamic_sampler` --
+  deletion-capable triangle counting over fully-dynamic (turnstile)
+  streams.
 """
 
 from .accuracy import (
@@ -43,6 +46,7 @@ from .accuracy import (
 from .checkpoint import from_state_dict, merge_counters, to_state_dict
 from .cliques import CliqueCounter
 from .cliques4 import CliqueCounter4, FourCliqueSamplerTypeI, FourCliqueSamplerTypeII
+from .dynamic_sampler import DynamicGraphSampler, DynamicSamplerCounter
 from .incidence import IncidenceStream, IncidenceTriangleCounter
 from .neighborhood_sampling import NeighborhoodSampler
 from .parallel import ParallelTriangleCounter, count_triangles_parallel
@@ -51,10 +55,13 @@ from .sliding_window import SlidingWindowTriangleCounter
 from .transitivity import TransitivityEstimator, WedgeCounter
 from .triangle_count import TriangleCounter, aggregate_mean, aggregate_median_of_means
 from .triangle_sample import TriangleSampler
+from .triest_fd import TriestFdCounter, TriestFdSampler
 
 __all__ = [
     "CliqueCounter",
     "CliqueCounter4",
+    "DynamicGraphSampler",
+    "DynamicSamplerCounter",
     "FourCliqueSamplerTypeI",
     "FourCliqueSamplerTypeII",
     "IncidenceStream",
@@ -71,6 +78,8 @@ __all__ = [
     "TransitivityEstimator",
     "TriangleCounter",
     "TriangleSampler",
+    "TriestFdCounter",
+    "TriestFdSampler",
     "WedgeCounter",
     "aggregate_mean",
     "aggregate_median_of_means",

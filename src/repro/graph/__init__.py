@@ -12,7 +12,7 @@ library:
 """
 
 from .edge import canonical_edge, edge_vertices, edges_adjacent, shared_vertex, third_vertices
-from .io import read_edge_list, write_edge_list
+from .io import read_edge_list, write_edge_list, write_signed_edge_list
 from .static_graph import StaticGraph
 from .stream import EdgeStream, batched
 
@@ -27,4 +27,5 @@ __all__ = [
     "shared_vertex",
     "third_vertices",
     "write_edge_list",
+    "write_signed_edge_list",
 ]

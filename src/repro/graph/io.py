@@ -35,9 +35,11 @@ from .edge import Edge, canonical_edge
 __all__ = [
     "read_edge_list",
     "write_edge_list",
+    "write_signed_edge_list",
     "iter_edge_list",
     "dedup_edges",
     "iter_edge_array_chunks",
+    "iter_signed_edge_array_chunks",
     "dedup_chunk",
     "dedup_edge_arrays",
 ]
@@ -212,6 +214,199 @@ def _ragged_row_chunks(
             yield arr
 
 
+def _canonical_signed_rows(arr: np.ndarray, signs: np.ndarray) -> np.ndarray:
+    """:func:`_canonical_rows` for signed rows; returns ``(n, 3)``.
+
+    Same id validation and self-loop skip, same canonical ``u < v``
+    columns; the sign column rides along untouched by the min/max swap.
+    """
+    if (arr < 0).any() or (arr >= _VERTEX_LIMIT).any():
+        raise InvalidParameterError("vertex ids must be in [0, 2^31)")
+    u, v = arr[:, 0], arr[:, 1]
+    keep = u != v
+    if not keep.all():
+        u, v, signs = u[keep], v[keep], signs[keep]
+    out = np.empty((u.shape[0], 3), dtype=np.int64)
+    np.minimum(u, v, out=out[:, 0])
+    np.maximum(u, v, out=out[:, 1])
+    out[:, 2] = signs
+    return out
+
+
+#: The three signed-line layouts, keyed by how the probe line reads.
+_FMT_BARE = "bare"  # "u v"          -> every row is an insert
+_FMT_COLUMN = "column"  # "u v +1"   -> third column is the sign
+_FMT_PREFIX = "prefix"  # "+ u v"    -> leading +/- token is the sign
+
+
+def _parse_sign_tokens(col: np.ndarray, lineno: int | None = None) -> np.ndarray:
+    """Sign tokens (``+1``/``-1``/``1``, or literal ``+``/``-``) to int64."""
+    try:
+        signs = col.astype(np.int64)
+    except ValueError:
+        signs = np.where(col == "+", np.int64(1), np.int64(0))
+        signs[col == "-"] = -1
+    if not np.isin(signs, (-1, 1)).all():
+        where = f"line {lineno}: " if lineno is not None else ""
+        raise InvalidParameterError(f"{where}signs must be +1 or -1")
+    return signs
+
+
+def _signed_block_rows(block: str, fmt: str, lineno_base: int) -> np.ndarray:
+    """Parse one text block of uniform signed rows into ``(n, 3)`` int64.
+
+    The columnar fast path: when the block has no comments and every
+    line carries exactly the probe's column count (cross-checked by
+    ``token count == columns x line count``, so a blank, short, or long
+    line can never slip through), one ``str.split`` plus one vectorized
+    ``astype`` parses the whole block. Anything else drops to a
+    per-line pass that skips comments/blanks and raises
+    :class:`~repro.errors.InvalidParameterError` naming the first line
+    whose column count disagrees with the probe -- mixed 2/3-column
+    files are ambiguous about signs, so they are an error, never a
+    silent fallback.
+    """
+    ncols = 2 if fmt == _FMT_BARE else 3
+    tokens = block.split()
+    nlines = block.count("\n")
+    if "#" not in block and len(tokens) == ncols * nlines:
+        sarr = np.array(tokens, dtype=str).reshape(-1, ncols)
+        try:
+            if fmt == _FMT_BARE:
+                uv = sarr.astype(np.int64)
+                signs = np.ones(uv.shape[0], dtype=np.int64)
+            elif fmt == _FMT_COLUMN:
+                uv = sarr[:, :2].astype(np.int64)
+                signs = _parse_sign_tokens(sarr[:, 2])
+            else:
+                uv = sarr[:, 1:].astype(np.int64)
+                signs = _parse_sign_tokens(sarr[:, 0])
+            return _canonical_signed_rows(uv, signs)
+        except ValueError:
+            pass  # non-numeric token: the per-line pass names the line
+        except InvalidParameterError as exc:
+            if "signs must be" not in str(exc):
+                raise  # id-range/self-loop errors carry no line ambiguity
+            # a bad sign token: re-parse per line to name the offender
+    rows: list[tuple[int, int, int]] = []
+    expect = "2 columns ('u v')" if ncols == 2 else (
+        "3 columns ('u v +1')" if fmt == _FMT_COLUMN else "3 columns ('+ u v')"
+    )
+    for offset, line in enumerate(block.splitlines()):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        lineno = lineno_base + offset
+        parts = stripped.split()
+        if len(parts) != ncols:
+            raise InvalidParameterError(
+                f"line {lineno}: expected {expect} like the first data "
+                f"line, got {len(parts)} column(s); mixed signed/unsigned "
+                "rows are not allowed"
+            )
+        col = np.array(parts, dtype=str)
+        try:
+            if fmt == _FMT_BARE:
+                u, v = int(parts[0]), int(parts[1])
+                sign = 1
+            elif fmt == _FMT_COLUMN:
+                u, v = int(parts[0]), int(parts[1])
+                sign = int(_parse_sign_tokens(col[2:], lineno)[0])
+            else:
+                sign = int(_parse_sign_tokens(col[:1], lineno)[0])
+                u, v = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise InvalidParameterError(
+                f"line {lineno}: cannot parse {stripped!r} as a signed edge"
+            ) from None
+        rows.append((u, v, sign))
+    if not rows:
+        return np.empty((0, 3), dtype=np.int64)
+    arr = np.array(rows, dtype=np.int64)
+    return _canonical_signed_rows(arr[:, :2], arr[:, 2])
+
+
+def iter_signed_edge_array_chunks(
+    source, *, chunk_chars: int = _CHUNK_CHARS
+) -> Iterator[np.ndarray]:
+    """Parse a signed edge-list into canonical ``(n, 3)`` int64 chunks.
+
+    The turnstile counterpart of :func:`iter_edge_array_chunks`. Three
+    line layouts are supported, detected once from the first data line
+    (the probe) and then required of the whole file:
+
+    - ``u v`` -- a plain edge list; every row becomes an insert (+1);
+    - ``u v s`` -- a third sign column, ``s`` one of ``+1``/``1``/``-1``
+      (literal ``+``/``-`` also accepted);
+    - ``+ u v`` / ``- u v`` -- a sign *prefix* token.
+
+    Rows come back as ``(u, v, sign)`` with the same canonicalization
+    as the unsigned parser (ids validated into ``[0, 2^31)``,
+    self-loops skipped, ``u < v``); signs survive the swap unchanged.
+    Comments and blank lines are skipped. A file that mixes column
+    counts raises :class:`~repro.errors.InvalidParameterError` naming
+    the offending line -- a 2-column row in a 3-column file (or vice
+    versa) is ambiguous about deletions, never a silent fallback.
+
+    ``source`` is a path or an open text handle, exactly as for the
+    unsigned parser; memory is bounded by one ``chunk_chars`` block.
+    """
+    if hasattr(source, "read"):
+        yield from _signed_chunks_from_handle(source, chunk_chars)
+        return
+    with open(source, "r", encoding="utf-8") as handle:
+        yield from _signed_chunks_from_handle(handle, chunk_chars)
+
+
+def _probe_signed_format(block: str) -> str | None:
+    """Classify the first data line of ``block``; ``None`` if it has none."""
+    for line in block.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if parts[0] in ("+", "-"):
+            return _FMT_PREFIX
+        if len(parts) == 2:
+            return _FMT_BARE
+        if len(parts) == 3:
+            return _FMT_COLUMN
+        raise InvalidParameterError(
+            f"cannot infer a signed edge layout from {stripped!r}: "
+            "expected 'u v', 'u v +1', or '+ u v'"
+        )
+    return None  # only comments/blanks: keep probing the next block
+
+
+def _signed_chunks_from_handle(handle, chunk_chars: int) -> Iterator[np.ndarray]:
+    """The block loop behind :func:`iter_signed_edge_array_chunks`."""
+    fmt: str | None = None
+    lineno_base = 1
+    while True:
+        block = handle.read(chunk_chars)
+        if not block:
+            return
+        # Complete the trailing partial line so every block holds
+        # whole lines and the line accounting stays exact.
+        if not block.endswith("\n"):
+            rest = handle.readline()
+            if rest:
+                block += rest
+            if not block.endswith("\n"):
+                block += "\n"
+        if fmt is None:
+            # The probe chunk: the first data line locks the layout for
+            # the rest of the file (all-comment blocks keep probing).
+            fmt = _probe_signed_format(block)
+            if fmt is None:
+                lineno_base += block.count("\n")
+                continue
+        out = _signed_block_rows(block, fmt, lineno_base)
+        lineno_base += block.count("\n")
+        if out.shape[0]:
+            yield out
+
+
 def dedup_chunk(
     arr: np.ndarray, seen: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -288,5 +483,23 @@ def write_edge_list(path: str | os.PathLike, edges: Iterable[Edge]) -> int:
     with open(path, "w", encoding="utf-8") as handle:
         for u, v in edges:
             handle.write(f"{u} {v}\n")
+            count += 1
+    return count
+
+
+def write_signed_edge_list(path: str | os.PathLike, events: Iterable) -> int:
+    """Write signed edge events, one ``u v s`` row per line.
+
+    ``events`` yields ``(u, v, sign)`` triples with ``sign`` in
+    ``{+1, -1}``; the output is the column layout
+    :func:`iter_signed_edge_array_chunks` parses on its columnar fast
+    path. Returns the number of events written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v, sign in events:
+            if sign not in (1, -1):
+                raise InvalidParameterError("signs must be +1 or -1")
+            handle.write(f"{u} {v} {sign:+d}\n")
             count += 1
     return count

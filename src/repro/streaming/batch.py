@@ -51,30 +51,57 @@ class EdgeBatch(Sequence):
     per-edge consumer (exact counters, clique/window estimators,
     baselines) iterates it unchanged; the tuple list is materialized
     lazily, once, and shared by all of them.
+
+    Turnstile streams attach an optional ``signs`` column: a ``(w,)``
+    int8 array of ``+1`` (insert) / ``-1`` (delete) entries, canonical
+    alongside the edge columns (the min/max swap never touches it).
+    ``signs is None`` means insert-only, and every insert-only code
+    path -- construction, slicing, context building, transport -- is
+    byte-for-byte what it was before signs existed.
     """
 
-    __slots__ = ("array", "_tuples", "_context")
+    __slots__ = ("array", "signs", "_tuples", "_context")
 
-    def __init__(self, array: np.ndarray) -> None:
+    def __init__(self, array: np.ndarray, signs: np.ndarray | None = None) -> None:
         self.array = array
+        self.signs = signs
         self._tuples: list[tuple[int, int]] | None = None
         self._context: BatchContext | None = None
 
     @classmethod
-    def from_edges(cls, edges) -> "EdgeBatch":
+    def from_edges(cls, edges, signs=None) -> "EdgeBatch":
         """Validate and canonicalize any edge collection into a batch.
 
         Accepts an existing :class:`EdgeBatch` (returned as-is), an
-        ``(w, 2)`` array, or any sequence of ``(u, v)`` pairs. Raises
+        ``(w, 2)`` array, any sequence of ``(u, v)`` pairs, or -- for
+        turnstile streams -- an ``(w, 3)`` array whose third column
+        holds ``+1`` / ``-1`` signs (equivalently, pass ``signs=``
+        alongside an ``(w, 2)`` input). Raises
         :class:`~repro.errors.InvalidParameterError` on self-loops, on
-        vertex ids outside ``[0, 2^31)``, or on a non-``(w, 2)`` shape
-        (the same contract the vectorized engine always enforced).
+        vertex ids outside ``[0, 2^31)``, on a non-``(w, 2)`` shape
+        (the same contract the vectorized engine always enforced), and
+        on sign values other than ``+1`` / ``-1``.
         """
         if isinstance(edges, EdgeBatch):
+            if signs is not None:
+                raise InvalidParameterError(
+                    "cannot attach signs to an existing EdgeBatch"
+                )
             return edges
         arr = np.asarray(edges, dtype=np.int64)
+        if signs is None and arr.ndim == 2 and arr.shape[1] == 3:
+            signs, arr = arr[:, 2], arr[:, :2]
+        if signs is not None:
+            signs = np.asarray(signs)
+            if signs.ndim != 1 or signs.shape[0] != arr.shape[0]:
+                raise InvalidParameterError(
+                    "signs must be a (w,) column matching the edge batch"
+                )
         if arr.size == 0:
-            return cls(np.empty((0, 2), dtype=np.int64))
+            empty = np.empty((0, 2), dtype=np.int64)
+            if signs is not None:
+                return cls(empty, np.empty(0, dtype=np.int8))
+            return cls(empty)
         if arr.ndim != 2 or arr.shape[1] != 2:
             raise InvalidParameterError("batch must be an (w, 2) array of edges")
         if (arr < 0).any() or (arr >= VERTEX_LIMIT).any():
@@ -82,12 +109,47 @@ class EdgeBatch(Sequence):
         u, v = arr[:, 0], arr[:, 1]
         if (u == v).any():
             raise InvalidParameterError("self-loops are not allowed")
+        if signs is not None:
+            if not np.isin(signs, (-1, 1)).all():
+                raise InvalidParameterError("signs must be +1 or -1")
+            signs = np.ascontiguousarray(signs, dtype=np.int8)
         if (u < v).all():
-            return cls(arr)  # already canonical: keep zero-copy
+            return cls(arr, signs)  # already canonical: keep zero-copy
         out = np.empty_like(arr)
         np.minimum(u, v, out=out[:, 0])
         np.maximum(u, v, out=out[:, 1])
-        return cls(out)
+        return cls(out, signs)
+
+    @classmethod
+    def from_wire(cls, array: np.ndarray) -> "EdgeBatch":
+        """Rebuild a batch from its transport array (see :attr:`wire`).
+
+        The counterpart of :attr:`wire` for arrays that crossed a
+        process boundary: ``(w, 2)`` arrays come back as plain
+        insert-only batches, ``(w, 3)`` arrays split back into edge
+        columns plus the int8 sign column. Trusts its input (the wire
+        array was canonical when it was sent).
+        """
+        if array.ndim == 2 and array.shape[1] == 3:
+            return cls(array[:, :2], array[:, 2].astype(np.int8))
+        return cls(array)
+
+    @property
+    def wire(self) -> np.ndarray:
+        """The batch as one transport-ready int64 array.
+
+        Insert-only batches ship their ``(w, 2)`` array unchanged (the
+        zero-copy path); signed batches widen to ``(w, 3)`` with the
+        sign column attached, which the shared-memory ring deliberately
+        declines -- signed batches ride the pickled fallback, keeping
+        the zero-copy fast path insert-only and untouched.
+        """
+        if self.signs is None:
+            return self.array
+        out = np.empty((len(self), 3), dtype=np.int64)
+        out[:, :2] = self.array
+        out[:, 2] = self.signs
+        return out
 
     # ------------------------------------------------------------------
     # columnar views
@@ -106,7 +168,10 @@ class EdgeBatch(Sequence):
     def context(self) -> "BatchContext":
         """The shared per-batch index, built lazily exactly once."""
         if self._context is None:
-            self._context = BatchContext(self.u, self.v)
+            if self.signs is None:
+                self._context = BatchContext(self.u, self.v)
+            else:
+                self._context = BatchContext(self.u, self.v, self.signs)
         return self._context
 
     # ------------------------------------------------------------------
@@ -126,13 +191,21 @@ class EdgeBatch(Sequence):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return EdgeBatch(self.array[index])
+            if self.signs is None:
+                return EdgeBatch(self.array[index])
+            return EdgeBatch(self.array[index], self.signs[index])
         u, v = self.array[index]
         return (int(u), int(v))
 
     def __eq__(self, other) -> bool:
         if isinstance(other, EdgeBatch):
-            return np.array_equal(self.array, other.array)
+            if not np.array_equal(self.array, other.array):
+                return False
+            if self.signs is None and other.signs is None:
+                return True
+            if self.signs is None or other.signs is None:
+                return False
+            return np.array_equal(self.signs, other.signs)
         if isinstance(other, Sequence) and not isinstance(other, (str, bytes)):
             return self.tuples() == list(other)
         return NotImplemented
@@ -140,14 +213,21 @@ class EdgeBatch(Sequence):
     __hash__ = None  # mutable array payload
 
     def __repr__(self) -> str:
-        return f"EdgeBatch(<{len(self)} edges>)"
+        kind = " signed" if self.signs is not None else ""
+        return f"EdgeBatch(<{len(self)}{kind} edges>)"
 
     def batches(self, batch_size: int) -> Iterator["EdgeBatch"]:
         """Yield consecutive zero-copy slices of ``batch_size`` edges."""
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         for start in range(0, len(self), batch_size):
-            yield EdgeBatch(self.array[start : start + batch_size])
+            if self.signs is None:
+                yield EdgeBatch(self.array[start : start + batch_size])
+            else:
+                yield EdgeBatch(
+                    self.array[start : start + batch_size],
+                    self.signs[start : start + batch_size],
+                )
 
 
 def rebatch_arrays(
@@ -244,6 +324,10 @@ class BatchContext:
     __slots__ = (
         "bu",
         "bv",
+        "signs",
+        "_sign_delta",
+        "_insert_mask",
+        "_delete_mask",
         "deg_at_edge_u",
         "deg_at_edge_v",
         "_uniq_verts",
@@ -266,9 +350,15 @@ class BatchContext:
     _DENSE_FACTOR = 8
     _DENSE_MIN = 65_536
 
-    def __init__(self, bu: np.ndarray, bv: np.ndarray) -> None:
+    def __init__(
+        self, bu: np.ndarray, bv: np.ndarray, signs: np.ndarray | None = None
+    ) -> None:
         self.bu = bu
         self.bv = bv
+        self.signs = signs
+        self._sign_delta = None
+        self._insert_mask = None
+        self._delete_mask = None
         w = bu.shape[0]
         n = 2 * w
 
@@ -337,6 +427,48 @@ class BatchContext:
         self._uniq_key_pos = None
         self._remaining = None
         self._decode_bases = None
+
+    # ------------------------------------------------------------------
+    # signed (turnstile) views shared by every deletion-aware consumer
+    # ------------------------------------------------------------------
+    @property
+    def insert_mask(self) -> np.ndarray:
+        """Boolean mask of the batch's insertions (all-true when unsigned).
+
+        Built lazily, once, and shared by every fan-out estimator that
+        partitions the batch into insert/delete halves.
+        """
+        if self._insert_mask is None:
+            if self.signs is None:
+                self._insert_mask = np.ones(self.bu.shape[0], dtype=bool)
+            else:
+                self._insert_mask = self.signs > 0
+        return self._insert_mask
+
+    @property
+    def delete_mask(self) -> np.ndarray:
+        """Boolean mask of the batch's deletions (all-false when unsigned)."""
+        if self._delete_mask is None:
+            if self.signs is None:
+                self._delete_mask = np.zeros(self.bu.shape[0], dtype=bool)
+            else:
+                self._delete_mask = self.signs < 0
+        return self._delete_mask
+
+    @property
+    def sign_delta(self) -> np.ndarray:
+        """The signs widened to int64 (all-ones when unsigned).
+
+        The per-edge ``+1`` / ``-1`` column in accumulator width, so
+        vectorized consumers fold a signed batch with one dot product
+        instead of re-widening the int8 column each.
+        """
+        if self._sign_delta is None:
+            if self.signs is None:
+                self._sign_delta = np.ones(self.bu.shape[0], dtype=np.int64)
+            else:
+                self._sign_delta = self.signs.astype(np.int64)
+        return self._sign_delta
 
     # ------------------------------------------------------------------
     # intersection views shared by every watch-index consumer

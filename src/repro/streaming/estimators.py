@@ -237,3 +237,40 @@ def _make_timed_window(
     num_estimators: int, seed: int | None, *, horizon: float = 65_536.0
 ):
     return _ArrivalTimedWindowCounter(num_estimators, horizon, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# fully-dynamic (turnstile) estimators -- deletion-capable
+# ---------------------------------------------------------------------------
+
+def _dynamic_report(counter) -> dict:
+    return {
+        "triangles": float(counter.estimate()),
+        "net_edges": int(counter.net_edges()),
+    }
+
+
+@register_estimator(
+    "triest-fd",
+    description="TRIÈST-FD reservoir triangle count over insert/delete streams",
+    default_estimators=32,
+    memory=4_096,
+)
+@reports(_dynamic_report)
+def _make_triest_fd(num_estimators: int, seed: int | None, *, memory: int = 4_096):
+    from ..core.triest_fd import TriestFdCounter
+
+    return TriestFdCounter(num_estimators, memory, seed=seed)
+
+
+@register_estimator(
+    "dynamic-sampler",
+    description="vertex-subsampled turnstile triangle count (Bulteau et al.)",
+    default_estimators=32,
+    p=0.5,
+)
+@reports(_dynamic_report)
+def _make_dynamic_sampler(num_estimators: int, seed: int | None, *, p: float = 0.5):
+    from ..core.dynamic_sampler import DynamicSamplerCounter
+
+    return DynamicSamplerCounter(num_estimators, p, seed=seed)

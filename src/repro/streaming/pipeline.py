@@ -497,6 +497,18 @@ class Pipeline:
                 "be reloaded; call resume() again before running"
             )
         src: EdgeSource = as_source(source)
+        insert_only = [
+            name
+            for name, estimator in self._pairs
+            if not getattr(estimator, "supports_deletions", False)
+        ]
+        if getattr(src, "signed", False) and insert_only:
+            raise InvalidParameterError(
+                "source is a signed (turnstile) stream, but estimator(s) "
+                f"{insert_only} are insert-only and would silently count "
+                "deletions as insertions; use deletion-capable estimators "
+                "('triest-fd', 'dynamic-sampler') for signed input"
+            )
         resume = self._resume
         remaining = 0
         base_edges = 0
@@ -569,6 +581,7 @@ class Pipeline:
             "fast_paths": fast_paths,
             "want_context": want_context,
             "checkpoint_signal": checkpoint_signal,
+            "insert_only": insert_only,
         }
 
     def _drive(
@@ -601,6 +614,7 @@ class Pipeline:
         fast_paths = state["fast_paths"]
         want_context = state["want_context"]
         checkpoint_signal = state["checkpoint_signal"]
+        insert_only = state["insert_only"]
         timings = {name: 0.0 for name, _ in self._pairs}
         edges = 0
         batches = 0
@@ -657,7 +671,7 @@ class Pipeline:
                             io_seconds += time.perf_counter() - t0
                             continue
                         if isinstance(batch, EdgeBatch):
-                            batch = EdgeBatch(batch.array[remaining:])
+                            batch = batch[remaining:]
                         else:
                             batch = list(batch)[remaining:]
                         remaining = 0
@@ -668,6 +682,19 @@ class Pipeline:
                             prepared = EdgeBatch.from_edges(batch)
                         except _COERCE_ERRORS:
                             prepared = None
+                    if (
+                        insert_only
+                        and prepared is not None
+                        and prepared.signs is not None
+                    ):
+                        # Sources that cannot declare themselves signed
+                        # up front (a generator of (u, v, sign) triples)
+                        # are caught here, batch by batch.
+                        raise InvalidParameterError(
+                            "signed batch reached insert-only estimator(s) "
+                            f"{insert_only}; deletions would be silently "
+                            "counted as insertions"
+                        )
                     if prepared is not None and want_context:
                         prepared.context  # noqa: B018 -- build the shared index once
                     io_seconds += time.perf_counter() - t0

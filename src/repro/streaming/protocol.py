@@ -44,6 +44,20 @@ class StreamingEstimator(Protocol):
     (e.g. drawing one of the sampled triangles) belong in a final-only
     reporter; see ``live_report`` on
     :class:`~repro.streaming.registry.EstimatorSpec`.
+
+    Estimators additionally declare a capability flag:
+
+    ``supports_deletions``
+        ``True`` when the estimator understands turnstile (signed)
+        batches -- ``update_batch`` honours a batch's ``+1``/``-1``
+        sign column and removes deleted edges from its state. Absent or
+        ``False`` means insert-only. The flag is deliberately *not* a
+        protocol member (that would make every insert-only estimator
+        fail ``isinstance`` until it grew the attribute); pipelines
+        read it via ``getattr(est, "supports_deletions", False)``
+        *before* streaming a signed source and reject the combination
+        up front, so a deletion can never be silently counted as an
+        insertion.
     """
 
     def update_batch(self, batch: Sequence[Edge]) -> None:

@@ -121,13 +121,28 @@ def _consume(
         fast is not None and getattr(est, "uses_batch_context", True)
         for (_, est), fast in zip(pairs, fast_paths)
     )
+    insert_only = [
+        name
+        for name, est in pairs
+        if not getattr(est, "supports_deletions", False)
+    ]
     timings = {name: 0.0 for name, _ in pairs}
     edges = 0
     batch_count = 0
     for batch in batches:
         if isinstance(batch, np.ndarray):
-            batch = EdgeBatch(batch)
+            batch = EdgeBatch.from_wire(batch)
         prepared = batch if isinstance(batch, EdgeBatch) else None
+        if (
+            insert_only
+            and prepared is not None
+            and prepared.signs is not None
+        ):
+            raise InvalidParameterError(
+                "signed batch reached insert-only estimator(s) "
+                f"{insert_only}; deletions would be silently counted "
+                "as insertions"
+            )
         if prepared is not None and want_context:
             prepared.context  # noqa: B018 -- build the shared index once
         edges += len(batch)
@@ -338,13 +353,17 @@ class ShardedPipeline:
         maximum across workers -- the parallel wall-clock share).
         """
         specs = self.worker_specs()
+        source = as_source(source)
         # Fail fast on estimators that cannot ship state back: a probe
         # instance is cheap, and discovering the problem inside a
         # worker would otherwise surface as a shipped-back error after
         # the whole stream was read. state_dict is *called*, not
         # hasattr-checked: delegating wrappers (TriangleCounter over a
         # non-checkpointable engine) expose the method and raise only
-        # when it runs.
+        # when it runs. The same probes answer the turnstile capability
+        # check: a signed source aimed at any insert-only estimator is
+        # rejected here, before a worker is spawned or a byte streamed.
+        insert_only = []
         for name in self.names:
             probe = ESTIMATORS.get(name).create(
                 1, None, **self._options.get(name, {})
@@ -362,6 +381,15 @@ class ShardedPipeline:
                     f"estimator {name!r} cannot be sharded across workers: "
                     f"{exc}"
                 ) from exc
+            if not getattr(probe, "supports_deletions", False):
+                insert_only.append(name)
+        if getattr(source, "signed", False) and insert_only:
+            raise InvalidParameterError(
+                "source is a signed (turnstile) stream, but estimator(s) "
+                f"{insert_only} are insert-only and would silently count "
+                "deletions as insertions; use deletion-capable estimators "
+                "('triest-fd', 'dynamic-sampler') for signed input"
+            )
         start = time.perf_counter()
         if self.workers == 1:
             pairs = _build_estimators(specs[0])

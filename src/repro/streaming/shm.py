@@ -416,7 +416,9 @@ class TransportFeed:
                     # generator): the batch is done, free the block.
                     self._client.release(slot)
             elif isinstance(item, np.ndarray):
-                yield EdgeBatch(item)
+                # (w, 2) arrays come back as plain batches, (w, 3)
+                # signed wire arrays split back into edges + signs.
+                yield EdgeBatch.from_wire(item)
             else:
                 yield item
 
@@ -478,10 +480,14 @@ class BatchSender:
         """What to enqueue for ``batch`` under the active transport."""
         if isinstance(batch, EdgeBatch):
             if self._ring is not None:
-                descriptor = self._ring.send(batch.array, alive, consumers)
+                # A signed batch's wire form is (w, 3), which the ring
+                # declines by shape: turnstile batches automatically
+                # ride the pickled fallback, leaving the zero-copy
+                # fast path insert-only and untouched.
+                descriptor = self._ring.send(batch.wire, alive, consumers)
                 if descriptor is not None:
                     return descriptor
-            return batch.array
+            return batch.wire
         return list(batch)
 
     def descriptor(self, batch, alive=None, consumers=None):
@@ -493,12 +499,12 @@ class BatchSender:
         """
         if self._ring is None or not isinstance(batch, EdgeBatch):
             return None
-        return self._ring.send(batch.array, alive, consumers)
+        return self._ring.send(batch.wire, alive, consumers)
 
     @staticmethod
     def raw(batch):
         """The pickled-queue payload for ``batch`` (also the replay form)."""
-        return batch.array if isinstance(batch, EdgeBatch) else list(batch)
+        return batch.wire if isinstance(batch, EdgeBatch) else list(batch)
 
     def revoke(self, consumer: int) -> None:
         """Free every ring reference ``consumer`` holds (crash recovery)."""

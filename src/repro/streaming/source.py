@@ -65,7 +65,14 @@ from ..errors import (
     SourceRotatedWarning,
 )
 from ..graph.edge import Edge
-from ..graph.io import dedup_chunk, dedup_edge_arrays, iter_edge_array_chunks
+from ..graph.io import (
+    _probe_signed_format,
+    _signed_block_rows,
+    dedup_chunk,
+    dedup_edge_arrays,
+    iter_edge_array_chunks,
+    iter_signed_edge_array_chunks,
+)
 from ..graph.stream import EdgeStream, batched
 from . import faults as _faults
 from .batch import EdgeBatch, rebatch_arrays
@@ -118,6 +125,13 @@ class EdgeSource(ABC):
     #: Whether :meth:`batches` may be called more than once.
     replayable: bool = True
 
+    #: Whether this source declares a turnstile (signed) stream: its
+    #: batches carry a ``+1``/``-1`` sign column and may contain edge
+    #: deletions. Pipelines check this *before* streaming so an
+    #: insert-only estimator aimed at a signed source fails up front
+    #: with a clear error instead of mid-stream.
+    signed: bool = False
+
     @abstractmethod
     def batches(self, batch_size: int) -> Iterator[Sequence[Edge]]:
         """Yield the stream as consecutive batches of ``batch_size``.
@@ -154,12 +168,34 @@ class FileSource(EdgeSource):
         both directions of each undirected edge. Dedup is vectorized
         over packed int64 edge keys and costs O(distinct edges) memory,
         so pass ``False`` for constant-memory streaming of inputs that
-        are already simple.
+        are already simple. Defaults to ``True`` for insert-only files
+        and is rejected for signed ones (collapsing repeats would eat
+        the deletions that make a turnstile stream meaningful).
+    signed:
+        Parse the file as a turnstile stream
+        (:func:`repro.graph.io.iter_signed_edge_array_chunks`): an
+        optional third sign column or ``+``/``-`` prefix marks each row
+        an insert or a deletion, and batches carry the int8 sign
+        column. Plain ``u v`` files stream as all-inserts.
     """
 
-    def __init__(self, path: str | os.PathLike, *, deduplicate: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        deduplicate: bool | None = None,
+        signed: bool = False,
+    ) -> None:
         self.path = os.fspath(path)
+        if deduplicate is None:
+            deduplicate = not signed
+        elif deduplicate and signed:
+            raise InvalidParameterError(
+                "deduplicate=True cannot be combined with signed=True: "
+                "dedup would drop re-inserts and deletions of the same edge"
+            )
         self.deduplicate = deduplicate
+        self.signed = signed
 
     def edges(self) -> Iterator[Edge]:
         """Lazily yield the (optionally deduplicated) edge stream."""
@@ -174,13 +210,20 @@ class FileSource(EdgeSource):
         # surface only at the first next() deep inside a pipeline run.
         with open(self.path, "rb"):
             pass
+        if self.signed:
+            chunks = iter_signed_edge_array_chunks(self.path)
+            return (
+                EdgeBatch.from_wire(arr)
+                for arr in rebatch_arrays(chunks, batch_size)
+            )
         chunks = iter_edge_array_chunks(self.path)
         if self.deduplicate:
             chunks = dedup_edge_arrays(chunks)
         return (EdgeBatch(arr) for arr in rebatch_arrays(chunks, batch_size))
 
     def __repr__(self) -> str:
-        return f"FileSource({self.path!r}, deduplicate={self.deduplicate})"
+        signed = ", signed=True" if self.signed else ""
+        return f"FileSource({self.path!r}, deduplicate={self.deduplicate}{signed})"
 
 
 class MemorySource(EdgeSource):
@@ -216,6 +259,18 @@ class MemorySource(EdgeSource):
         if whole is None:
             return batched(self._edges, batch_size)
         return whole.batches(batch_size)
+
+    @property
+    def signed(self) -> bool:  # type: ignore[override]
+        """True when the wrapped collection carries a sign column.
+
+        ``(m, 3)`` arrays, sequences of ``(u, v, sign)`` triples, and
+        signed :class:`~repro.streaming.batch.EdgeBatch` objects all
+        coerce with their signs attached, so the source declares itself
+        signed and pipelines gate estimator capability up front.
+        """
+        whole = self._whole()
+        return whole is not None and whole.signs is not None
 
     def __len__(self) -> int:
         return len(self._edges)
@@ -294,15 +349,24 @@ class LineSource(EdgeSource):
     deduplicate:
         Drop repeated edges on the fly (O(distinct edges) memory --
         unbounded on an infinite stream, hence default ``False`` here,
-        unlike :class:`FileSource`).
+        unlike :class:`FileSource`). Rejected with ``signed=True``.
+    signed:
+        Parse the stream as turnstile (signed) rows: sign column or
+        ``+``/``-`` prefix, layout locked by the first data line
+        exactly as in :class:`FileSource`.
     """
 
     replayable = False
 
-    def __init__(self, handle, *, deduplicate: bool = False) -> None:
+    def __init__(self, handle, *, deduplicate: bool = False, signed: bool = False) -> None:
         if not hasattr(handle, "read"):
             raise InvalidParameterError(
                 f"LineSource needs an open file object, got {type(handle).__name__!r}"
+            )
+        if deduplicate and signed:
+            raise InvalidParameterError(
+                "deduplicate=True cannot be combined with signed=True: "
+                "dedup would drop re-inserts and deletions of the same edge"
             )
         try:
             probe = handle.read(0)
@@ -312,6 +376,7 @@ class LineSource(EdgeSource):
             handle = io.TextIOWrapper(handle, encoding="utf-8")
         self._handle = handle
         self.deduplicate = deduplicate
+        self.signed = signed
 
     def batches(self, batch_size: int) -> Iterator[EdgeBatch]:
         if batch_size <= 0:
@@ -322,6 +387,12 @@ class LineSource(EdgeSource):
                 "underlying stream or use a FileSource for replayable input"
             )
         handle, self._handle = self._handle, None
+        if self.signed:
+            chunks = _gulped_signed_line_chunks(handle, batch_size)
+            return (
+                EdgeBatch.from_wire(arr)
+                for arr in rebatch_arrays(chunks, batch_size)
+            )
         chunks = _gulped_line_chunks(handle, batch_size)
         if self.deduplicate:
             chunks = dedup_edge_arrays(chunks)
@@ -329,7 +400,8 @@ class LineSource(EdgeSource):
 
     def __repr__(self) -> str:
         state = "exhausted" if self._handle is None else "fresh"
-        return f"LineSource(<{state}>, deduplicate={self.deduplicate})"
+        signed = ", signed=True" if self.signed else ""
+        return f"LineSource(<{state}>, deduplicate={self.deduplicate}{signed})"
 
 
 def _gulped_line_chunks(handle, lines_per_gulp: int) -> Iterator[np.ndarray]:
@@ -350,6 +422,39 @@ def _gulped_line_chunks(handle, lines_per_gulp: int) -> Iterator[np.ndarray]:
         if not lines:
             return
         yield from iter_edge_array_chunks(io.StringIO("".join(lines)))
+
+
+def _gulped_signed_line_chunks(handle, lines_per_gulp: int) -> Iterator[np.ndarray]:
+    """:func:`_gulped_line_chunks` for turnstile streams.
+
+    The signed layout must be locked by the *first* data line of the
+    whole stream, not re-probed per gulp (a re-probe would let a stream
+    silently flip between bare and signed layouts mid-flight), so the
+    gulp loop threads the probed format itself instead of calling
+    :func:`repro.graph.io.iter_signed_edge_array_chunks` per gulp.
+    """
+    fmt: str | None = None
+    lineno_base = 1
+    while True:
+        lines = []
+        for line in handle:
+            lines.append(line)
+            if len(lines) >= lines_per_gulp:
+                break
+        if not lines:
+            return
+        block = "".join(lines)
+        if not block.endswith("\n"):
+            block += "\n"
+        if fmt is None:
+            fmt = _probe_signed_format(block)
+            if fmt is None:
+                lineno_base += block.count("\n")
+                continue
+        out = _signed_block_rows(block, fmt, lineno_base)
+        lineno_base += block.count("\n")
+        if out.shape[0]:
+            yield out
 
 
 class FollowSource(FileSource):
@@ -412,6 +517,13 @@ class FollowSource(FileSource):
     stop:
         Optional callable checked at each idle poll; returning true
         ends the stream.
+    signed:
+        Follow the file as a turnstile stream (sign column or ``+``/
+        ``-`` prefix; layout locked by the first data line and held
+        across polls). Unparseable or layout-mixed lines are scrubbed
+        with a :class:`~repro.errors.SourceRetryWarning` like any other
+        follow-mode corruption -- resilience wins over strictness on a
+        live stream.
     """
 
     def __init__(
@@ -422,8 +534,9 @@ class FollowSource(FileSource):
         poll_interval: float = 0.1,
         idle_timeout: float | None = None,
         stop: Callable[[], bool] | None = None,
+        signed: bool = False,
     ) -> None:
-        super().__init__(path, deduplicate=deduplicate)
+        super().__init__(path, deduplicate=deduplicate, signed=signed)
         if poll_interval <= 0:
             raise InvalidParameterError(
                 f"poll_interval must be positive, got {poll_interval}"
@@ -459,9 +572,13 @@ class FollowSource(FileSource):
         tail = b""  # partial trailing line awaiting its newline
         pos = 0  # bytes consumed from the current file
         failures = 0
+        sfmt: str | None = None  # signed layout, locked across polls
+        wrap = EdgeBatch.from_wire if self.signed else EdgeBatch
 
         def _arrays(text: str) -> list[np.ndarray]:
             """Parse complete lines, scrubbing any that will not parse."""
+            if self.signed:
+                return _signed_arrays(text)
             try:
                 return list(iter_edge_array_chunks(io.StringIO(text)))
             except _COERCE_ERRORS:
@@ -490,6 +607,47 @@ class FollowSource(FileSource):
                     iter_edge_array_chunks(io.StringIO("\n".join(kept) + "\n"))
                 )
 
+        def _signed_arrays(text: str) -> list[np.ndarray]:
+            """The signed parse: locked layout, per-line scrub fallback."""
+            nonlocal sfmt
+            if not text.endswith("\n"):
+                text += "\n"
+            if sfmt is None:
+                try:
+                    sfmt = _probe_signed_format(text)
+                except _COERCE_ERRORS:
+                    sfmt = None  # even the probe line is garbage: scrub
+            if sfmt is not None:
+                try:
+                    out = _signed_block_rows(text, sfmt, 1)
+                    return [out] if out.shape[0] else []
+                except _COERCE_ERRORS:
+                    pass
+            kept: list[np.ndarray] = []
+            dropped = 0
+            for line in text.splitlines():
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                try:
+                    fmt = sfmt or _probe_signed_format(stripped + "\n")
+                    arr = _signed_block_rows(stripped + "\n", fmt, 1)
+                except _COERCE_ERRORS:
+                    dropped += 1
+                    continue
+                if sfmt is None:
+                    sfmt = fmt
+                if arr.shape[0]:
+                    kept.append(arr)
+            warnings.warn(
+                SourceRetryWarning(
+                    f"dropped {dropped} unparseable line(s) from the "
+                    f"followed stream {self.path!r}"
+                ),
+                stacklevel=3,
+            )
+            return kept
+
         def _parse(text: str) -> Iterator[np.ndarray]:
             nonlocal seen
             for arr in _arrays(text):
@@ -516,7 +674,7 @@ class FollowSource(FileSource):
                 merged = _merge_and_reset()
                 start = 0
                 while merged.shape[0] - start >= batch_size:
-                    yield EdgeBatch(merged[start : start + batch_size])
+                    yield wrap(merged[start : start + batch_size])
                     start += batch_size
                 rest = merged[start:]
                 buffer = [rest] if rest.shape[0] else []
@@ -598,7 +756,7 @@ class FollowSource(FileSource):
                 # At EOF: flush the partial batch so live consumers see
                 # every parsed edge before the stream goes quiet.
                 if buffered:
-                    yield EdgeBatch(_merge_and_reset())
+                    yield wrap(_merge_and_reset())
                 try:
                     named = os.stat(self.path)
                     opened = os.fstat(handle.fileno())
@@ -631,7 +789,7 @@ class FollowSource(FileSource):
             # The writer ended the stream without a final newline.
             yield from _absorb(tail.decode("utf-8", "replace") + "\n")
         if buffered:
-            yield EdgeBatch(_merge_and_reset())
+            yield wrap(_merge_and_reset())
 
     def __repr__(self) -> str:
         return (

@@ -55,6 +55,7 @@ import warnings
 from dataclasses import dataclass
 
 from ..errors import (
+    InvalidParameterError,
     RetryExhaustedError,
     WorkerRestartedWarning,
 )
@@ -133,10 +134,25 @@ class EstimatorShardProgram:
             fast is not None and getattr(est, "uses_batch_context", True)
             for (_, est), fast in zip(self._pairs, self._fast)
         )
+        self._insert_only = [
+            name
+            for name, est in self._pairs
+            if not getattr(est, "supports_deletions", False)
+        ]
         self._timings = {name: 0.0 for name, _ in self._pairs}
 
     def consume(self, batch) -> None:
         prepared = batch if isinstance(batch, EdgeBatch) else None
+        if (
+            self._insert_only
+            and prepared is not None
+            and prepared.signs is not None
+        ):
+            raise InvalidParameterError(
+                "signed batch reached insert-only estimator(s) "
+                f"{self._insert_only}; deletions would be silently "
+                "counted as insertions"
+            )
         if prepared is not None and self._want_context:
             prepared.context  # noqa: B018 -- build the shared index once
         for (name, est), fast in zip(self._pairs, self._fast):

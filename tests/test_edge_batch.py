@@ -62,7 +62,13 @@ class TestEdgeBatch:
         with pytest.raises(InvalidParameterError, match="vertex ids"):
             EdgeBatch.from_edges([(-1, 2)])
         with pytest.raises(InvalidParameterError, match=r"\(w, 2\)"):
-            EdgeBatch.from_edges(np.zeros((3, 3), dtype=np.int64))
+            EdgeBatch.from_edges(np.zeros((3, 4), dtype=np.int64))
+        # (w, 3) input is signed (third column = +1/-1), not a shape error.
+        signed = EdgeBatch.from_edges(
+            np.array([[0, 1, 1], [1, 2, -1]], dtype=np.int64)
+        )
+        assert signed.signs is not None
+        assert signed.signs.tolist() == [1, -1]
 
     def test_empty_batch(self):
         batch = EdgeBatch.from_edges([])

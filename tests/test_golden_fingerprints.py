@@ -1,0 +1,123 @@
+"""Golden fingerprints: insert-only behavior is frozen, byte for byte.
+
+The turnstile work threads an optional sign column through every layer
+(parser, batches, transports, estimators). Its compatibility guarantee
+is that *unsigned* input takes exactly the code paths it always took:
+same parser output, same rng consumption, same estimator state down to
+the last bit.
+
+These tests pin SHA-256 fingerprints of (a) the chunked parser's output
+over a written edge list and (b) every pre-turnstile estimator's full
+``state_dict`` after a fixed pipeline run. The hashes were captured on
+the tree *before* the sign column existed; if any of them moves, an
+insert-only code path changed behavior, which is a bug in whatever
+claimed to be a pure extension.
+
+(The two deletion-capable estimators are deliberately absent: they were
+born with the sign column and have no pre-change baseline.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.generators import holme_kim
+from repro.graph import write_edge_list
+from repro.graph.io import iter_edge_array_chunks
+from repro.streaming import ESTIMATORS, Pipeline
+
+EDGES = holme_kim(250, 3, 0.5, seed=4)
+
+SMALL_POOLS = {
+    "count": 64,
+    "transitivity": 48,
+    "wedges": 32,
+    "sample": 32,
+    "exact": 1,
+    "cliques4": 8,
+    "cliques": 6,
+    "sliding-window": 6,
+    "timed-window": 6,
+}
+SMALL_OPTIONS = {
+    "sliding-window": {"window": 512},
+    "timed-window": {"horizon": 512.0},
+}
+
+#: Captured before the signed/turnstile layer existed. Do not refresh
+#: these to make a failure pass -- a mismatch means an insert-only code
+#: path changed behavior.
+GOLDEN = {
+    "__parser__": "8e1533767333de26f920979229c9e62feb4d67f68715ca310a13ec6e16bd5b48",
+    "cliques": "83ac89bfb4c6a029429f7365375cfdf4fba446726a44d5b83714c434db88e518",
+    "cliques4": "96b4e1310963be1968bb4463dd9804f50304b1bb5f9c5c725a809ea03c560f27",
+    "count": "fe2f43bd204b5f6ca19d78e4b8f6ccf289a3c819ee85cd2c8f15c7debcb11681",
+    "exact": "8ae8f205f9b7bfc6c9cba6a566d1bca3f3ec3f09e614e7aedfb427288a0489bd",
+    "sample": "33a87647b24d97bef13d97a082da11c33601b7b5a6650a586e2193410eca47fd",
+    "sliding-window": "f39a419761c4452d0c01651cd469c8d5efdd5f8a16cfaf5e3bd3173487c98d57",
+    "timed-window": "76e97ad0c7e27ded2eb8b8a67d7e356d105f4ac11de31753c4ebed0394c277d8",
+    "transitivity": "ad0f5aa4fefb6b2a26b6c8c3b936e2a4cc67733fbd7c875c08a70b72fb2cc243",
+    "wedges": "a4d87c181d1608e21b65db3066a60934a899128f64972ec54eaef90f3deb7834",
+}
+
+
+def _feed(digest, value):
+    if isinstance(value, np.ndarray):
+        digest.update(b"nd")
+        digest.update(str(value.dtype).encode())
+        digest.update(repr(value.shape).encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, np.generic):
+        _feed(digest, value.item())
+    elif isinstance(value, dict):
+        digest.update(b"{")
+        for key in sorted(value):
+            digest.update(repr(key).encode())
+            _feed(digest, value[key])
+        digest.update(b"}")
+    elif isinstance(value, (list, tuple)):
+        digest.update(b"[")
+        for item in value:
+            _feed(digest, item)
+        digest.update(b"]")
+    else:
+        digest.update(repr(value).encode())
+
+
+def state_fingerprint(state) -> str:
+    digest = hashlib.sha256()
+    _feed(digest, state)
+    return digest.hexdigest()
+
+
+class TestInsertOnlyGolden:
+    def test_parser_output_unchanged(self, tmp_path):
+        path = tmp_path / "g.edges"
+        write_edge_list(path, EDGES)
+        digest = hashlib.sha256()
+        for arr in iter_edge_array_chunks(path):
+            _feed(digest, arr)
+        assert digest.hexdigest() == GOLDEN["__parser__"]
+
+    def test_every_pretained_estimator_state_unchanged(self):
+        mismatches = {}
+        for name, expected in GOLDEN.items():
+            if name == "__parser__":
+                continue
+            pipe = Pipeline.from_registry(
+                [name],
+                num_estimators=SMALL_POOLS[name],
+                seed=7,
+                options={name: SMALL_OPTIONS.get(name, {})},
+            )
+            pipe.run(EDGES, batch_size=64)
+            ((_, est),) = pipe._pairs
+            got = state_fingerprint(est.state_dict())
+            if got != expected:
+                mismatches[name] = got
+        assert not mismatches, (
+            "insert-only estimator state drifted from the pre-turnstile "
+            f"golden fingerprints: {mismatches}"
+        )

@@ -26,8 +26,21 @@ from repro.streaming.source import as_source
 
 pytestmark = pytest.mark.timeout(120)
 
-NAMES = ["count", "transitivity", "exact", "sample", "sliding-window", "cliques4"]
-OPTIONS = {"sliding-window": {"window": 512}}
+NAMES = [
+    "count",
+    "transitivity",
+    "exact",
+    "sample",
+    "sliding-window",
+    "cliques4",
+    "triest-fd",
+    "dynamic-sampler",
+]
+OPTIONS = {
+    "sliding-window": {"window": 512},
+    "triest-fd": {"memory": 256},
+    "dynamic-sampler": {"p": 0.5},
+}
 
 
 @pytest.fixture(scope="module")

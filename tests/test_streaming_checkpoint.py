@@ -48,10 +48,14 @@ SMALL_POOLS = {
     "cliques": 6,
     "sliding-window": 6,
     "timed-window": 6,
+    "triest-fd": 8,
+    "dynamic-sampler": 8,
 }
 SMALL_OPTIONS = {
     "sliding-window": {"window": 512},
     "timed-window": {"horizon": 512.0},
+    "triest-fd": {"memory": 128},
+    "dynamic-sampler": {"p": 0.5},
 }
 #: Estimators whose ``estimate()`` is a pool mean (or a sum of pool
 #: means), so a merge of pools r1 and r2 yields the weighted mean.
@@ -63,6 +67,8 @@ LINEAR_MERGE = {
     "cliques",
     "sliding-window",
     "timed-window",
+    "triest-fd",
+    "dynamic-sampler",
 }
 
 ALL_NAMES = ESTIMATORS.names()
