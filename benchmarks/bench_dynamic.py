@@ -25,13 +25,13 @@ Run directly for the numbers::
 
 import json
 import os
-import random
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.rng import RandomSource
 from repro.streaming import ESTIMATORS
 from repro.streaming.batch import EdgeBatch
 
@@ -54,14 +54,14 @@ def turnstile_stream(
     Deletions target a uniform *present* edge (O(1) via swap-remove), so
     the stream is a valid evolving simple graph at every prefix.
     """
-    rng = random.Random(seed)
+    rng = RandomSource(seed)
     present: list[tuple[int, int]] = []
     slot: dict[tuple[int, int], int] = {}
     events = np.empty((n_events, 3), dtype=np.int64)
     count = 0
     while count < n_events:
         if present and rng.random() < delete_ratio:
-            idx = rng.randrange(len(present))
+            idx = rng.rand_int(0, len(present) - 1)
             edge = present[idx]
             last = present[-1]
             present[idx] = last
@@ -70,7 +70,8 @@ def turnstile_stream(
             del slot[edge]
             events[count] = (edge[0], edge[1], -1)
         else:
-            u, v = rng.randrange(n_vertices), rng.randrange(n_vertices)
+            u = rng.rand_int(0, n_vertices - 1)
+            v = rng.rand_int(0, n_vertices - 1)
             if u == v:
                 continue
             edge = (min(u, v), max(u, v))

@@ -1,0 +1,194 @@
+"""Shared parse layer: one AST + comment pass per file, reused by every rule.
+
+The analyzer's cost model is "parse each module once, let every rule
+walk the cached tree": :class:`Project` owns the cache and the path
+collection; :class:`ParsedModule` owns one file's AST, its per-line
+``# repro: allow[...]`` suppressions, and its ``# repro: derived``
+markers (both extracted with :mod:`tokenize`, so string literals that
+merely *contain* the marker text cannot register one).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "ParsedModule", "Project", "collect_files"]
+
+#: Rule id of file-level problems (unreadable/unparseable source).
+ERROR_RULE = "E000"
+
+#: Rule id of unused-suppression warnings.
+UNUSED_SUPPRESSION_RULE = "W000"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+_DERIVED_RE = re.compile(r"#\s*repro:\s*derived\b")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a ``file:line`` location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[R00x]`` comment occurrence."""
+
+    path: str
+    line: int
+    rule: str
+    used: bool = False
+
+
+class ParsedModule:
+    """One source file: AST plus the comment-derived markers.
+
+    Parameters
+    ----------
+    path:
+        Display path (as the finding should print it).
+    source:
+        The file's text.
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree: ast.Module = ast.parse(source, filename=path)
+        self.suppressions: list[Suppression] = []
+        self.derived_lines: set[int] = set()
+        self._scan_comments()
+
+    @property
+    def basename(self) -> str:
+        return os.path.basename(self.path)
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            # ast.parse succeeded, so this is unreachable in practice;
+            # fall back to treating every line as a potential comment.
+            comments = list(enumerate(self.source.splitlines(), start=1))
+        for line, text in comments:
+            if _DERIVED_RE.search(text):
+                self.derived_lines.add(line)
+            match = _ALLOW_RE.search(text)
+            if match:
+                for rule in match.group(1).split(","):
+                    rule = rule.strip()
+                    if rule:
+                        self.suppressions.append(Suppression(self.path, line, rule))
+
+    def is_derived_line(self, line: int) -> bool:
+        """Whether ``line`` carries a ``# repro: derived`` marker."""
+        return line in self.derived_lines
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def collect_files(paths: list[str]) -> tuple[list[str], list[Finding]]:
+    """Expand ``paths`` (files or directories) into sorted ``.py`` files.
+
+    Unknown paths become :data:`ERROR_RULE` findings instead of raising,
+    so one bad CLI argument reports alongside real results.
+    """
+    files: list[str] = []
+    errors: list[Finding] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            errors.append(Finding(path, 1, 1, ERROR_RULE, "no such file or directory"))
+    # De-duplicate while preserving the caller's path spelling.
+    seen: set[str] = set()
+    unique: list[str] = []
+    for path in files:
+        key = os.path.abspath(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique, errors
+
+
+@dataclass
+class Project:
+    """The analyzed module set, parsed once and shared by all rules."""
+
+    modules: list[ParsedModule] = field(default_factory=list)
+    errors: list[Finding] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, paths: list[str]) -> "Project":
+        files, errors = collect_files(paths)
+        project = cls(errors=errors)
+        for path in files:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    source = handle.read()
+            except (OSError, UnicodeDecodeError) as exc:
+                project.errors.append(
+                    Finding(path, 1, 1, ERROR_RULE, f"unreadable: {exc}")
+                )
+                continue
+            try:
+                project.modules.append(ParsedModule(path, source))
+            except SyntaxError as exc:
+                project.errors.append(
+                    Finding(path, exc.lineno or 1, 1, ERROR_RULE, f"syntax error: {exc.msg}")
+                )
+        return project
+
+    def find_modules(self, predicate) -> list[ParsedModule]:
+        """Modules for which ``predicate(module)`` is true."""
+        return [module for module in self.modules if predicate(module)]
+
+    def classes(self):
+        """Every ``(module, ClassDef)`` pair in the project (any nesting)."""
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield module, node

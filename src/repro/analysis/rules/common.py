@@ -1,0 +1,137 @@
+"""AST helpers shared by the rule plugins."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "DRAW_METHODS",
+    "body_walk",
+    "class_methods",
+    "dotted_name",
+    "is_self_attr",
+    "iter_functions",
+    "self_attr_reads",
+    "self_attr_writes",
+    "string_constants",
+]
+
+#: Method names that consume randomness when called on a generator (or
+#: on an estimator that forwards to one). Shared by R005 (draws inside
+#: set iteration) and R006 (draws inside live reporters).
+DRAW_METHODS = frozenset(
+    {
+        "coin",
+        "rand_int",
+        "randint",
+        "random",
+        "integers",
+        "choice",
+        "shuffle",
+        "sample",
+        "sample_one",
+        "sample_indices",
+        "geometric_skip",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "getrandbits",
+        "spawn",
+    }
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_self_attr(node: ast.AST) -> str | None:
+    """The attribute name when ``node`` is ``self.<name>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def body_walk(body: list[ast.stmt], *, into_functions: bool = True) -> Iterator[ast.AST]:
+    """Walk statements; optionally stop at nested function/class scopes."""
+    for stmt in body:
+        if into_functions:
+            yield from ast.walk(stmt)
+        else:
+            yield from _shallow_walk(stmt)
+
+
+def _shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested def/class bodies."""
+    yield node
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _shallow_walk(child)
+
+
+def iter_functions(tree: ast.AST) -> Iterator[tuple[ast.FunctionDef, ast.ClassDef | None]]:
+    """Every function definition paired with its enclosing class (or None)."""
+
+    def _visit(node: ast.AST, cls: ast.ClassDef | None) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from _visit(child, None)
+            elif isinstance(child, ast.ClassDef):
+                yield from _visit(child, child)
+            else:
+                yield from _visit(child, cls)
+
+    yield from _visit(tree, None)
+
+
+def class_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    """The class's directly defined methods by name."""
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def string_constants(node: ast.AST) -> set[str]:
+    """Every string literal appearing anywhere under ``node``."""
+    return {
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+def self_attr_reads(node: ast.AST) -> set[str]:
+    """Names of ``self.<attr>`` reads under ``node``."""
+    reads: set[str] = set()
+    for child in ast.walk(node):
+        name = is_self_attr(child)
+        if name is not None and isinstance(child.ctx, ast.Load):
+            reads.add(name)
+    return reads
+
+
+def self_attr_writes(node: ast.AST) -> set[str]:
+    """Names of ``self.<attr>`` assignment targets under ``node``."""
+    writes: set[str] = set()
+    for child in ast.walk(node):
+        name = is_self_attr(child)
+        if name is not None and isinstance(child.ctx, (ast.Store, ast.Del)):
+            writes.add(name)
+    return writes

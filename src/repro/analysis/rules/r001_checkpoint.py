@@ -1,0 +1,151 @@
+"""R001: checkpoint-state completeness.
+
+Every class that implements ``state_dict`` promises a *complete*
+snapshot: restoring it must reproduce the estimator bit for bit (the
+contract :class:`repro.streaming.protocol.CheckpointableEstimator`
+documents and the kill/resume suites assert dynamically). The classic
+way to break it is silent: a new ``self.foo`` lands in ``__init__``,
+``state_dict`` is not updated, and every checkpoint from then on drops
+``foo`` -- which no test notices until a resume diverges.
+
+The rule checks, for each class defining both ``__init__`` and
+``state_dict``, that every attribute assigned on ``self`` in
+``__init__`` is accounted for by at least one of:
+
+- a ``self.<attr>`` read anywhere in ``state_dict`` (it is serialized);
+- the attribute's name -- with or without a leading-underscore prefix
+  -- appearing as a string constant in ``state_dict`` (dict keys like
+  ``"rng": self._rng.getstate()``);
+- a ``self.<attr>`` assignment in ``load_state_dict`` (state that is
+  *rebuilt* from the snapshot, e.g. inverted indexes);
+- membership in a ``STATE_FIELDS`` tuple the class's snapshot methods
+  reference (the single-source-of-truth pattern);
+- an explicit ``# repro: derived`` marker on the assignment line (the
+  PR-5 "indexes are derived state" pattern, machine-checked).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..model import Finding, ParsedModule, Project
+from . import rule
+from .common import class_methods, is_self_attr, self_attr_reads, string_constants
+
+RULE_ID = "R001"
+
+#: Names of snapshot-field tuples treated as coverage when referenced.
+_FIELD_TUPLE_NAMES = ("STATE_FIELDS",)
+
+
+def _field_tuples(module: ParsedModule, cls: ast.ClassDef) -> dict[str, set[str]]:
+    """``STATE_FIELDS``-style string tuples visible to ``cls``.
+
+    Collects module-level and class-level assignments whose target name
+    is in :data:`_FIELD_TUPLE_NAMES` and whose value is a tuple/list of
+    string constants.
+    """
+    found: dict[str, set[str]] = {}
+    for scope in (module.tree.body, cls.body):
+        for stmt in scope:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in _FIELD_TUPLE_NAMES
+                    and isinstance(stmt.value, (ast.Tuple, ast.List))
+                ):
+                    values = {
+                        elt.value
+                        for elt in stmt.value.elts
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    }
+                    found.setdefault(target.id, set()).update(values)
+    return found
+
+
+def _init_assignments(init: ast.FunctionDef) -> dict[str, ast.AST]:
+    """First assignment node per ``self.<attr>`` in ``__init__``."""
+    assigns: dict[str, ast.AST] = {}
+    for node in ast.walk(init):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                elements = list(target.elts)
+            else:
+                elements = [target]
+            for element in elements:
+                name = is_self_attr(element)
+                if name is not None and name not in assigns:
+                    assigns[name] = node
+    return assigns
+
+
+def _references_any(node: ast.AST, names: tuple[str, ...]) -> set[str]:
+    """Which of ``names`` are referenced (as bare names) under ``node``."""
+    hits: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in names:
+            hits.add(child.id)
+    return hits
+
+
+@rule(RULE_ID, "checkpoint-state completeness (state_dict covers __init__ state)")
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module, cls in project.classes():
+        methods = class_methods(cls)
+        init = methods.get("__init__")
+        state_dict = methods.get("state_dict")
+        if init is None or state_dict is None:
+            continue
+        load = methods.get("load_state_dict")
+
+        covered: set[str] = set()
+        covered |= self_attr_reads(state_dict)
+        if load is not None:
+            for node in ast.walk(load):
+                name = is_self_attr(node)
+                if name is not None and isinstance(node.ctx, ast.Store):
+                    covered.add(name)
+        key_strings = string_constants(state_dict)
+        if load is not None:
+            key_strings |= string_constants(load)
+
+        tuples = _field_tuples(module, cls)
+        referenced = _references_any(state_dict, tuple(tuples))
+        if load is not None:
+            referenced |= _references_any(load, tuple(tuples))
+        field_names: set[str] = set()
+        for tuple_name in referenced:
+            field_names |= tuples[tuple_name]
+
+        for attr, node in sorted(_init_assignments(init).items()):
+            stripped = attr.lstrip("_")
+            if (
+                attr in covered
+                or attr in key_strings
+                or stripped in key_strings
+                or attr in field_names
+                or stripped in field_names
+            ):
+                continue
+            if module.is_derived_line(getattr(node, "lineno", -1)):
+                continue
+            findings.append(
+                module.finding(
+                    node,
+                    RULE_ID,
+                    f"{cls.name}.{attr} is assigned in __init__ but never "
+                    "appears in state_dict/load_state_dict/STATE_FIELDS; "
+                    "checkpoints would silently drop it (serialize it, or "
+                    "mark the assignment '# repro: derived' if it is "
+                    "rebuilt from other state)",
+                )
+            )
+    return findings

@@ -1,0 +1,159 @@
+"""R002: RNG discipline.
+
+Bit-exact reproducibility (fixed-seed golden fingerprints, bit-identical
+checkpoint resume, shard-vs-sequential parity) requires that *every*
+random draw in the package flows through a seeded, checkpointable
+generator: :class:`repro.rng.RandomSource` or a ``numpy`` Generator
+derived via ``np.random.default_rng``/``SeedSequence``. Three patterns
+break that silently:
+
+- stdlib ``random`` -- process-global state, invisible to checkpoints
+  (the sanctioned wrapper lives in ``rng.py``, which is exempt: it
+  *owns* the stdlib generator and exposes its state);
+- legacy ``np.random.*`` module-level calls (``np.random.seed``,
+  ``np.random.rand``, ...) -- the shared global ``RandomState``, which
+  any import can perturb;
+- time-seeded construction (``default_rng(time.time())``) -- different
+  entropy every run, unreproducible by definition. ``seed=None``
+  (explicit fresh OS entropy) stays legal; clock-derived seeds do not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..model import Finding, ParsedModule, Project
+from . import rule
+from .common import dotted_name
+
+RULE_ID = "R002"
+
+#: The module that wraps stdlib random; exempt by design.
+_EXEMPT_BASENAMES = ("rng.py",)
+
+#: np.random attributes that construct *seeded, local* generators --
+#: everything else on the module is the legacy global-state surface.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Callables whose argument is a seed; feeding them the clock is banned.
+_SEED_SINKS = frozenset({"default_rng", "SeedSequence", "RandomSource", "Random"})
+
+#: Clock reads that make a seed unreproducible.
+_TIME_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+
+def _legacy_random_attr(dotted: str | None) -> str | None:
+    """The attribute accessed on ``np.random``/``numpy.random``, if any."""
+    if dotted is None:
+        return None
+    for prefix in ("np.random.", "numpy.random."):
+        if dotted.startswith(prefix):
+            rest = dotted[len(prefix):]
+            return rest.split(".", 1)[0]
+    return None
+
+
+def _check_module(module: ParsedModule) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    findings.append(
+                        module.finding(
+                            node,
+                            RULE_ID,
+                            "stdlib random carries process-global state that "
+                            "checkpoints cannot capture; use "
+                            "repro.rng.RandomSource or np.random.default_rng",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                findings.append(
+                    module.finding(
+                        node,
+                        RULE_ID,
+                        "stdlib random carries process-global state that "
+                        "checkpoints cannot capture; use "
+                        "repro.rng.RandomSource or np.random.default_rng",
+                    )
+                )
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _ALLOWED_NP_RANDOM:
+                        findings.append(
+                            module.finding(
+                                node,
+                                RULE_ID,
+                                f"numpy.random.{alias.name} uses the legacy "
+                                "global RandomState; derive a local Generator "
+                                "via np.random.default_rng/SeedSequence",
+                            )
+                        )
+        elif isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            attr = _legacy_random_attr(dotted)
+            if attr is not None and attr not in _ALLOWED_NP_RANDOM:
+                findings.append(
+                    module.finding(
+                        node,
+                        RULE_ID,
+                        f"np.random.{attr}() draws from the legacy global "
+                        "RandomState (unseeded, shared across the process); "
+                        "use a Generator from np.random.default_rng",
+                    )
+                )
+            name = (dotted or "").rsplit(".", 1)[-1]
+            if name in _SEED_SINKS:
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Call):
+                            sub_dotted = dotted_name(sub.func)
+                            if sub_dotted in _TIME_CALLS:
+                                findings.append(
+                                    module.finding(
+                                        node,
+                                        RULE_ID,
+                                        f"{name}(...) seeded from the clock "
+                                        f"({sub_dotted}) is unreproducible; "
+                                        "thread an explicit seed (or None "
+                                        "for documented fresh entropy)",
+                                    )
+                                )
+    return findings
+
+
+@rule(RULE_ID, "RNG discipline (no global/stdlib/time-seeded randomness)")
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        if module.basename in _EXEMPT_BASENAMES:
+            continue
+        findings.extend(_check_module(module))
+    return findings

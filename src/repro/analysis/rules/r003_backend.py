@@ -1,0 +1,220 @@
+"""R003: backend kernel parity.
+
+The kernel dispatch seam (:mod:`repro.core.backend`) promises that the
+``numpy`` reference and the compiled ``numba`` backend are
+interchangeable bit for bit. Statically that decomposes into:
+
+- every name in ``KERNEL_NAMES`` has a reference implementation
+  ``_np_<name>`` and an entry in the numpy builder's kernel dict;
+- every name has a ``numba`` implementation (a function of the same
+  name nested in ``build_kernels``) and an entry in its returned dict;
+- the two implementations take identical positional parameters (same
+  names, same order) -- a silently reordered argument is exactly the
+  kind of bug that survives until a fingerprint diff;
+- no module outside the seam imports a kernel directly (``_np_*`` or
+  ``_backend_numba``): call sites must route through ``active()`` so
+  the CLI/env backend selection actually governs every call.
+
+The backend module is recognized structurally (it assigns
+``KERNEL_NAMES``), the numba module by defining ``build_kernels`` --
+so the rule works on fixture trees as well as the real package.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..model import Finding, ParsedModule, Project
+from . import rule
+from .common import dotted_name
+
+RULE_ID = "R003"
+
+
+def _kernel_names(module: ParsedModule) -> tuple[ast.Assign, tuple[str, ...]] | None:
+    """The module-level ``KERNEL_NAMES = (...)`` assignment, if any."""
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == "KERNEL_NAMES":
+                if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                    names = tuple(
+                        elt.value
+                        for elt in stmt.value.elts
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    )
+                    return stmt, names
+    return None
+
+
+def _top_level_functions(tree: ast.AST) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _nested_functions(func: ast.FunctionDef) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in ast.walk(func)
+        if isinstance(node, ast.FunctionDef) and node is not func
+    }
+
+
+def _dict_keys(node: ast.AST) -> set[str]:
+    """String keys of every dict literal under ``node``."""
+    keys: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Dict):
+            for key in child.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys
+
+
+def _positional_params(func: ast.FunctionDef) -> tuple[str, ...]:
+    args = func.args
+    return tuple(arg.arg for arg in (*args.posonlyargs, *args.args))
+
+
+@rule(RULE_ID, "backend kernel parity (KERNEL_NAMES in both backends, via active())")
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+
+    backend_modules = [
+        (module, located)
+        for module in project.modules
+        if (located := _kernel_names(module)) is not None
+    ]
+    numba_modules = [
+        module
+        for module in project.modules
+        if "build_kernels" in _top_level_functions(module.tree)
+    ]
+
+    for module, (anchor, names) in backend_modules:
+        top = _top_level_functions(module.tree)
+        builder_keys: set[str] = set()
+        for func in top.values():
+            if func.name.startswith("_build") and func.name.endswith("backend"):
+                builder_keys |= _dict_keys(func)
+        for name in names:
+            ref = top.get(f"_np_{name}")
+            if ref is None:
+                findings.append(
+                    module.finding(
+                        anchor,
+                        RULE_ID,
+                        f"kernel {name!r} is in KERNEL_NAMES but has no numpy "
+                        f"reference implementation _np_{name}",
+                    )
+                )
+            if builder_keys and name not in builder_keys:
+                findings.append(
+                    module.finding(
+                        anchor,
+                        RULE_ID,
+                        f"kernel {name!r} is missing from the numpy backend "
+                        "builder's kernel dict",
+                    )
+                )
+
+        for numba_module in numba_modules:
+            build = _top_level_functions(numba_module.tree)["build_kernels"]
+            nested = _nested_functions(build)
+            numba_keys = _dict_keys(build)
+            for name in names:
+                impl = nested.get(name)
+                if impl is None:
+                    findings.append(
+                        numba_module.finding(
+                            build,
+                            RULE_ID,
+                            f"kernel {name!r} is in KERNEL_NAMES but "
+                            "build_kernels defines no implementation for it",
+                        )
+                    )
+                    continue
+                if name not in numba_keys:
+                    findings.append(
+                        numba_module.finding(
+                            impl,
+                            RULE_ID,
+                            f"kernel {name!r} is defined but missing from "
+                            "build_kernels' returned dict",
+                        )
+                    )
+                ref = _top_level_functions(module.tree).get(f"_np_{name}")
+                if ref is not None:
+                    ref_params = _positional_params(ref)
+                    impl_params = _positional_params(impl)
+                    if ref_params != impl_params:
+                        findings.append(
+                            numba_module.finding(
+                                impl,
+                                RULE_ID,
+                                f"kernel {name!r} signature diverges from the "
+                                f"numpy reference: {impl_params} vs "
+                                f"{ref_params} -- backends must share one "
+                                "positional signature",
+                            )
+                        )
+
+    # Call-site discipline: nobody outside the seam imports kernels.
+    seam_basenames = {module.basename for module, _ in backend_modules}
+    seam_basenames |= {module.basename for module in numba_modules}
+    for module in project.modules:
+        if module.basename in seam_basenames:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                target = node.module or ""
+                if target.endswith("_backend_numba"):
+                    findings.append(
+                        module.finding(
+                            node,
+                            RULE_ID,
+                            "importing the numba kernel module directly "
+                            "bypasses backend selection; call "
+                            "core.backend.active().<kernel> instead",
+                        )
+                    )
+                for alias in node.names:
+                    if alias.name.startswith("_np_"):
+                        findings.append(
+                            module.finding(
+                                node,
+                                RULE_ID,
+                                f"importing kernel {alias.name} directly pins "
+                                "the numpy implementation; call "
+                                "core.backend.active().<kernel> instead",
+                            )
+                        )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.endswith("_backend_numba"):
+                        findings.append(
+                            module.finding(
+                                node,
+                                RULE_ID,
+                                "importing the numba kernel module directly "
+                                "bypasses backend selection; call "
+                                "core.backend.active().<kernel> instead",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func) or ""
+                if dotted.rsplit(".", 1)[-1].startswith("_np_"):
+                    findings.append(
+                        module.finding(
+                            node,
+                            RULE_ID,
+                            f"calling {dotted} pins the numpy kernel; route "
+                            "through core.backend.active() so --backend/"
+                            "REPRO_BACKEND govern every call site",
+                        )
+                    )
+    return findings

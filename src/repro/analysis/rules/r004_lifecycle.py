@@ -1,0 +1,330 @@
+"""R004: resource lifecycle.
+
+Shared-memory segments and file handles leak silently: a
+``SharedMemory`` block that misses ``unlink()`` survives the process in
+``/dev/shm``, and a handle closed only on the happy path leaks exactly
+when an exception already has the run in trouble. The transport suite
+asserts zero leaked segments *dynamically*; this rule catches the same
+class of bug at lint time.
+
+For every acquisition (``SharedMemory(...)``, ``open(...)``,
+``os.open``/``os.fdopen``/``io.open``/``gzip.open``) the rule requires
+one of:
+
+- a ``with`` statement (including ``contextlib.closing``/``ExitStack``
+  items);
+- a local binding whose ``close()`` (and ``unlink()`` for *created*
+  shared memory) runs under ``finally`` or an ``except`` handler;
+- ownership transfer: the handle is returned, yielded, aliased/stored
+  elsewhere, or passed as an argument to another owner
+  (``os.close(fd)``, ``stack.enter_context(h)``,
+  ``self._segments.append(seg)``);
+- for handles stored on ``self``: the class defines ``close``,
+  ``__exit__`` or ``__del__`` that closes (and, for created shared
+  memory, somewhere unlinks) its resources.
+
+Heuristic by design -- an exotic ownership scheme can suppress with
+``# repro: allow[R004]`` and a justification -- but every true leak the
+repo has shipped so far falls in one of the shapes above.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..model import Finding, ParsedModule, Project
+from . import rule
+from .common import body_walk, class_methods, dotted_name, is_self_attr, iter_functions
+
+RULE_ID = "R004"
+
+#: Call names that acquire an OS resource.
+_FILE_ACQUIRERS = frozenset({"open", "os.open", "os.fdopen", "io.open", "gzip.open"})
+_SHM_SUFFIX = "SharedMemory"
+
+#: Class methods accepted as releasers for self-held resources.
+_RELEASER_METHODS = ("close", "__exit__", "__del__")
+
+
+def _acquisition_kind(call: ast.Call) -> tuple[str, bool] | None:
+    """``(kind, created)`` when ``call`` acquires a resource, else None."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    if dotted.rsplit(".", 1)[-1] == _SHM_SUFFIX:
+        created = any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in call.keywords
+        )
+        return "shared memory", created
+    if dotted in _FILE_ACQUIRERS:
+        return "file handle", False
+    return None
+
+
+def _protected_ids(func: ast.FunctionDef) -> set[int]:
+    """ids of nodes under any ``finally``/``except`` block in ``func``."""
+    protected: set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            blocks = list(node.finalbody)
+            for handler in node.handlers:
+                blocks.extend(handler.body)
+            for stmt in blocks:
+                for child in ast.walk(stmt):
+                    protected.add(id(child))
+    return protected
+
+
+def _with_managed_ids(func: ast.FunctionDef) -> set[int]:
+    """ids of nodes appearing inside ``with`` items."""
+    managed: set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for child in ast.walk(item.context_expr):
+                    managed.add(id(child))
+    return managed
+
+
+def _method_calls_on(func: ast.AST, name: str) -> dict[str, list[ast.Call]]:
+    """Method calls ``<name>.<method>(...)`` anywhere under ``func``."""
+    calls: dict[str, list[ast.Call]] = {}
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            calls.setdefault(node.func.attr, []).append(node)
+    return calls
+
+
+def _is_transferred(func: ast.FunctionDef, name: str) -> bool:
+    """Whether the handle bound to ``name`` leaves this function's care."""
+
+    def _mentions(node: ast.AST | None) -> bool:
+        if node is None:
+            return False
+        return any(
+            isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node)
+        )
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if _mentions(getattr(node, "value", None)):
+                return True
+        elif isinstance(node, ast.Call):
+            # Passed to another owner (os.close(fd), stack.enter_context(h),
+            # self._segments.append(seg), TextIOWrapper(h), ...). Method
+            # calls *on* the handle do not count as arguments.
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+        elif isinstance(node, ast.Assign):
+            # Aliased or stored: x = h, self.h = h, container[k] = h.
+            if isinstance(node.value, ast.Name) and node.value.id == name:
+                for target in node.targets:
+                    if not (isinstance(target, ast.Name) and target.id == name):
+                        return True
+    return False
+
+
+def _class_releases(cls: ast.ClassDef, *, needs_unlink: bool) -> bool:
+    """Whether ``cls`` has a releaser method that closes (and unlinks)."""
+    methods = class_methods(cls)
+    closes = False
+    for method_name in _RELEASER_METHODS:
+        method = methods.get(method_name)
+        if method is None:
+            continue
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+            ):
+                closes = True
+    if not closes:
+        return False
+    if not needs_unlink:
+        return True
+    # unlink may live in any method the releaser delegates to.
+    for method in methods.values():
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unlink"
+            ):
+                return True
+    return False
+
+
+def _acquisitions_in(node: ast.AST, managed: set[int]) -> list[ast.Call]:
+    return [
+        child
+        for child in ast.walk(node)
+        if isinstance(child, ast.Call)
+        and id(child) not in managed
+        and _acquisition_kind(child) is not None
+    ]
+
+
+def _check_function(
+    module: ParsedModule, func: ast.FunctionDef, cls: ast.ClassDef | None
+) -> list[Finding]:
+    findings: list[Finding] = []
+    managed = _with_managed_ids(func)
+    protected = _protected_ids(func)
+
+    # Shallow scan: nested defs are visited by their own pass.
+    for stmt in body_walk(func.body, into_functions=False):
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            receiver = value
+            while isinstance(receiver, ast.Call) and isinstance(
+                receiver.func, ast.Attribute
+            ):
+                receiver = receiver.func.value
+            for candidate in (value, receiver):
+                if (
+                    isinstance(candidate, ast.Call)
+                    and id(candidate) not in managed
+                    and _acquisition_kind(candidate) is not None
+                ):
+                    kind, _ = _acquisition_kind(candidate)  # type: ignore[misc]
+                    findings.append(
+                        module.finding(
+                            candidate,
+                            RULE_ID,
+                            f"{kind} acquired and discarded without a binding "
+                            "that could release it",
+                        )
+                    )
+                    break
+            continue
+        if not isinstance(stmt, ast.Assign):
+            continue
+        acquisitions = _acquisitions_in(stmt.value, managed)
+        if not acquisitions:
+            continue
+        call = acquisitions[0]
+        kind, created = _acquisition_kind(call)  # type: ignore[misc]
+
+        target = stmt.targets[0] if len(stmt.targets) == 1 else None
+        if isinstance(target, ast.Name):
+            name = target.id
+            if _is_transferred(func, name):
+                continue
+            calls = _method_calls_on(func, name)
+            close_calls = calls.get("close", [])
+            unlink_calls = calls.get("unlink", [])
+            if not close_calls:
+                findings.append(
+                    module.finding(
+                        call,
+                        RULE_ID,
+                        f"{kind} bound to {name!r} is never closed in this "
+                        "function and never handed to another owner; use a "
+                        "with block or close it in a finally",
+                    )
+                )
+            elif created and not unlink_calls:
+                findings.append(
+                    module.finding(
+                        call,
+                        RULE_ID,
+                        f"created {kind} bound to {name!r} is closed but "
+                        "never unlinked; the segment would outlive the "
+                        "process in /dev/shm",
+                    )
+                )
+            elif not any(
+                id(node) in protected for node in close_calls + unlink_calls
+            ):
+                findings.append(
+                    module.finding(
+                        call,
+                        RULE_ID,
+                        f"{kind} bound to {name!r} is released only on the "
+                        "happy path; an exception between acquire and close "
+                        "leaks it -- move the release into a finally",
+                    )
+                )
+            continue
+
+        stored_on_self = target is not None and (
+            is_self_attr(target) is not None
+            or (
+                isinstance(target, ast.Subscript)
+                and is_self_attr(target.value) is not None
+            )
+        )
+        if stored_on_self and (
+            cls is None or not _class_releases(cls, needs_unlink=created)
+        ):
+            owner = cls.name if cls is not None else "<module>"
+            findings.append(
+                module.finding(
+                    call,
+                    RULE_ID,
+                    f"{kind} stored on self in {owner} but the class defines "
+                    "no close/__exit__/__del__ that releases it"
+                    + (
+                        " (created shared memory also needs unlink)"
+                        if created
+                        else ""
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_self_appends(
+    module: ParsedModule, func: ast.FunctionDef, cls: ast.ClassDef | None
+) -> list[Finding]:
+    """Acquisitions passed straight into a ``self.<attr>.append(...)``."""
+    findings: list[Finding] = []
+    for node in body_walk(func.body, into_functions=False):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        receiver = node.func.value
+        if not (isinstance(receiver, ast.Attribute) and is_self_attr(receiver)):
+            continue
+        for arg in node.args:
+            if not isinstance(arg, ast.Call):
+                continue
+            info = _acquisition_kind(arg)
+            if info is None:
+                continue
+            kind, created = info
+            if cls is None or not _class_releases(cls, needs_unlink=created):
+                owner = cls.name if cls is not None else "<module>"
+                findings.append(
+                    module.finding(
+                        arg,
+                        RULE_ID,
+                        f"{kind} stored on self in {owner} but the class "
+                        "defines no close/__exit__/__del__ that releases it"
+                        + (
+                            " (created shared memory also needs unlink)"
+                            if created
+                            else ""
+                        ),
+                    )
+                )
+    return findings
+
+
+@rule(RULE_ID, "resource lifecycle (SharedMemory/handles reach close/unlink)")
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        for func, cls in iter_functions(module.tree):
+            findings.extend(_check_function(module, func, cls))
+            findings.extend(_check_self_appends(module, func, cls))
+    return findings

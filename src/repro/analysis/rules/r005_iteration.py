@@ -1,0 +1,152 @@
+"""R005: nondeterministic iteration.
+
+``set`` iteration order depends on insertion history and hash
+randomization; draining a set into anything *order-sensitive* -- a
+sequence that feeds RNG draws, a state array, a wire format -- makes
+two identically seeded runs diverge. (Commutative aggregations over
+integer elements -- ``sum``/``len``/``any``/``all``/``min``/``max``,
+membership tests, genexp reductions -- are order-free and stay legal;
+``sorted(s)`` is the canonical fix and is recognized as such.)
+
+Flagged shapes, using a local, per-scope type inference (a name counts
+as a set when every assignment binding it in the scope is a set
+literal, ``set()``/``frozenset()`` call, or set comprehension):
+
+- sequence conversion: ``list(s)``, ``tuple(s)``, ``np.array(s)``,
+  ``np.fromiter(s, ...)``, ``enumerate(s)`` of a set expression;
+- a list comprehension iterating a set expression (it *is* a sequence
+  conversion);
+- a ``for`` loop over a set expression whose body does order-sensitive
+  work: draws randomness, appends/extends a sequence, writes output,
+  or yields.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..model import Finding, ParsedModule, Project
+from . import rule
+from .common import DRAW_METHODS, body_walk, dotted_name, iter_functions
+
+
+def _scope_walk(scope: ast.AST):
+    """Walk one scope shallowly: nested defs are their own scopes."""
+    return body_walk(list(getattr(scope, "body", [])), into_functions=False)
+
+RULE_ID = "R005"
+
+_CONVERTERS = frozenset(
+    {"list", "tuple", "enumerate", "np.array", "numpy.array", "np.fromiter", "numpy.fromiter"}
+)
+
+#: Method calls inside a set-iterating loop body that make order matter.
+_ORDER_SENSITIVE_METHODS = frozenset({"append", "extend", "write", "send", "put"}) | DRAW_METHODS
+
+
+def _set_bound_names(scope: ast.AST) -> set[str]:
+    """Names bound exclusively to set-typed values within ``scope``."""
+    set_names: set[str] = set()
+    poisoned: set[str] = set()
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            if not targets:
+                continue
+            is_set = _is_set_expr(node.value, set_names=set())
+            for target in targets:
+                if is_set:
+                    set_names.add(target.id)
+                else:
+                    poisoned.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.value is not None and _is_set_expr(node.value, set_names=set()):
+                set_names.add(node.target.id)
+            else:
+                poisoned.add(node.target.id)
+    return set_names - poisoned
+
+
+def _is_set_expr(node: ast.AST, set_names: set[str]) -> bool:
+    """Whether ``node`` is statically known to evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    return False
+
+
+def _order_sensitive_body(body: list[ast.stmt]) -> ast.AST | None:
+    """The first order-sensitive operation in a loop body, if any."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_SENSITIVE_METHODS
+            ):
+                return node
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+    return None
+
+
+def _check_scope(module: ParsedModule, scope: ast.AST) -> list[Finding]:
+    findings: list[Finding] = []
+    set_names = _set_bound_names(scope)
+
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in _CONVERTERS and node.args:
+                if _is_set_expr(node.args[0], set_names):
+                    findings.append(
+                        module.finding(
+                            node,
+                            RULE_ID,
+                            f"{dotted}() over a set materializes an "
+                            "arbitrary element order; sort first "
+                            "(sorted(...)) so downstream state/RNG/wire "
+                            "bytes are deterministic",
+                        )
+                    )
+        elif isinstance(node, ast.ListComp):
+            first = node.generators[0]
+            if _is_set_expr(first.iter, set_names):
+                findings.append(
+                    module.finding(
+                        node,
+                        RULE_ID,
+                        "list comprehension over a set materializes an "
+                        "arbitrary element order; iterate sorted(...) "
+                        "instead",
+                    )
+                )
+        elif isinstance(node, ast.For):
+            if _is_set_expr(node.iter, set_names):
+                sink = _order_sensitive_body(node.body)
+                if sink is not None:
+                    findings.append(
+                        module.finding(
+                            node,
+                            RULE_ID,
+                            "iterating a bare set feeds an order-sensitive "
+                            "sink (append/write/RNG draw/yield) in "
+                            "arbitrary order; iterate sorted(...) instead",
+                        )
+                    )
+    return findings
+
+
+@rule(RULE_ID, "nondeterministic iteration (sets drained into ordered sinks)")
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in project.modules:
+        findings.extend(_check_scope(module, module.tree))
+        for func, _cls in iter_functions(module.tree):
+            findings.extend(_check_scope(module, func))
+    return findings

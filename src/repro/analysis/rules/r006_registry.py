@@ -1,0 +1,228 @@
+"""R006: registry/protocol conformance.
+
+``@register_estimator`` factories are the package's plugin surface:
+whatever a factory returns is driven blind by the pipeline, the CLI,
+the checkpoint machinery, and the live snapshot loop. Three contracts
+are statically checkable:
+
+- the returned class satisfies the
+  :class:`~repro.streaming.protocol.StreamingEstimator` surface --
+  ``update_batch`` and ``estimate`` exist (directly or inherited from a
+  class visible to the analyzer);
+- ``supports_deletions``, where present, is a ``True``/``False`` class
+  attribute -- the capability gate reads it with ``getattr`` *before*
+  streaming, so an instance attribute (or a truthy non-bool) would make
+  deletion-gating depend on construction order;
+- the spec's *live* reporter (``live=`` of ``@reports``, else the final
+  reporter that then serves both roles) never consumes randomness:
+  :meth:`Pipeline.snapshots` calls it mid-stream, and a draw would make
+  an observed stream diverge from an unobserved one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..model import Finding, ParsedModule, Project
+from . import rule
+from .common import DRAW_METHODS, class_methods, dotted_name, is_self_attr
+
+RULE_ID = "R006"
+
+_REQUIRED_METHODS = ("update_batch", "estimate")
+
+
+def _decorator_call(node: ast.AST, name: str) -> ast.Call | None:
+    if (
+        isinstance(node, ast.Call)
+        and (dotted_name(node.func) or "").rsplit(".", 1)[-1] == name
+    ):
+        return node
+    return None
+
+
+def _class_index(project: Project) -> dict[str, tuple[ParsedModule, ast.ClassDef]]:
+    index: dict[str, tuple[ParsedModule, ast.ClassDef]] = {}
+    for module, cls in project.classes():
+        index.setdefault(cls.name, (module, cls))
+    return index
+
+
+def _all_methods(
+    cls: ast.ClassDef,
+    index: dict[str, tuple[ParsedModule, ast.ClassDef]],
+    seen: set[str] | None = None,
+) -> set[str]:
+    """Method names of ``cls`` including analyzer-visible base classes."""
+    seen = seen or set()
+    if cls.name in seen:
+        return set()
+    seen.add(cls.name)
+    names = set(class_methods(cls))
+    for base in cls.bases:
+        base_name = (dotted_name(base) or "").rsplit(".", 1)[-1]
+        entry = index.get(base_name)
+        if entry is not None:
+            names |= _all_methods(entry[1], index, seen)
+        elif base_name in ("Protocol", "object", "Generic", "ABC"):
+            continue
+        else:
+            # Unknown base (external/stdlib): assume it may provide
+            # anything -- conformance cannot be decided statically.
+            names.add("*")
+    return names
+
+
+def _returned_classes(factory: ast.FunctionDef) -> list[tuple[str, ast.AST]]:
+    """Class names the factory's return expressions instantiate."""
+    returned: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(factory):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+            name = (dotted_name(node.value.func) or "").rsplit(".", 1)[-1]
+            if name and name[0].isupper():
+                returned.append((name, node))
+    return returned
+
+
+def _reports_functions(factory: ast.FunctionDef) -> tuple[str | None, str | None]:
+    """``(final_reporter, live_reporter)`` names from ``@reports``."""
+    for decorator in factory.decorator_list:
+        call = _decorator_call(decorator, "reports")
+        if call is None:
+            continue
+        final = None
+        live = None
+        if call.args and isinstance(call.args[0], ast.Name):
+            final = call.args[0].id
+        for kw in call.keywords:
+            if kw.arg == "live" and isinstance(kw.value, ast.Name):
+                live = kw.value.id
+        return final, live
+    return None, None
+
+
+def _module_functions(module: ParsedModule) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in module.tree.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _draw_call(func: ast.FunctionDef) -> ast.Call | None:
+    """The first randomness-consuming method call in ``func``, if any."""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DRAW_METHODS
+        ):
+            return node
+    return None
+
+
+@rule(RULE_ID, "registry/protocol conformance (estimator surface, capabilities)")
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    index = _class_index(project)
+
+    # supports_deletions: bool class attribute wherever it appears.
+    for module, cls in project.classes():
+        for stmt in cls.body:
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+                value = stmt.value
+            else:
+                continue
+            if not (isinstance(target, ast.Name) and target.id == "supports_deletions"):
+                continue
+            if not (
+                isinstance(value, ast.Constant) and isinstance(value.value, bool)
+            ):
+                findings.append(
+                    module.finding(
+                        stmt,
+                        RULE_ID,
+                        f"{cls.name}.supports_deletions must be a literal "
+                        "True/False class attribute; the capability gate "
+                        "reads it before any instance state exists",
+                    )
+                )
+        for method in class_methods(cls).values():
+            for node in ast.walk(method):
+                if (
+                    is_self_attr(node) == "supports_deletions"
+                    and isinstance(node.ctx, ast.Store)
+                ):
+                    findings.append(
+                        module.finding(
+                            node,
+                            RULE_ID,
+                            f"{cls.name} sets supports_deletions on the "
+                            "instance; declare it as a class attribute so "
+                            "capability gating cannot depend on "
+                            "construction order",
+                        )
+                    )
+
+    # Registered factories: protocol surface + live-reporter purity.
+    for module in project.modules:
+        functions = _module_functions(module)
+        for factory in functions.values():
+            registered = any(
+                _decorator_call(d, "register_estimator") is not None
+                for d in factory.decorator_list
+            )
+            if not registered:
+                continue
+
+            for class_name, anchor in _returned_classes(factory):
+                entry = index.get(class_name)
+                if entry is None:
+                    continue  # defined outside the analyzed set
+                cls_module, cls = entry
+                methods = _all_methods(cls, index)
+                if "*" in methods:
+                    continue
+                for required in _REQUIRED_METHODS:
+                    if required not in methods:
+                        findings.append(
+                            module.finding(
+                                anchor,
+                                RULE_ID,
+                                f"registered factory {factory.name} returns "
+                                f"{class_name}, which lacks the "
+                                f"StreamingEstimator method {required}() "
+                                f"(declared in {cls_module.path}:"
+                                f"{cls.lineno})",
+                            )
+                        )
+
+            final_name, live_name = _reports_functions(factory)
+            effective = live_name or final_name
+            if effective is not None:
+                reporter = functions.get(effective)
+                if reporter is not None:
+                    draw = _draw_call(reporter)
+                    if draw is not None:
+                        attr = draw.func.attr  # type: ignore[union-attr]
+                        role = (
+                            "live reporter"
+                            if live_name is not None
+                            else "reporter (serving live snapshots too)"
+                        )
+                        findings.append(
+                            module.finding(
+                                draw,
+                                RULE_ID,
+                                f"{role} {effective} calls .{attr}(), which "
+                                "consumes randomness; live reports must be "
+                                "pure queries (attach a separate draw-free "
+                                "live= reporter)",
+                            )
+                        )
+    return findings

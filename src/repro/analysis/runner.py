@@ -1,0 +1,148 @@
+"""Run rules over a shared parse, apply suppressions, render results.
+
+The runner is the only piece that knows about suppressions and output
+formats; rules just emit :class:`~repro.analysis.model.Finding` lists
+over the shared :class:`~repro.analysis.model.Project`. A finding is
+suppressed when its file carries ``# repro: allow[R00x]`` on the same
+line for the same rule. Suppressions that match nothing are themselves
+reported (as ``W000``) so stale allowances cannot silently disable a
+rule -- but only when every rule ran, since on a ``--rule``-filtered
+run an allowance for an unselected rule is legitimately idle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .model import ERROR_RULE, UNUSED_SUPPRESSION_RULE, Finding, Project
+from .rules import RULES
+
+__all__ = ["CheckResult", "render_human", "render_json", "run_check"]
+
+#: Bumped when the JSON schema changes shape.
+REPORT_VERSION = 1
+
+
+@dataclass
+class CheckResult:
+    """Everything one ``repro check`` invocation produced."""
+
+    rule_ids: tuple[str, ...]
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    unused_suppressions: list[Finding] = field(default_factory=list)
+    errors: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing blocks: no findings, no file errors."""
+        return not self.findings and not self.errors
+
+
+def run_check(paths: list[str], rules: list[str] | None = None) -> CheckResult:
+    """Parse ``paths`` once and run the selected rules over the result.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to analyze.
+    rules:
+        Rule ids to run; ``None`` means all registered rules. Unknown
+        ids raise ``ValueError`` (the CLI turns that into usage text).
+    """
+    if rules is None:
+        selected = tuple(sorted(RULES))
+        full_run = True
+    else:
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            known = ", ".join(sorted(RULES))
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)} (known: {known})"
+            )
+        selected = tuple(sorted(set(rules)))
+        full_run = False
+
+    project = Project.load(paths)
+    result = CheckResult(rule_ids=selected, files_checked=len(project.modules))
+    result.errors.extend(project.errors)
+
+    raw: list[Finding] = []
+    for rule_id in selected:
+        raw.extend(RULES[rule_id].check(project))
+
+    suppressions_by_path = {
+        module.path: module.suppressions for module in project.modules
+    }
+    for finding in sorted(raw):
+        matched = False
+        for suppression in suppressions_by_path.get(finding.path, []):
+            if suppression.line == finding.line and suppression.rule == finding.rule:
+                suppression.used = True
+                matched = True
+        (result.suppressed if matched else result.findings).append(finding)
+
+    if full_run:
+        for module in project.modules:
+            for suppression in module.suppressions:
+                if not suppression.used:
+                    result.findings.append(
+                        Finding(
+                            path=suppression.path,
+                            line=suppression.line,
+                            col=1,
+                            rule=UNUSED_SUPPRESSION_RULE,
+                            message=(
+                                f"suppression allow[{suppression.rule}] matches "
+                                "no finding; remove it so it cannot mask a "
+                                "future regression"
+                            ),
+                        )
+                    )
+        result.unused_suppressions = [
+            finding
+            for finding in result.findings
+            if finding.rule == UNUSED_SUPPRESSION_RULE
+        ]
+        result.findings.sort()
+    return result
+
+
+def render_human(result: CheckResult) -> str:
+    """The terminal report: one ``path:line:col rule message`` per hit."""
+    lines: list[str] = []
+    for finding in result.errors:
+        lines.append(f"{finding.location()} {ERROR_RULE} {finding.message}")
+    for finding in result.findings:
+        lines.append(f"{finding.location()} {finding.rule} {finding.message}")
+    total = len(result.findings) + len(result.errors)
+    if total:
+        lines.append("")
+    suffix = f", {len(result.suppressed)} suppressed" if result.suppressed else ""
+    lines.append(
+        f"repro check: {total} finding(s) in {result.files_checked} file(s) "
+        f"[{', '.join(result.rule_ids)}]{suffix}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Machine-readable report (stable schema, see ``REPORT_VERSION``)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "rules": list(result.rule_ids),
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "errors": [f.to_dict() for f in result.errors],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "unused_suppressions": [f.to_dict() for f in result.unused_suppressions],
+        "summary": {
+            "findings": len(result.findings),
+            "errors": len(result.errors),
+            "suppressed": len(result.suppressed),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -8,6 +8,7 @@
     python -m repro watch --input live.edges --every 10 --checkpoint ck/
     python -m repro exact --input graph.edges
     python -m repro stats --input graph.edges
+    python -m repro check src/ benchmarks/ --format json
 
 Files are whitespace-separated ``u v`` lines (SNAP format; ``#``
 comments ignored). Every subcommand pulls the file through a lazy
@@ -35,13 +36,18 @@ bit-identical), and ``--fault-plan`` injects deterministic faults to
 drill those paths. ``watch`` is the live surface:
 it follows a *growing* file (or stdin) and emits a snapshot of every
 estimator's current results each ``--every`` batches while the stream
-keeps flowing, with the same checkpoint/resume knobs.
+keeps flowing, with the same checkpoint/resume knobs. ``check`` is the
+repo's own static analyzer: it runs the :mod:`repro.analysis` rules
+(checkpoint completeness, RNG discipline, backend parity, resource
+lifecycle, iteration determinism, registry conformance) over source
+trees and exits nonzero on findings.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import time
@@ -311,6 +317,32 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the repo's static-analysis rules; exit 1 on findings."""
+    # Imported here so ordinary streaming commands never pay for the
+    # analyzer (and vice versa: `check` needs no estimator machinery).
+    from .analysis import RULES, render_human, render_json, run_check
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].title}")
+        return 0
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        result = run_check(paths, rules=args.rule)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_report:
+        with open(args.json_report, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result) + "\n")
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_human(result))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -530,6 +562,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="basic graph statistics")
     _add_common(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the repo's static-analysis rules",
+        description="AST-based invariant checks over Python sources: "
+        "checkpoint-state completeness (R001), RNG discipline (R002), "
+        "backend kernel parity (R003), resource lifecycle (R004), "
+        "nondeterministic iteration (R005), and registry/protocol "
+        "conformance (R006). Suppress a single line with "
+        "'# repro: allow[R00x]'; unused suppressions are themselves "
+        "flagged. Exits 0 when clean, 1 on findings, 2 on usage errors.",
+    )
+    p_check.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze "
+        "(default: the installed repro package)",
+    )
+    p_check.add_argument(
+        "--rule",
+        action="append",
+        metavar="R00x",
+        default=None,
+        help="run only this rule id (repeatable; default: all rules). "
+        "Unused-suppression warnings are emitted only on full runs",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format on stdout (default: human)",
+    )
+    p_check.add_argument(
+        "--json-report",
+        metavar="PATH",
+        default=None,
+        help="additionally write the JSON report to PATH (any --format)",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    # backend="numpy" keeps main()'s set_backend from importing numba:
+    # the analyzer never executes a kernel.
+    p_check.set_defaults(func=_cmd_check, backend="numpy")
     return parser
 
 

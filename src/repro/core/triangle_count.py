@@ -157,10 +157,13 @@ class TriangleCounter:
                 f"unknown aggregation {aggregation!r}; "
                 "expected 'mean' or 'median-of-means'"
             )
-        self._engine = engine_cls(num_estimators, seed=seed)
-        self._engine_name = engine
-        self._aggregation = aggregation
-        self._groups = groups
+        # Construction-time configuration: a resumed counter is rebuilt
+        # by its factory with the same arguments, and the engine's own
+        # state travels through the delegated state_dict/load_state_dict.
+        self._engine = engine_cls(num_estimators, seed=seed)  # repro: derived
+        self._engine_name = engine  # repro: derived
+        self._aggregation = aggregation  # repro: derived
+        self._groups = groups  # repro: derived
 
     # ------------------------------------------------------------------
     # construction helpers

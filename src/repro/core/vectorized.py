@@ -147,7 +147,9 @@ class VectorizedTriangleCounter:
         self.ta = np.full(r, -1, dtype=np.int64)
         self.tb = np.full(r, -1, dtype=np.int64)
         self.tc = np.full(r, -1, dtype=np.int64)
-        self._sparse = bool(sparse)
+        # Performance mode, not state: sparse and reference scans are
+        # bit-identical, so checkpoints deliberately omit the flag.
+        self._sparse = bool(sparse)  # repro: derived
         # Derived watch indexes (sparse mode): None means "rebuild from
         # the state arrays before next use".
         self._vertex_watch: WatchIndex | None = None

@@ -135,7 +135,9 @@ def barabasi_albert(n: int, m_attach: int, *, seed: int | None = None) -> list[E
                 candidate = rng.rand_int(0, v - 1)
             if candidate != v:
                 targets.add(candidate)
-        for t in targets:
+        # sorted(): the set's arbitrary order would leak into `repeated`
+        # and change every later degree-proportional draw.
+        for t in sorted(targets):
             edges.append(canonical_edge(v, t))
             repeated.append(v)
             repeated.append(t)

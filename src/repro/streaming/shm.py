@@ -106,8 +106,10 @@ def shm_available() -> bool:
             from multiprocessing import shared_memory
 
             seg = shared_memory.SharedMemory(create=True, size=1)
-            seg.close()
-            seg.unlink()
+            try:
+                seg.close()
+            finally:
+                seg.unlink()
             _SHM_AVAILABLE = True
         except Exception:
             _SHM_AVAILABLE = False

@@ -1,0 +1,16 @@
+"""R001 fixture: two __init__ attributes missing from the checkpoint."""
+
+
+class LeakyCounter:
+    def __init__(self, size):
+        self.size = size
+        self.total = 0
+        self.window = []  # violation: never serialized
+        self.high_water = 0  # violation: never serialized
+
+    def state_dict(self):
+        return {"size": self.size, "total": self.total}
+
+    def load_state_dict(self, state):
+        self.size = int(state["size"])
+        self.total = int(state["total"])

@@ -1,0 +1,18 @@
+"""R002 fixture: stdlib random, legacy np.random, clock-seeded RNG."""
+
+import random  # violation: process-global stdlib state
+import time
+
+import numpy as np
+
+
+def draw():
+    return random.random()
+
+
+def legacy_noise(n):
+    return np.random.rand(n)  # violation: legacy global RandomState
+
+
+def fresh_rng():
+    return np.random.default_rng(time.time_ns())  # violation: clock seed

@@ -1,0 +1,16 @@
+"""R002 fixture: sanctioned randomness only."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def spawn(seed, n):
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(n)]
+
+
+def explicit_fresh_entropy():
+    # seed=None is documented fresh entropy, not a clock seed.
+    return np.random.default_rng(None)

@@ -1,0 +1,9 @@
+"""R003 fixture numba seam: missing kernel + diverging signature."""
+
+
+def build_kernels():
+    def alpha(x, z):  # violation: positional names diverge from _np_alpha
+        return x + z
+
+    # violations: beta and gamma have no implementation here.
+    return {"alpha": alpha}

@@ -1,0 +1,19 @@
+"""R003 fixture backend seam: one kernel has no numpy reference."""
+
+KERNEL_NAMES = ("alpha", "beta", "gamma")
+
+
+def _np_alpha(x, y):
+    return x + y
+
+
+def _np_beta(x):
+    return x * 2
+
+
+# violation: _np_gamma is missing entirely.
+
+
+def _build_numpy_backend():
+    # violation: "gamma" missing from the kernel dict.
+    return {"alpha": _np_alpha, "beta": _np_beta}

@@ -1,0 +1,10 @@
+"""R003 fixture call site: pins kernels instead of using active()."""
+
+from _backend_numba import build_kernels  # violation: bypasses selection
+
+from backend import _np_alpha  # violation: pins the numpy kernel
+
+
+def run():
+    kernels = build_kernels()
+    return kernels["alpha"](1, 2) + _np_alpha(3, 4)

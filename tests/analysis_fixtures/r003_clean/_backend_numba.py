@@ -1,0 +1,11 @@
+"""R003 fixture numba seam: both kernels, matching signatures."""
+
+
+def build_kernels():
+    def alpha(x, y):
+        return x + y
+
+    def beta(x):
+        return x * 2
+
+    return {"alpha": alpha, "beta": beta}

@@ -1,0 +1,19 @@
+"""R003 fixture backend seam: complete and consistent."""
+
+KERNEL_NAMES = ("alpha", "beta")
+
+
+def _np_alpha(x, y):
+    return x + y
+
+
+def _np_beta(x):
+    return x * 2
+
+
+def _build_numpy_backend():
+    return {"alpha": _np_alpha, "beta": _np_beta}
+
+
+def active():
+    return _build_numpy_backend()

@@ -1,0 +1,8 @@
+"""R003 fixture call site: routes every call through the seam."""
+
+import backend
+
+
+def run():
+    kernels = backend.active()
+    return kernels["alpha"](1, 2) + kernels["beta"](3)

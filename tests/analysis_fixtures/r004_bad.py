@@ -1,0 +1,31 @@
+"""R004 fixture: leaked handles and segments."""
+
+from multiprocessing import shared_memory
+
+
+def never_closed(path):
+    handle = open(path)  # violation: no close, no transfer
+    data = handle.read()
+    return data
+
+
+def happy_path_only(path):
+    handle = open(path)
+    data = handle.read()  # an exception here leaks the handle
+    handle.close()  # violation: close not under finally
+    return data
+
+
+def created_but_not_unlinked(size):
+    seg = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        seg.buf[0] = 1
+    finally:
+        seg.close()  # violation: created segment is never unlinked
+    return size
+
+
+class KeepsSegment:
+    # violation: stores a created segment on self with no releaser.
+    def __init__(self, size):
+        self.seg = shared_memory.SharedMemory(create=True, size=size)

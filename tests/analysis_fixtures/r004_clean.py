@@ -1,0 +1,32 @@
+"""R004 fixture: every acquisition reaches a release (or a new owner)."""
+
+from multiprocessing import shared_memory
+
+
+def with_block(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def finally_block(size):
+    seg = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        seg.buf[0] = 1
+    finally:
+        seg.close()
+        seg.unlink()
+    return size
+
+
+def transferred(path):
+    # Ownership moves to the caller; releasing here would be a bug.
+    return open(path)
+
+
+class OwnsSegment:
+    def __init__(self, size):
+        self.seg = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        self.seg.close()
+        self.seg.unlink()

@@ -1,0 +1,18 @@
+"""R005 fixture: sets drained into order-sensitive sinks."""
+
+
+def as_list(values):
+    unique = {v for v in values}
+    return list(unique)  # violation: arbitrary materialized order
+
+
+def drained_into_append(values):
+    unique = set(values)
+    out = []
+    for v in unique:  # violation: append order is arbitrary
+        out.append(v * 2)
+    return out
+
+
+def comprehension(values):
+    return [v + 1 for v in {v for v in values}]  # violation

@@ -1,0 +1,25 @@
+"""R005 fixture: order-free set usage and sorted() materialization."""
+
+
+def as_sorted_list(values):
+    unique = set(values)
+    return list(sorted(unique))
+
+
+def aggregates(values):
+    unique = set(values)
+    total = sum(unique)  # commutative: order-free
+    return total, len(unique), max(unique, default=0)
+
+
+def membership(values, probe):
+    unique = frozenset(values)
+    return probe in unique
+
+
+def loop_without_sink(values):
+    unique = set(values)
+    total = 0
+    for v in unique:  # accumulation is commutative
+        total += v
+    return total

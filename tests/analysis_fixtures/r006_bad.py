@@ -1,0 +1,54 @@
+"""R006 fixture: protocol gaps, bad capability flag, impure live report."""
+
+
+def register_estimator(name, **kwargs):
+    def decorate(factory):
+        return factory
+
+    return decorate
+
+
+def reports(report, live=None):
+    def decorate(factory):
+        return factory
+
+    return decorate
+
+
+class HalfEstimator:
+    # violation: no estimate() anywhere on the class or its bases.
+    def update_batch(self, batch):
+        self.seen = getattr(self, "seen", 0) + len(batch)
+
+
+class ShiftyEstimator:
+    supports_deletions = 1  # violation: truthy but not a bool literal
+
+    def __init__(self, flip):
+        if flip:
+            self.supports_deletions = False  # violation: instance-level
+
+    def update_batch(self, batch):
+        pass
+
+    def estimate(self):
+        return 0.0
+
+
+def _impure_live(est):
+    return {"draw": est.rng.random()}  # violation: live report draws
+
+
+def _final(est):
+    return {"value": est.estimate()}
+
+
+@register_estimator("half")
+def make_half(num_estimators, seed):
+    return HalfEstimator()
+
+
+@register_estimator("shifty")
+@reports(_final, live=_impure_live)
+def make_shifty(num_estimators, seed):
+    return ShiftyEstimator(flip=False)

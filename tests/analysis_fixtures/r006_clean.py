@@ -1,0 +1,42 @@
+"""R006 fixture: conforming estimator, bool capability, pure live report."""
+
+
+def register_estimator(name, **kwargs):
+    def decorate(factory):
+        return factory
+
+    return decorate
+
+
+def reports(report, live=None):
+    def decorate(factory):
+        return factory
+
+    return decorate
+
+
+class BaseEstimator:
+    def update_batch(self, batch):
+        pass
+
+
+class FullEstimator(BaseEstimator):
+    supports_deletions = True
+
+    def estimate(self):
+        return 0.0
+
+
+def _pure_live(est):
+    return {"value": float(est.current)}
+
+
+def _final(est):
+    # The final report may draw; only the live path must stay pure.
+    return {"sample": est.rng.random()}
+
+
+@register_estimator("full")
+@reports(_final, live=_pure_live)
+def make_full(num_estimators, seed):
+    return FullEstimator()

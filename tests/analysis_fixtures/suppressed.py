@@ -1,0 +1,11 @@
+"""Suppression fixture: one used allowance, one stale allowance."""
+
+import random  # repro: allow[R002] -- fixture exercises suppression
+
+
+def draw():
+    return random.random()
+
+
+def clean():  # repro: allow[R005] -- unused: nothing to suppress here
+    return 1

@@ -26,7 +26,7 @@ import numpy as np
 from repro.generators import holme_kim
 from repro.graph import write_edge_list
 from repro.graph.io import iter_edge_array_chunks
-from repro.streaming import ESTIMATORS, Pipeline
+from repro.streaming import Pipeline
 
 EDGES = holme_kim(250, 3, 0.5, seed=4)
 
