@@ -1,6 +1,6 @@
 """CI smoke gate: fail when streaming throughput regresses badly.
 
-Four gates. The first three compare against the repo's committed
+Six gates. The first three compare against the repo's committed
 ``BENCH_throughput.json``, failing below 50% of the committed value --
 generous enough for CI hardware variance, tight enough to catch a
 hot-path regression:
@@ -30,6 +30,14 @@ deletion ratio against the ``dynamic`` section of the committed
 artifact, same 50% floor. Skipped when the artifact predates the
 turnstile benchmark.
 
+The sixth is self-relative again: the durable ingest journal at its
+default ``fsync=batch`` policy must keep at least 85% of the
+journal-off throughput on the same freshly measured stream. Absolute
+journal numbers swing with the box's disk, but the *relative* tax of
+append-before-deliver is a property of the code -- a serialization or
+sync regression shows up here no matter the hardware. Skipped when
+the artifact predates the journal benchmark.
+
     PYTHONPATH=src python benchmarks/check_throughput_regression.py
 """
 
@@ -44,6 +52,7 @@ from repro.streaming.shm import shm_available
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 FLOOR_FRACTION = 0.5
 SHARD_SPEEDUP_FLOOR = 2.0
+JOURNAL_OVERHEAD_CEILING = 0.15
 
 
 def _gate(label: str, measured: float, baseline: float) -> bool:
@@ -119,6 +128,36 @@ def _dynamic_gate(committed: dict) -> bool:
     return ok
 
 
+def _journal_overhead_gate(committed: dict) -> bool:
+    if committed.get("journal") is None:
+        print("[throughput-gate] no committed journal baseline; skipping")
+        return True
+    from bench_journal_overhead import measure_journal_overhead
+
+    # Both legs remeasured back-to-back on the same stream: the ratio
+    # cancels the hardware, leaving only the append-before-deliver tax.
+    out = measure_journal_overhead(trials=2, legs=("off", "fsync=batch"))
+    base = out["legs"]["off"]["medges_per_s"]
+    batched = out["legs"]["fsync=batch"]["medges_per_s"]
+    overhead = 1.0 - batched / max(base, 1e-9)
+    print(
+        f"[throughput-gate] journal fsync=batch: {batched:.3f} Medges/s vs "
+        f"journal-off {base:.3f} ({100 * overhead:.1f}% overhead, ceiling "
+        f"{100 * JOURNAL_OVERHEAD_CEILING:.0f}%)"
+    )
+    if overhead > JOURNAL_OVERHEAD_CEILING:
+        print(
+            "[throughput-gate] FAIL (journal overhead): the default "
+            "fsync=batch journal now costs more than "
+            f"{100 * JOURNAL_OVERHEAD_CEILING:.0f}% of journal-off "
+            "throughput -- the append path has likely grown a copy or "
+            "a per-append sync",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def main() -> int:
     committed = json.loads(ARTIFACT.read_text())
     r = min(committed["r_values"])
@@ -161,6 +200,7 @@ def main() -> int:
 
     ok = _shard_scaling_gate() and ok
     ok = _dynamic_gate(committed) and ok
+    ok = _journal_overhead_gate(committed) and ok
 
     if not ok:
         return 1

@@ -62,8 +62,10 @@ from .core.triangle_count import TriangleCounter
 from .core.triangle_sample import TriangleSampler
 from .errors import InvalidParameterError, ReproError
 from .streaming import (
+    DEFAULT_SEGMENT_BYTES,
     ENGINES,
     ESTIMATORS,
+    FSYNC_POLICIES,
     FaultPlan,
     FileSource,
     FollowSource,
@@ -119,6 +121,35 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         "(bit-identical results, needs numba installed), 'numpy' is the "
         "pure-NumPy reference, 'auto' picks numba when importable "
         "(default: $REPRO_BACKEND, then auto)",
+    )
+
+
+def _add_journal(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="write-ahead journal DIR: every batch is durably appended "
+        "before any estimator sees it, checkpoints record the journal "
+        "position, and a --resume replays the journal instead of "
+        "re-reading the input -- exactly-once even for stdin/sockets",
+    )
+    parser.add_argument(
+        "--journal-fsync",
+        choices=FSYNC_POLICIES,
+        default="batch",
+        help="journal durability: 'always' fsyncs every append "
+        "(power-loss safe), 'batch' fsyncs at checkpoints/rotation "
+        "(default; kill -9 safe), 'off' never fsyncs (still kill -9 "
+        "safe -- appends are flushed to the OS)",
+    )
+    parser.add_argument(
+        "--journal-max-segment",
+        type=_positive_int,
+        default=DEFAULT_SEGMENT_BYTES,
+        metavar="BYTES",
+        help="rotate journal segment files past this size "
+        f"(default: {DEFAULT_SEGMENT_BYTES})",
     )
 
 
@@ -213,10 +244,12 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     """Follow a growing file (or stdin) and emit live snapshots."""
     _install_fault_plan(args)
     if args.input == "-":
-        if args.resume:
+        if args.resume and not args.journal:
             raise InvalidParameterError(
                 "--resume needs a replayable input; stdin cannot re-serve "
-                "the edges the checkpoint already consumed. Watch a file."
+                "the edges the checkpoint already consumed. Watch a file, "
+                "or run with --journal so the continuation replays the "
+                "durable journal instead."
             )
         if args.poll_interval is not None or args.idle_timeout is not None:
             # stdin has no poll loop (reads block until the producer
@@ -252,6 +285,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         checkpoint_signal=checkpoint_signal,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
+        journal_max_segment=args.journal_max_segment,
     )
     # Unbuffered binary append: each snapshot is one write(2) of one
     # complete line, so a concurrent reader (or a kill mid-write) never
@@ -294,7 +330,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             worker_deadline=args.worker_deadline,
             fault_plan=plan,
         )
-        report = sharded.run(_source(args), batch_size=args.batch_size)
+        report = sharded.run(
+            _source(args),
+            batch_size=args.batch_size,
+            journal_dir=args.journal,
+            journal_fsync=args.journal_fsync,
+            journal_max_segment=args.journal_max_segment,
+        )
         print(report.render())
         return 0
     pipeline = Pipeline.from_registry(
@@ -312,6 +354,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         checkpoint_signal=checkpoint_signal,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
+        journal_max_segment=args.journal_max_segment,
     )
     print(report.render())
     return 0
@@ -453,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint DIR (same estimators, same input, "
         "same --batch-size) and continue bit-identically",
     )
+    _add_journal(p_pipe)
     p_pipe.set_defaults(func=_cmd_pipeline)
 
     p_watch = sub.add_parser(
@@ -551,8 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="resume a killed watcher from its checkpoint DIR (same "
-        "estimators, same file, same --batch-size)",
+        "estimators, same file, same --batch-size); with --journal, "
+        "works for stdin too: the journal replays the edges the "
+        "checkpoint had not yet covered",
     )
+    _add_journal(p_watch)
     p_watch.set_defaults(func=_cmd_watch)
 
     p_exact = sub.add_parser("exact", help="exact counts (O(m) memory)")

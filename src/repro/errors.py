@@ -97,6 +97,26 @@ class CheckpointWriteWarning(ReproWarning):
     """
 
 
+class JournalWriteWarning(ReproWarning):
+    """A journal append failed (e.g. disk full); the run continues.
+
+    The writer degrades to a no-op for the rest of the run: edges keep
+    flowing to the estimators but stop being journaled, so a later
+    resume can replay only what was appended before the failure. Same
+    warn-and-continue contract as :class:`CheckpointWriteWarning`.
+    """
+
+
+class JournalCorruptError(ReproError):
+    """A journal record or segment failed validation on read.
+
+    Raised for a CRC mismatch on a complete record, a short record in
+    a non-final segment, or a missing/garbled segment inside a replay
+    range. Never raised for a torn *tail* -- an append cut short by a
+    crash -- which is expected damage and is truncated on open.
+    """
+
+
 class SourceExhaustedError(ReproError):
     """A one-shot edge source was asked to replay its stream.
 

@@ -53,6 +53,13 @@ from .checkpoint import (
     source_fingerprint,
     verify_resume_source,
 )
+from .journal import (
+    DEFAULT_SEGMENT_BYTES,
+    FSYNC_POLICIES,
+    JournalSource,
+    JournalWriter,
+    journal_records,
+)
 from .pipeline import (
     EstimatorReport,
     Pipeline,
@@ -97,8 +104,10 @@ from .source import (
 from . import estimators as _estimators  # noqa: F401  (registers the specs)
 
 __all__ = [
+    "DEFAULT_SEGMENT_BYTES",
     "ENGINES",
     "ESTIMATORS",
+    "FSYNC_POLICIES",
     "BatchContext",
     "BatchSender",
     "BatchedEstimator",
@@ -113,6 +122,8 @@ __all__ = [
     "FileSource",
     "FollowSource",
     "IterableSource",
+    "JournalSource",
+    "JournalWriter",
     "LineSource",
     "MemorySource",
     "Pipeline",
@@ -133,6 +144,7 @@ __all__ = [
     "derive_shard_seed",
     "faults",
     "fingerprints_compatible",
+    "journal_records",
     "load_checkpoint",
     "register_engine",
     "register_estimator",

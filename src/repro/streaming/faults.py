@@ -15,7 +15,15 @@ faults that fire at exact, deterministic points of a run:
   ``OSError`` (the retry/backoff path);
 - ``source-delay@r3:0.5`` -- the 3rd read stalls 0.5 s (slow device);
 - ``ckpt-fail@s1`` -- the 1st checkpoint save raises ``OSError``
-  (the warn-and-continue path for periodic snapshots).
+  (the warn-and-continue path for periodic snapshots);
+- ``journal-full@a3`` -- the 3rd journal append raises ``OSError``
+  before writing (the disk-full degrade path);
+- ``journal-torn@a3`` -- the 3rd appended record is truncated
+  mid-write after delivery, simulating a crash with only part of the
+  append durable (meaningful as the last append of a run);
+- ``journal-corrupt@a3`` -- one byte of the 3rd appended record's
+  payload is flipped on disk: a complete record with a bad CRC, the
+  damage replay must refuse with a named error.
 
 Worker faults fire **once**, in the worker's first incarnation, by
 default -- a respawned worker replaying the same batches must not
@@ -45,6 +53,7 @@ __all__ = [
     "install",
     "fire_source_read",
     "fire_checkpoint_save",
+    "fire_journal_append",
     "worker_arm",
 ]
 
@@ -57,6 +66,7 @@ ALWAYS = -1
 _WORKER_KINDS = ("kill", "hang", "exc")
 _SOURCE_KINDS = ("source-error", "source-delay", "source-corrupt")
 _CHECKPOINT_KINDS = ("ckpt-fail",)
+_JOURNAL_KINDS = ("journal-full", "journal-torn", "journal-corrupt")
 
 
 @dataclass(frozen=True)
@@ -88,6 +98,8 @@ class Fault:
             return f"{self.kind}@r{self.at}:{self.delay:g}"
         if self.kind in _SOURCE_KINDS:
             return f"{self.kind}@r{self.at}"
+        if self.kind in _JOURNAL_KINDS:
+            return f"{self.kind}@a{self.at}"
         return f"{self.kind}@s{self.at}"
 
 
@@ -132,12 +144,17 @@ def _parse_one(token: str) -> Fault:
             if not point.startswith("s"):
                 raise ValueError(original)
             return Fault(kind=head, at=int(point[1:]))
+        if head in _JOURNAL_KINDS:
+            # journal-*@a<N>
+            if not point.startswith("a"):
+                raise ValueError(original)
+            return Fault(kind=head, at=int(point[1:]))
     except (ValueError, IndexError):
         pass
     raise InvalidParameterError(
         f"bad fault spec {original!r}; expected e.g. 'kill:w0@b5', "
         "'hang:w1@b3:always', 'exc:w0@b2:r1', 'source-error@r2', "
-        "'source-delay@r3:0.5', or 'ckpt-fail@s1'"
+        "'source-delay@r3:0.5', 'ckpt-fail@s1', or 'journal-full@a3'"
     )
 
 
@@ -155,6 +172,7 @@ class FaultPlan:
         self.faults = tuple(faults)
         self._source_reads = 0
         self._checkpoint_saves = 0
+        self._journal_appends = 0
 
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
@@ -196,6 +214,26 @@ class FaultPlan:
         for fault in self.faults:
             if fault.kind == "ckpt-fail" and fault.at == ordinal:
                 raise OSError(f"injected checkpoint write failure (save #{ordinal})")
+
+    # -- journal hook -------------------------------------------------
+    def on_journal_append(self) -> str | None:
+        """Count one append; fire any journal fault targeting it.
+
+        ``journal-full`` raises ``OSError`` (before the writer touches
+        the disk -- the degrade path). ``journal-torn`` and
+        ``journal-corrupt`` return ``"torn"``/``"corrupt"`` so the
+        writer damages the record *after* writing it, simulating crash
+        damage for a later reader.
+        """
+        self._journal_appends += 1
+        ordinal = self._journal_appends
+        for fault in self.faults:
+            if fault.at != ordinal or fault.kind not in _JOURNAL_KINDS:
+                continue
+            if fault.kind == "journal-full":
+                raise OSError(f"injected journal disk-full (append #{ordinal})")
+            return fault.kind.removeprefix("journal-")
+        return None
 
     # -- worker side --------------------------------------------------
     def worker_faults(self, worker: int, incarnation: int) -> list[Fault]:
@@ -285,6 +323,12 @@ def fire_checkpoint_save() -> None:
     plan = active_plan()
     if plan is not None:
         plan.on_checkpoint_save()
+
+
+def fire_journal_append() -> str | None:
+    """Hook for every journal append (``None``/no-op when disarmed)."""
+    plan = active_plan()
+    return None if plan is None else plan.on_journal_append()
 
 
 def worker_arm(worker: int, incarnation: int) -> WorkerArm:

@@ -48,6 +48,7 @@ from .checkpoint import (
     save_checkpoint,
     source_fingerprint,
 )
+from .journal import DEFAULT_SEGMENT_BYTES, JournalWriter, journal_records
 from .registry import ESTIMATORS, _default_report
 from .source import _COERCE_ERRORS, EdgeSource, as_source
 
@@ -147,13 +148,21 @@ class PipelineSnapshot(PipelineReport):
     ``live_report`` (falling back to its regular reporter), so results
     may expose fewer keys mid-stream than at the end (``sample`` omits
     the drawn triangle, which would consume randomness).
+
+    When the pass runs with a durable journal, ``journal`` carries the
+    writer's health (:meth:`JournalWriter.stats`: bytes appended,
+    segment count, fsync lag, compactions, degraded flag) so
+    ``watch --jsonl`` consumers can alert on durability stalls.
     """
 
     final: bool = False
+    journal: dict[str, Any] | None = None
 
     def to_dict(self) -> dict:
         out = super().to_dict()
         out["final"] = self.final
+        if self.journal is not None:
+            out["journal"] = self.journal
         return out
 
     def render_line(self) -> str:
@@ -164,9 +173,20 @@ class PipelineSnapshot(PipelineReport):
             + ", ".join(f"{k}={_fmt(v)}" for k, v in r.results.items())
             for r in self.estimators
         )
+        journal = ""
+        if self.journal is not None:
+            health = (
+                "DEGRADED"
+                if self.journal.get("degraded")
+                else f"lag {self.journal.get('fsync_lag_s', 0.0):.1f}s"
+            )
+            journal = (
+                f" [journal {self.journal.get('segments', 0)} seg | "
+                f"{self.journal.get('bytes_appended', 0):,} B | {health}]"
+            )
         return (
             f"[batch {self.batches:,} | {self.edges:,} edges | "
-            f"{self.seconds:.2f}s]{marker} {parts}"
+            f"{self.seconds:.2f}s]{marker}{journal} {parts}"
         )
 
 
@@ -291,6 +311,7 @@ class Pipeline:
                     "it cannot be checkpointed"
                 )
             states[name] = op()
+        journal_position = self._progress.get("journal")
         save_checkpoint(
             path,
             states,
@@ -298,6 +319,9 @@ class Pipeline:
             batches=self._progress["batches"],
             batch_size=self._progress["batch_size"],
             fingerprint=self._progress["fingerprint"],
+            metadata=(
+                {"journal": dict(journal_position)} if journal_position else None
+            ),
         )
 
     def resume(self, path) -> "Pipeline":
@@ -346,6 +370,7 @@ class Pipeline:
             "batches": ckpt.batches,
             "batch_size": ckpt.batch_size,
             "fingerprint": ckpt.fingerprint,
+            "journal": (ckpt.metadata or {}).get("journal"),
         }
         return self
 
@@ -360,6 +385,9 @@ class Pipeline:
         checkpoint_path=None,
         checkpoint_every: int | None = None,
         checkpoint_signal: int | None = None,
+        journal_dir=None,
+        journal_fsync: str = "batch",
+        journal_max_segment: int = DEFAULT_SEGMENT_BYTES,
     ) -> PipelineReport:
         """One pass over ``source``, feeding every estimator each batch.
 
@@ -398,9 +426,26 @@ class Pipeline:
           already consumed and continues bit-identically (same
           ``batch_size`` required); edge/batch totals in the report
           cover the whole logical stream, not just the continuation.
+        - ``journal_dir`` -- directory for a durable write-ahead
+          journal (:mod:`repro.streaming.journal`): every batch is
+          appended (and flushed) *before* any estimator sees it, and
+          checkpoints record the journal ``(segment, offset)``. A
+          resume that finds both the position and ``journal_dir``
+          replays the journaled batches instead of re-reading the
+          source, which makes non-replayable sources (stdin, sockets)
+          exactly-once across ``kill -9``. ``journal_fsync``
+          (``always``/``batch``/``off``) trades durability for
+          throughput; ``journal_max_segment`` bounds segment files.
         """
         state = self._begin(
-            source, batch_size, checkpoint_path, checkpoint_every, checkpoint_signal
+            source,
+            batch_size,
+            checkpoint_path,
+            checkpoint_every,
+            checkpoint_signal,
+            journal_dir=journal_dir,
+            journal_fsync=journal_fsync,
+            journal_max_segment=journal_max_segment,
         )
         snapshot = None
         for snapshot in self._drive(state, None, checkpoint_path, checkpoint_every):
@@ -424,6 +469,9 @@ class Pipeline:
         checkpoint_path=None,
         checkpoint_every: int | None = None,
         checkpoint_signal: int | None = None,
+        journal_dir=None,
+        journal_fsync: str = "batch",
+        journal_max_segment: int = DEFAULT_SEGMENT_BYTES,
     ) -> Iterator[PipelineSnapshot]:
         """Stream ``source`` like :meth:`run`, yielding live snapshots.
 
@@ -454,7 +502,14 @@ class Pipeline:
         if every < 1:
             raise InvalidParameterError(f"every must be >= 1, got {every}")
         state = self._begin(
-            source, batch_size, checkpoint_path, checkpoint_every, checkpoint_signal
+            source,
+            batch_size,
+            checkpoint_path,
+            checkpoint_every,
+            checkpoint_signal,
+            journal_dir=journal_dir,
+            journal_fsync=journal_fsync,
+            journal_max_segment=journal_max_segment,
         )
         return self._drive(state, every, checkpoint_path, checkpoint_every)
 
@@ -465,6 +520,10 @@ class Pipeline:
         checkpoint_path,
         checkpoint_every: int | None,
         checkpoint_signal: int | None,
+        *,
+        journal_dir=None,
+        journal_fsync: str = "batch",
+        journal_max_segment: int = DEFAULT_SEGMENT_BYTES,
     ) -> dict[str, Any]:
         """Validate and set up a stream pass (shared by run/snapshots).
 
@@ -544,11 +603,56 @@ class Pipeline:
             base_batches = resume.batches
         elif checkpoint_path is not None:
             fingerprint = source_fingerprint(src)
+
+        # Durable ingest journal. The writer opens (and recovers a torn
+        # tail) eagerly; when the resume checkpoint recorded a journal
+        # position, the pass replays the journaled batches *after* it
+        # instead of relying on the source to re-serve them -- the only
+        # resume path a non-replayable source (stdin, socket) has.
+        journal_writer = None
+        journal_replay = None
+        journal_resume = False
+        journal_position = None
+        if journal_dir is not None:
+            journal_writer = JournalWriter(
+                journal_dir,
+                fsync=journal_fsync,
+                max_segment_bytes=journal_max_segment,
+            )
+            try:
+                saved_position = (
+                    (resume.metadata or {}).get("journal")
+                    if resume is not None
+                    else None
+                )
+                if saved_position is not None:
+                    journal_position = {
+                        "segment": int(saved_position["segment"]),
+                        "offset": int(saved_position["offset"]),
+                    }
+                    journal_replay = journal_records(
+                        journal_dir,
+                        start=(
+                            journal_position["segment"],
+                            journal_position["offset"],
+                        ),
+                    )
+                    journal_resume = True
+                else:
+                    position = journal_writer.position()
+                    journal_position = {
+                        "segment": position[0],
+                        "offset": position[1],
+                    }
+            except BaseException:
+                journal_writer.close()
+                raise
         self._progress = {
             "edges_seen": base_edges,
             "batches": base_batches,
             "batch_size": batch_size,
             "fingerprint": fingerprint,
+            "journal": journal_position,
         }
         if checkpoint_path is not None:
             # Snapshot before the stream pass. This both covers the
@@ -558,7 +662,12 @@ class Pipeline:
             # over a non-checkpointable engine) expose state_dict and
             # raise only when it runs, which must not happen hours into
             # the stream.
-            self.checkpoint(checkpoint_path)
+            try:
+                self.checkpoint(checkpoint_path)
+            except BaseException:
+                if journal_writer is not None:
+                    journal_writer.close()
+                raise
 
         fast_paths = [
             getattr(estimator, "update_prepared", None)
@@ -582,6 +691,9 @@ class Pipeline:
             "want_context": want_context,
             "checkpoint_signal": checkpoint_signal,
             "insert_only": insert_only,
+            "journal": journal_writer,
+            "journal_replay": journal_replay,
+            "journal_resume": journal_resume,
         }
 
     def _drive(
@@ -608,13 +720,14 @@ class Pipeline:
         """
         src = state["src"]
         batch_size = state["batch_size"]
-        remaining = state["remaining"]
         base_edges = state["base_edges"]
         base_batches = state["base_batches"]
         fast_paths = state["fast_paths"]
         want_context = state["want_context"]
         checkpoint_signal = state["checkpoint_signal"]
         insert_only = state["insert_only"]
+        journal = state["journal"]
+        journal_replay = state["journal_replay"]
         timings = {name: 0.0 for name, _ in self._pairs}
         edges = 0
         batches = 0
@@ -649,32 +762,74 @@ class Pipeline:
                     for name, estimator in self._pairs
                 ],
                 final=final,
+                journal=journal.stats() if journal is not None else None,
             )
+
+        def _save_checkpoint(path) -> None:
+            # Journal bytes become durable before the manifest that
+            # references them, and segments wholly behind the new
+            # checkpoint are compacted once it is safely on disk.
+            if journal is not None:
+                journal.sync()
+            self.checkpoint(path)
+            if journal is not None:
+                journal.compact(self._progress.get("journal"))
+
+        # Leftover resume-skip, surfaced from the merged stream for the
+        # stream-ended-early check below (a mutable cell because the
+        # generator owns the countdown).
+        skip_left = [0]
+
+        def _merged_stream():
+            """``(batch, position, fresh)`` triples for the pass.
+
+            First the journal replay (recorded batches past the resume
+            checkpoint, ``fresh=False``, each carrying its recorded
+            position), then the live source. Replay preserves the
+            recorded batch boundaries, which is what keeps a resumed
+            continuation bit-identical. On a journal resume a
+            *replayable* source is skipped past everything already
+            counted (checkpointed + replayed); a non-replayable source
+            only ever serves new edges, so nothing is skipped.
+            """
+            replayed = 0
+            if journal_replay is not None:
+                for replay_batch, position in journal_replay:
+                    replayed += len(replay_batch)
+                    yield replay_batch, position, False
+            if state["journal_resume"]:
+                skip_left[0] = (
+                    base_edges + replayed if src.replayable else 0
+                )
+            else:
+                skip_left[0] = state["remaining"]
+            for source_batch in src.batches(batch_size):
+                if skip_left[0]:
+                    # Replaying a resumed stream: checkpoints land on
+                    # batch boundaries, so whole batches are skipped
+                    # (the partial slice only triggers on boundary
+                    # drift, e.g. a final short batch).
+                    w = len(source_batch)
+                    if w <= skip_left[0]:
+                        skip_left[0] -= w
+                        continue
+                    if isinstance(source_batch, EdgeBatch):
+                        source_batch = source_batch[skip_left[0] :]
+                    else:
+                        source_batch = list(source_batch)[skip_left[0] :]
+                    skip_left[0] = 0
+                yield source_batch, None, True
 
         try:
             try:
-                stream = iter(src.batches(batch_size))
+                stream = _merged_stream()
                 while True:
                     t0 = time.perf_counter()
-                    batch = next(stream, None)
-                    if batch is None:
+                    item = next(stream, None)
+                    if item is None:
                         io_seconds += time.perf_counter() - t0
                         break
-                    if remaining:
-                        # Replaying a resumed stream: checkpoints land on
-                        # batch boundaries, so whole batches are skipped
-                        # (the partial slice only triggers on boundary
-                        # drift, e.g. a final short batch).
-                        w = len(batch)
-                        if w <= remaining:
-                            remaining -= w
-                            io_seconds += time.perf_counter() - t0
-                            continue
-                        if isinstance(batch, EdgeBatch):
-                            batch = batch[remaining:]
-                        else:
-                            batch = list(batch)[remaining:]
-                        remaining = 0
+                    batch, journal_position, fresh = item
                     if isinstance(batch, EdgeBatch):
                         prepared = batch
                     else:
@@ -695,6 +850,22 @@ class Pipeline:
                             f"{insert_only}; deletions would be silently "
                             "counted as insertions"
                         )
+                    if journal is not None and fresh:
+                        # Append-before-deliver: the record is on disk
+                        # (and flushed) before any estimator sees the
+                        # batch, so a kill cannot lose delivered edges.
+                        if prepared is None:
+                            raise InvalidParameterError(
+                                "journaling requires columnar batches; the "
+                                "source yielded edges EdgeBatch cannot "
+                                "represent"
+                            )
+                        journal_position = journal.append(prepared)
+                    if journal_position is not None:
+                        self._progress["journal"] = {
+                            "segment": journal_position[0],
+                            "offset": journal_position[1],
+                        }
                     if prepared is not None and want_context:
                         prepared.context  # noqa: B018 -- build the shared index once
                     io_seconds += time.perf_counter() - t0
@@ -718,7 +889,7 @@ class Pipeline:
                     ):
                         signal_seen[0] = False
                         try:
-                            self.checkpoint(checkpoint_path)
+                            _save_checkpoint(checkpoint_path)
                         except OSError as exc:
                             # A failed *periodic* snapshot costs only
                             # resume granularity, never the run: warn
@@ -739,13 +910,14 @@ class Pipeline:
             finally:
                 if restore_handler is not None:
                     signal_module.signal(*restore_handler)
-            if remaining:
+            if skip_left[0]:
                 raise InvalidParameterError(
-                    f"stream ended {remaining} edges before the checkpoint's "
-                    "position; it is not the stream that was checkpointed"
+                    f"stream ended {skip_left[0]} edges before the "
+                    "checkpoint's position; it is not the stream that was "
+                    "checkpointed"
                 )
             if checkpoint_path is not None:
-                self.checkpoint(checkpoint_path)
+                _save_checkpoint(checkpoint_path)
             self._resume = None
             yield _snapshot(final=True)
         except BaseException:
@@ -758,6 +930,9 @@ class Pipeline:
                 # GeneratorExit lands here too.)
                 self._reload_after_failed_resume()
             raise
+        finally:
+            if journal is not None:
+                journal.close()
 
     def _reporter_for(self, name: str, *, live: bool):
         """The result extractor for one estimator (live or final)."""

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from .batch import EdgeBatch
+from .journal import DEFAULT_SEGMENT_BYTES, JournalWriter
 from .pipeline import EstimatorReport, PipelineReport
 from .registry import ESTIMATORS, _default_report
 from .shm import BatchSender, TransportFeed, check_procs_alive
@@ -157,6 +158,24 @@ def _consume(
     return edges, batch_count, timings
 
 
+def _journaled(batches: Iterable, journal: JournalWriter) -> Iterable:
+    """Append every batch to ``journal`` before it fans out to workers.
+
+    The sharded analogue of the single-process pipeline's
+    append-before-deliver: a batch is durably journaled before any
+    worker queue (or the supervisor's replay window) sees it, so the
+    journal is always a superset of what the workers consumed.
+    """
+    for batch in batches:
+        if not isinstance(batch, EdgeBatch):
+            raise InvalidParameterError(
+                "journaling requires columnar batches; the source yielded "
+                f"{type(batch).__name__}"
+            )
+        journal.append(batch)
+        yield batch
+
+
 def _worker_loop(in_queue, out_queue, index: int, specs, shm_client=None) -> None:
     """Process one worker's shards; ship back ``{name: state_dict}``.
 
@@ -233,6 +252,13 @@ class ShardedPipeline:
     restart_backoff:
         First respawn delay in seconds, doubled per consecutive restart
         of the same worker.
+    replay_window:
+        Cap on the supervised path's in-memory replay buffer, in
+        batches. Only honored when the run is journaled (``run`` with
+        ``journal_dir``): excess batches are dropped from memory and
+        recovery re-reads them from the journal. ``None`` (the
+        default) keeps the buffer unbounded, the only safe choice
+        without a journal to fall back on.
     fault_plan:
         A :class:`~repro.streaming.faults.FaultPlan` injected into the
         run (tests and chaos drills); implies the supervised path.
@@ -253,6 +279,7 @@ class ShardedPipeline:
         worker_deadline: float | None = None,
         snapshot_every: int = 32,
         restart_backoff: float = 0.1,
+        replay_window: int | None = None,
         fault_plan=None,
     ) -> None:
         self.names = list(names)
@@ -280,6 +307,10 @@ class ShardedPipeline:
             raise InvalidParameterError(
                 f"snapshot_every must be >= 0, got {snapshot_every}"
             )
+        if replay_window is not None and replay_window < 0:
+            raise InvalidParameterError(
+                f"replay_window must be >= 0, got {replay_window}"
+            )
         self.workers = workers
         self.num_estimators = num_estimators
         self.seed = seed
@@ -288,6 +319,7 @@ class ShardedPipeline:
         self.worker_deadline = worker_deadline
         self.snapshot_every = snapshot_every
         self.restart_backoff = restart_backoff
+        self.replay_window = replay_window
         self.fault_plan = fault_plan
         self.last_restarts: list[int] = []
         self._options = {k: dict(v) for k, v in (options or {}).items()}
@@ -343,7 +375,15 @@ class ShardedPipeline:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, source, *, batch_size: int = 65_536) -> PipelineReport:
+    def run(
+        self,
+        source,
+        *,
+        batch_size: int = 65_536,
+        journal_dir=None,
+        journal_fsync: str = "batch",
+        journal_max_segment: int = DEFAULT_SEGMENT_BYTES,
+    ) -> PipelineReport:
         """Shard every pool across the workers over one stream read.
 
         ``source`` is anything :func:`~repro.streaming.source.as_source`
@@ -351,6 +391,13 @@ class ShardedPipeline:
         :class:`~repro.streaming.pipeline.PipelineReport` a
         single-process run produces (per-estimator ``seconds`` is the
         maximum across workers -- the parallel wall-clock share).
+
+        ``journal_dir`` arms the durable ingest journal: the parent
+        appends every batch *before* fanning it out, so the on-disk
+        journal is always a superset of what any worker consumed, and
+        the supervised path can cap its in-memory replay window
+        (``replay_window``) by re-reading dropped batches from disk
+        during recovery.
         """
         specs = self.worker_specs()
         source = as_source(source)
@@ -390,29 +437,41 @@ class ShardedPipeline:
                 "deletions as insertions; use deletion-capable estimators "
                 "('triest-fd', 'dynamic-sampler') for signed input"
             )
+        journal = None
+        if journal_dir is not None:
+            journal = JournalWriter(
+                journal_dir,
+                fsync=journal_fsync,
+                max_segment_bytes=journal_max_segment,
+            )
         start = time.perf_counter()
-        if self.workers == 1:
-            pairs = _build_estimators(specs[0])
-            edges, batches, timings = _consume(
-                pairs, as_source(source).batches(batch_size)
-            )
-            merged_pairs = pairs
-            merged_timings = timings
-        else:
-            if self._supervised:
-                runner = self._run_supervised
+        try:
+            stream = source.batches(batch_size)
+            if journal is not None:
+                stream = _journaled(stream, journal)
+            if self.workers == 1:
+                pairs = _build_estimators(specs[0])
+                edges, batches, timings = _consume(pairs, stream)
+                merged_pairs = pairs
+                merged_timings = timings
             else:
-                runner = self._run_workers
-            edges, batches, worker_states, worker_timings = runner(
-                specs, source, batch_size
-            )
-            merged_pairs = self._merge_states(worker_states)
-            merged_timings = {
-                name: max(
-                    (t.get(name, 0.0) for t in worker_timings), default=0.0
+                if self._supervised:
+                    runner = self._run_supervised
+                else:
+                    runner = self._run_workers
+                edges, batches, worker_states, worker_timings = runner(
+                    specs, stream, batch_size, journal
                 )
-                for name in self.names
-            }
+                merged_pairs = self._merge_states(worker_states)
+                merged_timings = {
+                    name: max(
+                        (t.get(name, 0.0) for t in worker_timings), default=0.0
+                    )
+                    for name in self.names
+                }
+        finally:
+            if journal is not None:
+                journal.close()
         self._merged = merged_pairs
         total = time.perf_counter() - start
         report = PipelineReport(
@@ -431,8 +490,14 @@ class ShardedPipeline:
             )
         return report
 
-    def _run_workers(self, specs, source, batch_size):
-        """The multiprocess path: bounded queues, one stream read."""
+    def _run_workers(self, specs, stream, batch_size, journal=None):
+        """The multiprocess path: bounded queues, one stream read.
+
+        ``journal`` is unused here -- appends already happened upstream
+        in the :func:`_journaled` wrapper around ``stream`` -- but rides
+        the shared runner signature with :meth:`_run_supervised`, which
+        needs the writer for recovery.
+        """
         import multiprocessing
         import queue as queue_module
 
@@ -462,7 +527,7 @@ class ShardedPipeline:
         batches = 0
         try:
             try:
-                for batch in as_source(source).batches(batch_size):
+                for batch in stream:
                     payload = sender.payload(
                         batch, lambda: check_procs_alive(procs)
                     )
@@ -500,13 +565,15 @@ class ShardedPipeline:
             worker_timings.append(extra)
         return edges, batches, worker_states, worker_timings
 
-    def _run_supervised(self, specs, source, batch_size):
+    def _run_supervised(self, specs, stream, batch_size, journal=None):
         """The self-healing path: snapshots, replay, bounded respawns.
 
         Same contract as :meth:`_run_workers` -- one stream read, the
         same merged result bit for bit -- but worker crashes and hangs
         are recovered (up to ``max_restarts`` each) instead of aborting
-        the run. See :mod:`repro.streaming.supervisor`.
+        the run. With a ``journal``, the supervisor's replay window may
+        be capped (``replay_window``): catch-up re-reads the dropped
+        prefix from disk. See :mod:`repro.streaming.supervisor`.
         """
         import multiprocessing
 
@@ -528,8 +595,10 @@ class ShardedPipeline:
                 worker_deadline=self.worker_deadline,
                 snapshot_every=self.snapshot_every,
                 backoff=self.restart_backoff,
+                replay_window=self.replay_window,
             ),
             fault_plan=self.fault_plan,
+            journal=journal,
         )
         counts = [0, 0]
 
@@ -539,7 +608,7 @@ class ShardedPipeline:
                 counts[1] += 1
                 yield batch
 
-        finals = supervisor.run(counted(as_source(source).batches(batch_size)))
+        finals = supervisor.run(counted(stream))
         self.last_restarts = supervisor.restarts
         worker_states = [states for states, _ in finals]
         worker_timings = [timings for _, timings in finals]

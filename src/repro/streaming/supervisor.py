@@ -14,7 +14,11 @@ identity:
   with its shard's ``state_dict`` once the message surfaces behind the
   batches before it, so the collected snapshot is exactly the state at
   that batch boundary. The parent keeps the raw payload of every batch
-  since the last completed snapshot (a bounded replay window).
+  since the last completed snapshot (a bounded replay window). When the
+  run is journaled (``ShardedPipeline.run(journal_dir=...)``), the
+  in-memory window may additionally be capped
+  (:attr:`Supervision.replay_window`): evicted batches are re-read
+  from the durable journal during catch-up instead of held in RAM.
 - **Detection.** A dead worker is noticed at the next queue ``put``,
   ring wait, sync barrier, or result wait (liveness polls); a *hung*
   worker -- alive but not consuming -- is caught by the optional
@@ -93,6 +97,14 @@ class Supervision:
     window's memory and the batches re-processed after a crash.
     ``backoff`` is the first respawn delay, doubled per consecutive
     restart of the same worker up to ``backoff_cap``.
+
+    ``replay_window`` caps the *in-memory* replay buffer, in batches.
+    It is honored only when the supervisor was handed a journal
+    writer: batches past the cap are dropped from memory and recovery
+    re-reads them from the journal (every batch is appended upstream
+    before it is broadcast, so the journal always covers the window).
+    Without a journal the cap is ignored -- dropping would lose the
+    only copy. ``None`` keeps the buffer unbounded.
     """
 
     max_restarts: int = 2
@@ -100,6 +112,7 @@ class Supervision:
     snapshot_every: int = 32
     backoff: float = 0.1
     backoff_cap: float = 5.0
+    replay_window: int | None = None
 
 
 class EstimatorShardProgram:
@@ -288,6 +301,7 @@ class ShardSupervisor:
         queue_depth: int = 4,
         policy: Supervision | None = None,
         fault_plan=None,
+        journal=None,
     ) -> None:
         self._ctx = ctx
         self._programs = list(programs)
@@ -315,6 +329,16 @@ class ShardSupervisor:
         self._snapshot_states: list = [None] * self._n
         self._snapshot_batch = 0
         self._replay: list = []  # raw payloads since the last snapshot
+        # The durable side of the replay window: when a journal writer
+        # is present (batches are appended upstream, before broadcast),
+        # the in-memory buffer may be capped (policy.replay_window) and
+        # catch-up re-reads the dropped prefix from the journal,
+        # starting after the position recorded at the last snapshot.
+        self._journal = journal
+        self._snapshot_journal_pos = (
+            None if journal is None else journal.position()
+        )
+        self._replay_dropped = 0
         self._global_batch = 0
         self._sync_pending: int | None = None
         self._sentinel_sent = False
@@ -354,6 +378,18 @@ class ShardSupervisor:
         self._global_batch += 1
         raw = BatchSender.raw(batch)
         self._replay.append(raw)
+        cap = self._policy.replay_window
+        if (
+            self._journal is not None
+            and not self._journal.degraded
+            and cap is not None
+            and len(self._replay) > cap
+        ):
+            # Journal-backed eviction: the dropped prefix stays
+            # recoverable on disk (append-before-broadcast upstream).
+            drop = len(self._replay) - cap
+            del self._replay[:drop]
+            self._replay_dropped += drop
         pending = set(range(self._n))
         descriptor = None
         stamped: set[int] = set()
@@ -553,6 +589,12 @@ class ShardSupervisor:
         self._snapshot_states = [collected[i] for i in range(self._n)]
         self._snapshot_batch = sid
         self._replay.clear()
+        self._replay_dropped = 0
+        if self._journal is not None:
+            # Batches are appended before broadcast, so the write head
+            # right now is exactly "after batch ``sid``" -- the start
+            # of any journal-backed catch-up from this snapshot.
+            self._snapshot_journal_pos = self._journal.position()
 
     # ------------------------------------------------------------------
     # finish
@@ -627,11 +669,17 @@ class ShardSupervisor:
             self._discard_queue(i)
             self._sender.revoke(i)
             detail = self._degrade(i, down)
+            if self._replay_dropped:
+                detail = (
+                    f", {self._replay_dropped} of them re-read from the "
+                    f"journal{detail}"
+                )
             warnings.warn(
                 WorkerRestartedWarning(
                     f"restarting worker {i} "
                     f"(restart {self._restarts[i]}/{self._policy.max_restarts}, "
-                    f"replaying {len(self._replay)} batch(es) from the "
+                    f"replaying {self._replay_dropped + len(self._replay)} "
+                    f"batch(es) from the "
                     f"batch-{self._snapshot_batch} snapshot{detail}): {down}"
                 ),
                 stacklevel=2,
@@ -653,6 +701,8 @@ class ShardSupervisor:
                             self._snapshot_batch,
                         ),
                     )
+                for raw in self._journal_replay():
+                    self._catchup_put(i, raw)
                 for raw in self._replay:
                     self._catchup_put(i, raw)
                 if self._sync_pending is not None:
@@ -662,6 +712,28 @@ class ShardSupervisor:
                 return
             except _WorkerDown as nested:
                 down = self._attribute_catchup_death(nested)
+
+    def _journal_replay(self):
+        """Raw payloads for the window prefix evicted to the journal.
+
+        Re-reads exactly the ``_replay_dropped`` batches that followed
+        the last snapshot's journal position -- the records between the
+        disk prefix and the in-memory ``_replay`` suffix are the same
+        batches, so the ``limit`` keeps the two from overlapping. The
+        journal's own appends happened *before* broadcast, so every
+        evicted batch is guaranteed present.
+        """
+        if self._replay_dropped == 0 or self._journal is None:
+            return
+        from .journal import journal_records
+
+        self._journal.sync()
+        for batch, _position in journal_records(
+            self._journal.directory,
+            start=self._snapshot_journal_pos,
+            limit=self._replay_dropped,
+        ):
+            yield BatchSender.raw(batch)
 
     def _attribute_catchup_death(self, down: _WorkerDown) -> _WorkerDown:
         """Upgrade an anonymous catch-up death with its shipped error.

@@ -29,3 +29,12 @@ class KeepsSegment:
     # violation: stores a created segment on self with no releaser.
     def __init__(self, size):
         self.seg = shared_memory.SharedMemory(create=True, size=size)
+
+class KeepsJournalSegment:
+    # violation: stores an open segment handle on self with no
+    # close/__exit__/__del__ releaser (the JournalWriter anti-pattern).
+    def __init__(self, path):
+        self._handle = open(path, "ab")
+
+    def append(self, record):
+        self._handle.write(record)

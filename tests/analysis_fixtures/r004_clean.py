@@ -30,3 +30,25 @@ class OwnsSegment:
     def close(self):
         self.seg.close()
         self.seg.unlink()
+
+
+class OwnsJournalSegment:
+    # The JournalWriter pattern: a long-lived segment handle on self,
+    # released by the class's own close/__exit__.
+    def __init__(self, path):
+        self._handle = open(path, "ab")
+
+    def append(self, record):
+        self._handle.write(record)
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def scan_tail(path):
+    with open(path, "rb") as handle:
+        return len(handle.read())

@@ -32,7 +32,7 @@ BAD_FIXTURES = [
     ("R001", "r001_bad.py", 2),
     ("R002", "r002_bad.py", 3),
     ("R003", "r003_bad", 8),
-    ("R004", "r004_bad.py", 4),
+    ("R004", "r004_bad.py", 5),
     ("R005", "r005_bad.py", 3),
     ("R006", "r006_bad.py", 4),
 ]

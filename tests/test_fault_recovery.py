@@ -14,6 +14,12 @@ The self-healing contract has four legs, each drilled here with
   scrubbed, all without ending the stream;
 - checkpoint writes -- a failed *periodic* snapshot warns and the run
   continues; the initial fail-fast probe still aborts loudly;
+- the durable ingest journal -- a torn final record is truncated on
+  reopen, a CRC-corrupt mid-segment record raises the named
+  :class:`JournalCorruptError` (never a silent skip), a crash during
+  compaction can only leave extra segments behind, and a full disk
+  degrades the writer with :class:`JournalWriteWarning` while the run
+  completes;
 - the fault plans themselves -- specs round-trip, bad specs are
   rejected, and worker faults target exact incarnations.
 
@@ -34,6 +40,8 @@ from repro.errors import (
     CheckpointWriteWarning,
     InjectedFaultError,
     InvalidParameterError,
+    JournalCorruptError,
+    JournalWriteWarning,
     RetryExhaustedError,
     SourceRetryWarning,
     SourceRotatedWarning,
@@ -41,11 +49,14 @@ from repro.errors import (
 )
 from repro.generators import holme_kim
 from repro.streaming import (
+    EdgeBatch,
     FaultPlan,
     FollowSource,
+    JournalWriter,
     Pipeline,
     ShardedPipeline,
     load_checkpoint,
+    journal_records,
     shm_available,
 )
 from repro.streaming import faults as faults_module
@@ -99,7 +110,11 @@ class TestFaultPlan:
         "source-delay@r3:0.5",
         "source-corrupt@r1",
         "ckpt-fail@s1",
+        "journal-full@a3",
+        "journal-torn@a2",
+        "journal-corrupt@a1",
         "kill:w0@b5,exc:w1@b7,source-error@r2",
+        "journal-full@a1,ckpt-fail@s2",
     ])
     def test_spec_round_trips(self, spec):
         plan = FaultPlan.parse(spec)
@@ -112,6 +127,8 @@ class TestFaultPlan:
         "hang:w1@b3:sometimes",
         "source-error@s2",
         "ckpt-fail@r1",
+        "journal-full@s2",
+        "journal-torn@bX",
         "explode:w0@b1",
         "",
         "  ,  ",
@@ -186,6 +203,34 @@ class TestSupervisedRecovery:
         assert recovered == baseline
         assert pipe.last_restarts == [1, 0]
         assert own_segments() == []
+
+    @pytest.mark.timeout(120)
+    def test_capped_replay_window_catches_up_from_journal(
+        self, transport, tmp_path
+    ):
+        """With a journal armed, the in-memory replay window may be
+        capped: recovery re-reads the evicted prefix from disk and the
+        run still ends bit-identical to an uninterrupted one."""
+        baseline, _ = _sharded_results(transport)
+        pipe = ShardedPipeline(
+            ["count", "wedges"],
+            workers=2,
+            num_estimators=128,
+            seed=11,
+            transport=transport,
+            max_restarts=2,
+            snapshot_every=8,
+            replay_window=1,
+            fault_plan=FaultPlan.parse("kill:w0@b7"),
+        )
+        with pytest.warns(WorkerRestartedWarning, match="re-read from the journal"):
+            report = pipe.run(EDGES, batch_size=32, journal_dir=tmp_path / "jd")
+        recovered = {e.name: e.results for e in report.estimators}
+        assert recovered == baseline
+        assert pipe.last_restarts == [1, 0]
+        # append-before-fan-out: the journal holds the whole stream
+        journaled = sum(len(b) for b, _pos in journal_records(tmp_path / "jd"))
+        assert journaled == report.edges
 
     @pytest.mark.timeout(120)
     def test_crashing_worker_is_respawned_bit_identically(self, transport):
@@ -415,3 +460,114 @@ class TestCheckpointFaults:
                 checkpoint_path=tmp_path / "ck",
                 checkpoint_every=2,
             )
+
+
+# ---------------------------------------------------------------------------
+# durable ingest journal
+# ---------------------------------------------------------------------------
+
+def _journal_batch(i):
+    return EdgeBatch(np.array([[i, i + 1], [i, i + 2]], dtype=np.int64))
+
+
+class TestJournalFaults:
+    @pytest.mark.timeout(60)
+    def test_torn_final_record_truncated_on_reopen(self, tmp_path):
+        """A crash mid-append leaves a torn tail: replay ends cleanly at
+        the last complete record, and a reopened writer repairs the tear
+        and appends past it."""
+        faults_module.install(FaultPlan.parse("journal-torn@a3"))
+        with JournalWriter(tmp_path, fsync="off") as writer:
+            for i in range(3):
+                writer.append(_journal_batch(i))
+        assert len(list(journal_records(tmp_path))) == 2
+        faults_module.install(None)
+        with JournalWriter(tmp_path, fsync="off") as writer:
+            writer.append(_journal_batch(99))
+        batches = [b for b, _pos in journal_records(tmp_path)]
+        assert len(batches) == 3
+        assert batches[-1].array[0, 0] == 99
+
+    @pytest.mark.timeout(60)
+    def test_corrupt_record_raises_named_error_not_silent_skip(self, tmp_path):
+        """A complete record with a bad CRC is corruption, not a torn
+        tail: both the replayer and a reopening writer must refuse with
+        the named error instead of skipping data."""
+        faults_module.install(FaultPlan.parse("journal-corrupt@a2"))
+        with JournalWriter(tmp_path, fsync="off") as writer:
+            for i in range(3):
+                writer.append(_journal_batch(i))
+        with pytest.raises(JournalCorruptError, match="CRC mismatch"):
+            list(journal_records(tmp_path))
+        with pytest.raises(JournalCorruptError, match="CRC mismatch"):
+            JournalWriter(tmp_path)
+
+    @pytest.mark.timeout(60)
+    def test_crash_during_compaction_leaves_no_hole(self, tmp_path, monkeypatch):
+        """Compaction unlinks oldest-first; dying partway may leave
+        *extra* segments but never a gap the checkpointed position
+        still needs."""
+        from pathlib import Path
+
+        with JournalWriter(tmp_path, fsync="off", max_segment_bytes=64) as writer:
+            positions = [writer.append(_journal_batch(i)) for i in range(8)]
+            keep = positions[5]
+            before = writer.stats()["segments"]
+            assert before > 3
+
+            real_unlink = Path.unlink
+            budget = [1]  # the crash: one unlink succeeds, then the disk "dies"
+
+            def dying_unlink(self, *args, **kwargs):
+                if budget[0] <= 0:
+                    raise OSError("injected crash mid-compaction")
+                budget[0] -= 1
+                return real_unlink(self, *args, **kwargs)
+
+            monkeypatch.setattr(Path, "unlink", dying_unlink)
+            assert writer.compact(keep) == 1
+            monkeypatch.setattr(Path, "unlink", real_unlink)
+
+            # extra segments remain, but the replay range is whole
+            replayed = [b for b, _pos in journal_records(tmp_path, start=keep)]
+            assert len(replayed) == 2
+            # a second, healthy compaction finishes the job
+            assert writer.compact(keep) >= 1
+            replayed = [b for b, _pos in journal_records(tmp_path, start=keep)]
+            assert len(replayed) == 2
+
+    @pytest.mark.timeout(60)
+    def test_disk_full_degrades_and_the_run_completes(self, tmp_path):
+        """An append hitting a full disk warns once and disables
+        journaling; the stream pass itself must finish with results
+        identical to an unjournaled run."""
+
+        def run(plan, journal_dir=None):
+            faults_module.install(plan)
+            pipeline = Pipeline.from_registry(["count"], num_estimators=64, seed=3)
+            kwargs = {"journal_dir": journal_dir} if journal_dir else {}
+            report = pipeline.run(EDGES, batch_size=16, **kwargs)
+            return {e.name: e.results for e in report.estimators}
+
+        with pytest.warns(JournalWriteWarning, match="disabled"):
+            faulted = run(
+                FaultPlan.parse("journal-full@a3"), journal_dir=tmp_path / "jd"
+            )
+        clean = run(None)
+        assert faulted == clean
+        # exactly the appends before the failure are replayable
+        assert len(list(journal_records(tmp_path / "jd"))) == 2
+
+    @pytest.mark.timeout(60)
+    def test_degraded_journal_reported_in_snapshots(self, tmp_path):
+        faults_module.install(FaultPlan.parse("journal-full@a1"))
+        pipeline = Pipeline.from_registry(["count"], num_estimators=64, seed=3)
+        with pytest.warns(JournalWriteWarning):
+            last = None
+            for snapshot in pipeline.snapshots(
+                EDGES, batch_size=32, every=2, journal_dir=tmp_path / "jd"
+            ):
+                last = snapshot
+        assert last is not None
+        assert last.to_dict()["journal"]["degraded"] is True
+        assert "DEGRADED" in last.render_line()

@@ -121,3 +121,26 @@ class TestInsertOnlyGolden:
             "insert-only estimator state drifted from the pre-turnstile "
             f"golden fingerprints: {mismatches}"
         )
+
+    def test_journaled_run_and_replay_keep_golden_state(self, tmp_path):
+        """Journaling is a pure tap on the stream: a journaled run and
+        a replay of its journal both land on the pre-turnstile golden
+        fingerprint -- journaling consumed no randomness and moved no
+        batch boundary."""
+        from repro.streaming import JournalSource
+
+        name = "count"
+        journal_dir = tmp_path / "jd"
+        journaled = Pipeline.from_registry(
+            [name], num_estimators=SMALL_POOLS[name], seed=7
+        )
+        journaled.run(EDGES, batch_size=64, journal_dir=journal_dir)
+        ((_, est),) = journaled._pairs
+        assert state_fingerprint(est.state_dict()) == GOLDEN[name]
+
+        replayed = Pipeline.from_registry(
+            [name], num_estimators=SMALL_POOLS[name], seed=7
+        )
+        replayed.run(JournalSource(journal_dir), batch_size=64)
+        ((_, est),) = replayed._pairs
+        assert state_fingerprint(est.state_dict()) == GOLDEN[name]

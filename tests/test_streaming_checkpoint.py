@@ -550,3 +550,63 @@ class TestKillResume:
         resumed = _full_pipeline().resume(ckpt)
         report = resumed.run(stream, batch_size=self.BATCH)
         assert report.edges == len(stream)
+
+
+# ---------------------------------------------------------------------------
+# JournalSource enrollment: a journal directory is a first-class
+# replayable source for the same kill/resume contract
+# ---------------------------------------------------------------------------
+
+class TestJournalSourceResume:
+    BATCH = 128
+
+    @pytest.fixture()
+    def journal_dir(self, stream, tmp_path):
+        """The stream, journaled at the suite's batch size."""
+        from repro.streaming import EdgeBatch, JournalWriter
+
+        directory = tmp_path / "journal"
+        with JournalWriter(directory, fsync="off") as writer:
+            for i in range(0, len(stream), self.BATCH):
+                writer.append(
+                    EdgeBatch(np.asarray(stream[i : i + self.BATCH], dtype=np.int64))
+                )
+        return directory
+
+    def test_run_over_journal_matches_direct_run(self, stream, journal_dir):
+        from repro.streaming import JournalSource
+
+        direct = _full_pipeline().run(stream, batch_size=self.BATCH)
+        replayed = _full_pipeline().run(
+            JournalSource(journal_dir), batch_size=self.BATCH
+        )
+        assert replayed.edges == direct.edges
+        assert replayed.batches == direct.batches
+        for name in ALL_NAMES:
+            assert replayed[name].results == direct[name].results, name
+
+    def test_killed_journal_replay_resumes_bit_identically(
+        self, stream, journal_dir, tmp_path
+    ):
+        """The TestKillResume contract with a JournalSource standing in
+        for the file: checkpoint mid-replay, die, resume, finish
+        bit-identical to an uninterrupted run."""
+        from repro.streaming import JournalSource
+
+        ckpt = tmp_path / "ck"
+        interrupted = _full_pipeline()
+        with pytest.raises(_Killed):
+            interrupted.run(
+                _interruptible(stream, stop_after=5 * self.BATCH + 3),
+                batch_size=self.BATCH,
+                checkpoint_path=ckpt,
+                checkpoint_every=2,
+            )
+        resumed = _full_pipeline().resume(ckpt)
+        resumed_report = resumed.run(JournalSource(journal_dir), batch_size=self.BATCH)
+        baseline = _full_pipeline().run(stream, batch_size=self.BATCH)
+        assert resumed_report.edges == baseline.edges
+        for name in ALL_NAMES:
+            assert (
+                resumed_report[name].results == baseline[name].results
+            ), f"{name} diverged resuming over the journal"
